@@ -1,0 +1,105 @@
+"""Figure 10: TC and SG performance comparison on Gn-p graphs.
+
+All engines across the (scaled) Gn-p sweep. Paper's shape: RecStep is
+the only scale-up system completing everything (PBME); bddbddb is orders
+of magnitude slower / times out; Souffle and BigDatalog fail on the
+dense/large graphs; Distributed-BigDatalog (120 cores, 450 GB) edges out
+RecStep only on the largest graphs.
+"""
+
+import functools
+
+from benchmarks.common import (
+    MEMORY_BUDGET,
+    TIME_BUDGET,
+    cached_run,
+    cell,
+    engine_budget,
+    grid_table,
+    write_result,
+)
+
+TC_DATASETS = ["G500", "G1K", "G1K-0.05", "G1K-0.1", "G2K", "G4K"]
+SG_DATASETS = ["G500", "G700", "G1K"]
+ENGINES = ["RecStep", "Distributed-BigDatalog", "Souffle", "BigDatalog", "bddbddb"]
+
+#: bddbddb only attempts the smallest graphs; the paper reports the rest
+#: as >10h, which our tight probe budget reproduces as quick timeouts.
+BDD_DATASETS = {"G500", "G1K"}
+
+
+@functools.lru_cache(maxsize=1)
+def tc_sg_results():
+    results = {}
+    for program, datasets in (("TC", TC_DATASETS), ("SG", SG_DATASETS)):
+        for dataset in datasets:
+            for engine in ENGINES:
+                if engine == "bddbddb" and dataset not in BDD_DATASETS:
+                    continue
+                results[(program, dataset, engine)] = cached_run(
+                    engine,
+                    program,
+                    dataset,
+                    memory_budget=MEMORY_BUDGET,
+                    time_budget=engine_budget(engine),
+                )
+    return results
+
+
+def test_fig10_tc_sg(benchmark):
+    results = benchmark.pedantic(tc_sg_results, rounds=1, iterations=1)
+
+    tables = []
+    for program, datasets in (("TC", TC_DATASETS), ("SG", SG_DATASETS)):
+        cells = {
+            (dataset, engine): cell(results[(program, dataset, engine)])
+            for dataset in datasets
+            for engine in ENGINES
+            if (program, dataset, engine) in results
+        }
+        tables.append(
+            grid_table(
+                f"Figure 10{'a' if program == 'TC' else 'b'}: {program} runtime",
+                datasets,
+                ENGINES,
+                cells,
+            )
+        )
+    write_result("fig10_tc_sg", "\n\n".join(tables))
+
+    # RecStep completes every graph for both programs (the headline).
+    for (program, dataset, engine), result in results.items():
+        if engine == "RecStep":
+            assert result.status == "ok", (program, dataset)
+
+    # The other scale-up engines fail somewhere RecStep does not.
+    for engine in ("Souffle", "BigDatalog"):
+        failures = [
+            key for key, result in results.items()
+            if key[2] == engine and result.status in ("oom", "timeout")
+        ]
+        assert failures, engine
+
+    # Where the single-node baselines complete TC, RecStep is faster.
+    for dataset in TC_DATASETS:
+        recstep = results[("TC", dataset, "RecStep")]
+        for engine in ("Souffle", "BigDatalog"):
+            other = results[("TC", dataset, engine)]
+            if other.status == "ok":
+                assert recstep.sim_seconds < other.sim_seconds, (dataset, engine)
+
+    # bddbddb: far slower than RecStep even where it finishes.
+    for key, result in results.items():
+        if key[2] == "bddbddb" and result.status == "ok":
+            assert result.sim_seconds > 3 * results[(key[0], key[1], "RecStep")].sim_seconds
+
+    # Distributed-BigDatalog survives the sparse graphs (cluster memory)
+    # but never beats RecStep on the small ones, where its startup and
+    # stage overheads dominate (paper: D-BD wins only on the largest
+    # graphs; see EXPERIMENTS.md for the proxy-scale deviation).
+    for dataset in ("G500", "G1K"):
+        assert results[("TC", dataset, "Distributed-BigDatalog")].status == "ok"
+        assert (
+            results[("TC", dataset, "RecStep")].sim_seconds
+            < results[("TC", dataset, "Distributed-BigDatalog")].sim_seconds
+        )

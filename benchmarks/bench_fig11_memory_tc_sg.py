@@ -1,0 +1,41 @@
+"""Figure 11: memory usage of TC and SG on G1K.
+
+Memory traces for RecStep, Souffle, and BigDatalog on the scaled G10K
+stand-in. Paper's shape: RecStep's (bit-matrix) footprint is a small,
+flat fraction of the machine; Souffle's and especially BigDatalog's grow
+much larger over the run.
+"""
+
+from benchmarks.bench_fig10_tc_sg import tc_sg_results
+from benchmarks.common import MEMORY_BUDGET, write_result
+
+ENGINES = ["RecStep", "Souffle", "BigDatalog"]
+
+
+def test_fig11_memory_tc_sg(benchmark):
+    results = benchmark.pedantic(tc_sg_results, rounds=1, iterations=1)
+
+    lines = []
+    peaks = {}
+    for program in ("TC", "SG"):
+        lines.append(f"Figure 11{'a' if program == 'TC' else 'b'}: "
+                     f"{program} memory on G1K (% of modeled budget)")
+        lines.append(f"{'engine':<14}{'peak %':>8}{'final %':>9}{'status':>10}")
+        for engine in ENGINES:
+            result = results[(program, "G1K", engine)]
+            trace = result.memory_trace
+            peak = 100.0 * trace.peak() / MEMORY_BUDGET
+            final = 100.0 * trace.final() / MEMORY_BUDGET
+            peaks[(program, engine)] = peak
+            lines.append(
+                f"{engine:<14}{peak:>7.2f}%{final:>8.2f}%{result.status:>10}"
+            )
+        lines.append("")
+    write_result("fig11_memory_tc_sg", "\n".join(lines))
+
+    for program in ("TC", "SG"):
+        # RecStep (PBME) uses the least memory of the three.
+        assert peaks[(program, "RecStep")] < peaks[(program, "Souffle")]
+        assert peaks[(program, "RecStep")] < peaks[(program, "BigDatalog")]
+    # SG is more memory-demanding than TC for the relational engines.
+    assert peaks[("SG", "Souffle")] > peaks[("TC", "Souffle")]

@@ -1,0 +1,40 @@
+"""Figure 14: memory consumption on livejournal (REACH / CC / SSSP).
+
+Reuses Figure 13's runs. Paper's shape: RecStep's footprint is a small
+fraction of the baselines' — BigDatalog's RDD overhead dominates, with
+Souffle (where it can run) in between.
+"""
+
+from benchmarks.bench_fig13_realworld_graphs import realworld_results
+from benchmarks.common import MEMORY_BUDGET, write_result
+
+PROGRAMS = ["REACH", "CC", "SSSP"]
+ENGINES = ["RecStep", "Souffle", "BigDatalog"]
+
+
+def test_fig14_memory_livejournal(benchmark):
+    results = benchmark.pedantic(realworld_results, rounds=1, iterations=1)
+
+    lines = ["Figure 14: peak modeled memory on livejournal (% of budget)",
+             f"{'program':<10}" + "".join(f"{engine:>14}" for engine in ENGINES)]
+    peaks = {}
+    for program in PROGRAMS:
+        row = [f"{program:<10}"]
+        for engine in ENGINES:
+            result = results[(program, "livejournal", engine)]
+            if result.status in ("ok", "timeout"):
+                peak = 100.0 * result.peak_memory_bytes / MEMORY_BUDGET
+                peaks[(program, engine)] = peak
+                row.append(f"{peak:>13.2f}%")
+            else:
+                row.append(f"{result.status:>14}")
+        lines.append("".join(row))
+    write_result("fig14_memory_livejournal", "\n".join(lines))
+
+    for program in PROGRAMS:
+        recstep = peaks[(program, "RecStep")]
+        big = peaks.get((program, "BigDatalog"))
+        if big is not None:
+            assert recstep < big, program
+    # Souffle (REACH only) also sits above RecStep.
+    assert peaks[("REACH", "RecStep")] < peaks[("REACH", "Souffle")]

@@ -1,0 +1,123 @@
+"""Figure 15: program analyses — AA, CSDA, CSPA.
+
+Paper's shapes:
+
+* (a) AA: RecStep fastest on every dataset; bddbddb comparable only on
+  the small datasets; BigDatalog and Souffle in between.
+* (b) CSDA: the one program where RecStep LOSES — per-query overhead
+  across ~1000 tiny iterations; BigDatalog fastest, Souffle second,
+  Graspan far behind everyone.
+* (c) CSPA: RecStep wins linux and postgresql; Souffle slightly wins the
+  small httpd; Graspan is 5-50x slower; BigDatalog cannot run it
+  (mutual recursion).
+"""
+
+import functools
+
+from benchmarks.common import (
+    MEMORY_BUDGET,
+    TIME_BUDGET,
+    cached_run,
+    cell,
+    engine_budget,
+    grid_table,
+    write_result,
+)
+
+AA_DATASETS = [f"andersen-{k}" for k in range(1, 8)]
+AA_ENGINES = ["RecStep", "Souffle", "BigDatalog", "bddbddb"]
+#: bddbddb attempts only the small AA datasets (paper: runtime "increases
+#: a lot when the number of variables grows").
+AA_BDD_DATASETS = {"andersen-1", "andersen-2", "andersen-3"}
+
+CSDA_DATASETS = ["csda-linux", "csda-postgresql", "csda-httpd"]
+CSDA_ENGINES = ["RecStep", "Souffle", "BigDatalog", "Graspan"]
+
+CSPA_DATASETS = ["cspa-linux", "cspa-postgresql", "cspa-httpd"]
+CSPA_ENGINES = ["RecStep", "Souffle", "BigDatalog", "Graspan"]
+
+
+@functools.lru_cache(maxsize=1)
+def program_analysis_results():
+    results = {}
+    for dataset in AA_DATASETS:
+        for engine in AA_ENGINES:
+            if engine == "bddbddb" and dataset not in AA_BDD_DATASETS:
+                continue
+            results[("AA", dataset, engine)] = cached_run(
+                engine, "AA", dataset,
+                memory_budget=MEMORY_BUDGET, time_budget=engine_budget(engine),
+            )
+    for dataset in CSDA_DATASETS:
+        for engine in CSDA_ENGINES:
+            results[("CSDA", dataset, engine)] = cached_run(
+                engine, "CSDA", dataset,
+                memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+            )
+    for dataset in CSPA_DATASETS:
+        for engine in CSPA_ENGINES:
+            results[("CSPA", dataset, engine)] = cached_run(
+                engine, "CSPA", dataset,
+                memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+            )
+    return results
+
+
+def test_fig15_program_analysis(benchmark):
+    results = benchmark.pedantic(program_analysis_results, rounds=1, iterations=1)
+
+    tables = []
+    for title, datasets, engines in (
+        ("Figure 15a: Andersen's analysis", AA_DATASETS, AA_ENGINES),
+        ("Figure 15b: CSDA", CSDA_DATASETS, CSDA_ENGINES),
+        ("Figure 15c: CSPA", CSPA_DATASETS, CSPA_ENGINES),
+    ):
+        program = title.split()[-1] if "CSDA" in title or "CSPA" in title else "AA"
+        cells = {
+            (dataset, engine): cell(results[(program, dataset, engine)])
+            for dataset in datasets
+            for engine in engines
+            if (program, dataset, engine) in results
+        }
+        tables.append(grid_table(title, datasets, engines, cells))
+    write_result("fig15_program_analysis", "\n\n".join(tables))
+
+    # (a) AA: RecStep fastest among the scale-up engines everywhere.
+    # bddbddb is "comparable ... when the number of variables is small"
+    # (paper) — it may even edge out RecStep on dataset 1 — but its
+    # runtime blows up as the active domain grows.
+    for dataset in AA_DATASETS:
+        recstep = results[("AA", dataset, "RecStep")]
+        assert recstep.status == "ok"
+        for engine in ("Souffle", "BigDatalog"):
+            key = ("AA", dataset, engine)
+            if results[key].status == "ok":
+                assert recstep.sim_seconds < results[key].sim_seconds, key
+    bdd_small = results[("AA", "andersen-1", "bddbddb")]
+    bdd_large = results[("AA", "andersen-3", "bddbddb")]
+    if bdd_small.status == "ok" and bdd_large.status == "ok":
+        assert bdd_large.sim_seconds > 3 * bdd_small.sim_seconds
+
+    # (b) CSDA: both Souffle and BigDatalog beat RecStep; Graspan is the
+    # slowest system by a wide margin.
+    for dataset in CSDA_DATASETS:
+        recstep = results[("CSDA", dataset, "RecStep")].sim_seconds
+        assert results[("CSDA", dataset, "Souffle")].sim_seconds < recstep
+        assert results[("CSDA", dataset, "BigDatalog")].sim_seconds < recstep
+        assert results[("CSDA", dataset, "Graspan")].sim_seconds > 2 * recstep
+
+    # (c) CSPA: BigDatalog unsupported; RecStep wins the two larger
+    # datasets; Souffle slightly wins httpd; Graspan far behind.
+    for dataset in CSPA_DATASETS:
+        assert results[("CSPA", dataset, "BigDatalog")].status == "unsupported"
+        graspan = results[("CSPA", dataset, "Graspan")]
+        if graspan.status == "ok":
+            assert graspan.sim_seconds > 3 * results[("CSPA", dataset, "RecStep")].sim_seconds
+    assert (
+        results[("CSPA", "cspa-linux", "RecStep")].sim_seconds
+        < results[("CSPA", "cspa-linux", "Souffle")].sim_seconds
+    )
+    assert (
+        results[("CSPA", "cspa-httpd", "Souffle")].sim_seconds
+        < results[("CSPA", "cspa-httpd", "RecStep")].sim_seconds
+    )

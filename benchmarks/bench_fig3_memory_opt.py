@@ -1,0 +1,32 @@
+"""Figure 3: memory effects of the optimizations (CSPA on httpd).
+
+Complements Figure 2: for the same ablation runs, reports peak and mean
+modeled memory (as % of the scaled server budget) per configuration.
+Key shapes: FAST-DEDUP off raises peak memory (generic hash entries),
+and NO-OP's footprint exceeds fully-optimized RecStep's.
+"""
+
+from benchmarks.bench_fig2_optimizations import ablation_results
+from benchmarks.common import MEMORY_BUDGET, write_result
+
+
+def test_fig3_memory_effects(benchmark):
+    results = benchmark.pedantic(ablation_results, rounds=1, iterations=1)
+
+    lines = ["Figure 3: memory effects of optimizations (CSPA on httpd)",
+             f"{'configuration':<16}{'peak %':>8}{'mean %':>8}{'samples':>9}"]
+    stats = {}
+    for label, result in results.items():
+        trace = result.memory_trace
+        peak = 100.0 * trace.peak() / MEMORY_BUDGET
+        mean = 100.0 * trace.mean() / MEMORY_BUDGET
+        stats[label] = (peak, mean)
+        lines.append(f"{label:<16}{peak:7.2f}%{mean:7.2f}%{len(trace.samples):9d}")
+    write_result("fig3_memory_opt", "\n".join(lines))
+
+    # Turning FAST-DEDUP off costs memory (generic <key,value> entries).
+    assert stats["FAST-DEDUP"][0] > stats["RecStep"][0]
+    # The all-off configuration uses at least as much memory as RecStep.
+    assert stats["RecStep-NO-OP"][0] >= stats["RecStep"][0]
+    # Every run stayed within the modeled budget (all completed).
+    assert all(peak <= 100.0 for peak, _ in stats.values())

@@ -1,0 +1,70 @@
+"""Figure 8: scaling-up cores — CSPA on httpd and CC on livejournal.
+
+Thread counts 1..40 on the 20-physical-core model. Paper's shape:
+near-linear speedup to 16 threads, then a clear plateau caused by
+contention on the shared dedup hash table (the machine has 20 physical
+cores / 40 hyperthreads).
+"""
+
+import functools
+
+from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, cached_run, write_result
+
+THREAD_COUNTS = [1, 2, 4, 8, 16, 20, 32, 40]
+
+WORKLOADS = [
+    ("CSPA", "cspa-httpd"),
+    ("CC", "livejournal"),
+]
+
+
+@functools.lru_cache(maxsize=1)
+def scaling_results():
+    results = {}
+    for program, dataset in WORKLOADS:
+        for threads in THREAD_COUNTS:
+            results[(program, dataset, threads)] = cached_run(
+                "RecStep",
+                program,
+                dataset,
+                threads=threads,
+                memory_budget=MEMORY_BUDGET,
+                time_budget=TIME_BUDGET,
+            )
+    return results
+
+
+def test_fig8_scaling_cores(benchmark):
+    results = benchmark.pedantic(scaling_results, rounds=1, iterations=1)
+    assert all(result.status == "ok" for result in results.values())
+
+    sections = []
+    speedups = {}
+    for program, dataset in WORKLOADS:
+        base = results[(program, dataset, 1)].sim_seconds
+        lines = [f"Figure 8: speedup of {program} on {dataset}",
+                 f"{'threads':>8}{'sim time':>12}{'speedup':>9}"]
+        for threads in THREAD_COUNTS:
+            seconds = results[(program, dataset, threads)].sim_seconds
+            speedup = base / seconds
+            speedups[(program, threads)] = speedup
+            lines.append(f"{threads:>8}{seconds:>11.2f}s{speedup:>8.2f}x")
+        sections.append("\n".join(lines))
+    write_result("fig8_scaling_cores", "\n\n".join(sections))
+
+    for program, _ in WORKLOADS:
+        # Monotone gains up to 16 threads, meaningful speedup at 16...
+        assert speedups[(program, 2)] > 1.2
+        assert speedups[(program, 16)] > speedups[(program, 8)] > speedups[(program, 4)]
+        assert speedups[(program, 16)] > 3.0
+        # ...then a plateau: 40 threads buys little over 16 (paper: the
+        # "synchronization/scheduling primitive around the common shared
+        # hash table").
+        assert speedups[(program, 40)] < speedups[(program, 16)] * 1.6
+        # And results are identical at every thread count.
+        sizes = {
+            frozenset(results[(program, d, t)].sizes().items())
+            for (p, d, t) in results
+            if p == program
+        }
+        assert len(sizes) == 1

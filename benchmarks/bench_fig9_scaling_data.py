@@ -1,0 +1,67 @@
+"""Figure 9: scaling-up data — CC on the R-MAT sweep, AA on datasets 1..7.
+
+Paper's shapes: (a) CC runtime grows near-proportionally with R-MAT
+size; (b) AA runtime is nearly flat on datasets 1..3 (threads
+underutilized on small inputs) and then grows with datasets 4..7.
+"""
+
+import functools
+
+from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, cached_run, write_result
+
+RMAT_SWEEP = ["RMAT-10K", "RMAT-20K", "RMAT-40K", "RMAT-80K", "RMAT-160K", "RMAT-320K"]
+ANDERSEN_SWEEP = [f"andersen-{k}" for k in range(1, 8)]
+
+
+@functools.lru_cache(maxsize=1)
+def scaling_data_results():
+    results = {}
+    for dataset in RMAT_SWEEP:
+        results[("CC", dataset)] = cached_run(
+            "RecStep", "CC", dataset,
+            memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+        )
+    for dataset in ANDERSEN_SWEEP:
+        results[("AA", dataset)] = cached_run(
+            "RecStep", "AA", dataset,
+            memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+        )
+    return results
+
+
+def test_fig9_scaling_data(benchmark):
+    results = benchmark.pedantic(scaling_data_results, rounds=1, iterations=1)
+    assert all(result.status == "ok" for result in results.values())
+
+    lines = ["Figure 9a: CC on RMAT graphs (RecStep)",
+             f"{'dataset':<12}{'sim time':>10}{'|cc3| tuples':>14}"]
+    cc_times = []
+    for dataset in RMAT_SWEEP:
+        result = results[("CC", dataset)]
+        cc_times.append(result.sim_seconds)
+        lines.append(
+            f"{dataset:<12}{result.sim_seconds:>9.2f}s"
+            f"{len(result.tuples['cc3']):>14,}"
+        )
+    lines.append("")
+    lines.append("Figure 9b: AA on synthetic datasets (RecStep)")
+    lines.append(f"{'dataset':<12}{'sim time':>10}{'|pointsTo|':>14}")
+    aa_times = []
+    for dataset in ANDERSEN_SWEEP:
+        result = results[("AA", dataset)]
+        aa_times.append(result.sim_seconds)
+        lines.append(
+            f"{dataset:<12}{result.sim_seconds:>9.2f}s"
+            f"{len(result.tuples['pointsTo']):>14,}"
+        )
+    write_result("fig9_scaling_data", "\n".join(lines))
+
+    # (a) monotone growth, flat-ish at the small end (per-iteration
+    # overheads dominate, cores idle) and near-proportional at the large
+    # end — each doubling of the graph costs ~1.5-2x once saturated.
+    assert all(b >= a * 0.95 for a, b in zip(cc_times, cc_times[1:]))
+    assert cc_times[-1] > 4 * cc_times[0]
+    assert cc_times[-1] / cc_times[-2] > 1.4
+    # (b) flat start (underutilized cores), growth at the large end.
+    assert aa_times[2] < aa_times[0] * 3.0          # 1..3 roughly flat
+    assert aa_times[-1] > aa_times[2] * 2.0         # 4..7 clearly growing

@@ -1,0 +1,33 @@
+"""Table 1: qualitative comparison between systems.
+
+Probed live: each capability cell comes from running a witness program
+on the actual engine implementations (see repro.analysis.capabilities).
+"""
+
+from repro.analysis.capabilities import capability_matrix, format_capability_table
+
+from benchmarks.common import write_result
+
+
+def test_table1_capabilities(benchmark):
+    matrix = benchmark.pedantic(capability_matrix, rounds=1, iterations=1)
+    write_result("table1_capabilities", format_capability_table(matrix))
+
+    # The paper's Table 1 rows, verified against our implementations.
+    assert matrix["Mutual Recursion"]["RecStep"] == "yes"
+    assert matrix["Mutual Recursion"]["BigDatalog"] == "no"
+    assert matrix["Recursive Aggregation"]["RecStep"] == "yes"
+    assert matrix["Recursive Aggregation"]["Souffle"] == "no"
+    assert matrix["Recursive Aggregation"]["BigDatalog"] == "yes"
+    assert matrix["Non-Recursive Aggregation"]["Graspan"] == "no"
+    assert matrix["Non-Recursive Aggregation"]["bddbddb"] == "no"
+    assert matrix["Stratified Negation"]["RecStep"] == "yes"
+    assert all(
+        matrix[row]["RecStep"] == "yes"
+        for row in (
+            "Mutual Recursion",
+            "Non-Recursive Aggregation",
+            "Recursive Aggregation",
+            "Stratified Negation",
+        )
+    )

@@ -1,0 +1,50 @@
+"""Optimization ablation: what each RecStep technique buys (mini Figure 2).
+
+Evaluates CSPA on the httpd proxy with each optimization disabled in
+turn, reporting runtime as a percentage of RecStep-NO-OP — the exact
+presentation of the paper's Figure 2.
+
+Run with::
+
+    python examples/optimization_ablation.py
+"""
+
+from repro import RecStep, RecStepConfig
+from repro.analysis.harness import prepare_edb
+from repro.programs import get_program
+
+ABLATIONS = [
+    ("RecStep", None),
+    ("UIE off", "uie"),
+    ("DSD off", "dsd"),
+    ("OOF-FA", "oof-fa"),
+    ("EOST off", "eost"),
+    ("FAST-DEDUP off", "fast_dedup"),
+    ("OOF-NA", "oof"),
+]
+
+
+def main() -> None:
+    program = get_program("CSPA")
+    edb = prepare_edb(program, "cspa-httpd")
+
+    results: dict[str, float] = {}
+    base = RecStepConfig()
+    for label, ablation in ABLATIONS:
+        config = base if ablation is None else base.without(ablation)
+        result = RecStep(config).evaluate(program, edb, dataset="httpd")
+        results[label] = result.sim_seconds
+        print(f"measured {label:<16} {result.sim_seconds:8.2f}s")
+
+    no_op = RecStep(RecStepConfig.no_op()).evaluate(program, edb, dataset="httpd")
+    results["RecStep-NO-OP"] = no_op.sim_seconds
+    print(f"measured {'RecStep-NO-OP':<16} {no_op.sim_seconds:8.2f}s")
+
+    print("\nruntime as % of RecStep-NO-OP (Figure 2's y-axis):")
+    for label, seconds in sorted(results.items(), key=lambda kv: kv[1]):
+        percent = 100.0 * seconds / results["RecStep-NO-OP"]
+        print(f"  {label:<16} {percent:5.1f}%  {'#' * int(percent / 2)}")
+
+
+if __name__ == "__main__":
+    main()

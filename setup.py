@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A classic setup.py (rather than PEP 517 metadata) so editable installs
+work in fully offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RecStep reproduction: scaling-up in-memory Datalog processing on a "
+        "parallel relational backend (VLDB 2019)"
+    ),
+    author="repro authors",
+    license="MIT",
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,32 @@
+"""repro: a reproduction of RecStep (VLDB 2019).
+
+"Scaling-Up In-Memory Datalog Processing: Observations and Techniques"
+— a general-purpose parallel Datalog engine built on an in-memory
+relational backend, plus the baseline engines and benchmark harness the
+paper evaluates against.
+
+Public entry points:
+
+* :class:`repro.RecStep` — the Datalog engine (the paper's system).
+* :class:`repro.RecStepConfig` — optimization switches (UIE/OOF/DSD/...).
+* :mod:`repro.programs` — the benchmark Datalog programs (TC, SG, CSPA...).
+* :mod:`repro.datasets` — synthetic dataset generators (Gn-p, RMAT, ...).
+* :mod:`repro.baselines` — Souffle/BigDatalog/bddbddb/Graspan models.
+* :mod:`repro.engine` — the standalone mini-RDBMS (SQL in, arrays out).
+"""
+
+from repro.common.records import EvaluationResult
+from repro.core import OofMode, PbmeMode, RecStep, RecStepConfig
+from repro.engine import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RecStep",
+    "RecStepConfig",
+    "OofMode",
+    "PbmeMode",
+    "Database",
+    "EvaluationResult",
+    "__version__",
+]

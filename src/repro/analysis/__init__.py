@@ -1,0 +1,20 @@
+"""Experiment harness and paper-metric utilities."""
+
+from repro.analysis.capabilities import capability_matrix, format_capability_table
+from repro.analysis.cpu_efficiency import cpu_efficiency
+from repro.analysis.harness import (
+    ENGINE_FACTORIES,
+    make_engine,
+    prepare_edb,
+    run_workload,
+)
+
+__all__ = [
+    "capability_matrix",
+    "format_capability_table",
+    "cpu_efficiency",
+    "ENGINE_FACTORIES",
+    "make_engine",
+    "prepare_edb",
+    "run_workload",
+]

@@ -1,0 +1,36 @@
+"""CPU efficiency (Appendix B / Table 4).
+
+``ce = 1 / (t * n)`` where ``t`` is the runtime of system ``s`` on
+workload ``w`` and ``n`` the number of CPU cores it was given: a system
+that needs many cores to go fast scores lower than one achieving the
+same time on fewer.
+"""
+
+from __future__ import annotations
+
+from repro.common.records import EvaluationResult
+
+#: Cores each system uses in the paper's Table 4 runs.
+CORES_USED = {
+    "RecStep": 20,
+    "Souffle": 20,
+    "BigDatalog": 20,
+    "Distributed-BigDatalog": 120,
+    "Graspan": 20,
+    "bddbddb": 1,
+    "Naive": 20,
+}
+
+
+def cpu_efficiency(result: EvaluationResult, cores: int | None = None) -> float | None:
+    """Appendix B's metric; ``None`` for failed or unsupported runs."""
+    if result.status != "ok" or result.sim_seconds <= 0:
+        return None
+    n = cores if cores is not None else CORES_USED.get(result.engine, 20)
+    return 1.0 / (result.sim_seconds * n)
+
+
+def format_efficiency(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2e}"

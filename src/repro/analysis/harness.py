@@ -1,0 +1,148 @@
+"""Shared experiment harness.
+
+Every bench goes through ``run_workload(engine, program, dataset)``:
+the harness generates the dataset, adapts the EDB to the program's
+schema (source vertices for REACH/SSSP, weights for SSSP), instantiates
+the engine with the experiment's budgets, and returns the
+EvaluationResult. Failures surface as result statuses ("oom",
+"timeout", "unsupported"), never exceptions — matching how the paper
+reports them (missing bars, "Out of Memory" labels).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    BddbddbLike,
+    BigDatalogLike,
+    GraspanLike,
+    NaiveEngine,
+    SouffleLike,
+)
+from repro.common.records import EvaluationResult
+from repro.common.rng import derive_seed, make_rng
+from repro.core import RecStep, RecStepConfig
+from repro.datasets import load_dataset
+from repro.datasets.graphs import with_weights
+from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET
+from repro.programs import ProgramSpec, get_program
+
+#: The scale-up engines of Figure 10/12/13/15 plus the oracle.
+ENGINE_FACTORIES: dict[str, Callable[..., object]] = {
+    "RecStep": lambda **kw: RecStep(RecStepConfig(**kw)),
+    "Souffle": lambda **kw: SouffleLike(**kw),
+    "BigDatalog": lambda **kw: BigDatalogLike(**kw),
+    "Distributed-BigDatalog": lambda **kw: BigDatalogLike(distributed=True, **kw),
+    "Graspan": lambda **kw: GraspanLike(**kw),
+    "bddbddb": lambda **kw: BddbddbLike(**kw),
+    "Naive": lambda **kw: NaiveEngine(**kw),
+}
+
+
+def make_engine(
+    name: str,
+    threads: int = 20,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    enforce_budgets: bool = True,
+    **extra,
+):
+    """Instantiate an engine by its paper name."""
+    try:
+        factory = ENGINE_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; available: {sorted(ENGINE_FACTORIES)}"
+        ) from None
+    return factory(
+        threads=threads,
+        memory_budget=memory_budget,
+        time_budget=time_budget,
+        enforce_budgets=enforce_budgets,
+        **extra,
+    )
+
+
+def pick_sources(edges: np.ndarray, count: int, seed: int) -> np.ndarray:
+    """Random source vertices with outgoing edges (REACH/SSSP, Section 6.3)."""
+    rng = make_rng(derive_seed(seed, "sources"))
+    candidates = np.unique(edges[:, 0])
+    if candidates.size == 0:
+        return np.zeros((1, 1), dtype=np.int64)
+    chosen = rng.choice(candidates, size=min(count, candidates.size), replace=False)
+    return chosen.reshape(-1, 1).astype(np.int64)
+
+
+def prepare_edb(
+    program: ProgramSpec,
+    dataset: str,
+    seed: int = 0,
+    source: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Generate ``dataset`` and adapt it to ``program``'s EDB schema."""
+    edb = dict(load_dataset(dataset, seed=seed))
+    if program.name == "SSSP" and "arc" in edb and edb["arc"].shape[1] == 2:
+        edb["arc"] = with_weights(edb["arc"], make_rng(derive_seed(seed, "weights")))
+    if "id" in program.edb_schemas and "id" not in edb:
+        if source is not None:
+            edb["id"] = np.asarray([[source]], dtype=np.int64)
+        else:
+            edb["id"] = pick_sources(edb["arc"], count=1, seed=seed)[:1]
+    return edb
+
+
+def run_workload(
+    engine_name: str,
+    program_name: str,
+    dataset: str,
+    threads: int = 20,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    seed: int = 0,
+    source: int | None = None,
+    enforce_budgets: bool = True,
+    **engine_extra,
+) -> EvaluationResult:
+    """Run one (engine, program, dataset) cell of a paper figure."""
+    program = get_program(program_name)
+    edb = prepare_edb(program, dataset, seed=seed, source=source)
+    engine = make_engine(
+        engine_name,
+        threads=threads,
+        memory_budget=memory_budget,
+        time_budget=time_budget,
+        enforce_budgets=enforce_budgets,
+        **engine_extra,
+    )
+    return engine.evaluate(program, edb, dataset=dataset)
+
+
+def format_status(result: EvaluationResult) -> str:
+    """Paper-style cell text: a time, 'Out of Memory', or '>budget'."""
+    if result.status == "ok":
+        return f"{result.sim_seconds:.1f}s"
+    if result.status == "oom":
+        return "Out of Memory"
+    if result.status == "timeout":
+        return "Timeout"
+    return "n/a (unsupported)"
+
+
+def format_comparison_table(
+    title: str,
+    rows: list[tuple[str, dict[str, EvaluationResult]]],
+    engines: list[str],
+) -> str:
+    """Render a dataset x engine grid the way the paper's figures label bars."""
+    widths = [max(12, *(len(dataset) for dataset, _ in rows))]
+    header = f"{'dataset':<{widths[0]}}" + "".join(f"{e:>24}" for e in engines)
+    lines = [title, header, "-" * len(header)]
+    for dataset, results in rows:
+        cells = "".join(
+            f"{format_status(results[e]) if e in results else '-':>24}" for e in engines
+        )
+        lines.append(f"{dataset:<{widths[0]}}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Baseline Datalog engines (Section 6.1).
+
+Each baseline is a *real* evaluator — it computes the exact fixpoint —
+that reproduces the published evaluation strategy, feature envelope
+(Table 1), and cost/memory profile of the corresponding system:
+
+* :class:`NaiveEngine` — textbook naive bottom-up evaluation (oracle).
+* :class:`SouffleLike` — compiled indexed semi-naive; no recursive
+  aggregation.
+* :class:`BigDatalogLike` — Spark-style partitioned semi-naive; no mutual
+  recursion; optionally the paper's 120-core distributed cluster.
+* :class:`GraspanLike` — sort-based edge-pair worklist; binary relations
+  only.
+* :class:`BddbddbLike` — single-threaded solver over a from-scratch BDD
+  package.
+"""
+
+from repro.baselines.base import BaselineEngine, CostProfile
+from repro.baselines.bigdatalog_like import BigDatalogLike
+from repro.baselines.graspan_like import GraspanLike
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.souffle_like import SouffleLike
+from repro.baselines.bdd.solver import BddbddbLike
+
+__all__ = [
+    "BaselineEngine",
+    "CostProfile",
+    "NaiveEngine",
+    "SouffleLike",
+    "BigDatalogLike",
+    "GraspanLike",
+    "BddbddbLike",
+]

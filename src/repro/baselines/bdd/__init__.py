@@ -1,0 +1,6 @@
+"""From-scratch reduced ordered BDD package and the bddbddb baseline."""
+
+from repro.baselines.bdd.bdd import BddManager
+from repro.baselines.bdd.solver import BddbddbLike
+
+__all__ = ["BddManager", "BddbddbLike"]

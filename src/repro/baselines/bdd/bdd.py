@@ -1,0 +1,239 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+The substrate for the bddbddb baseline (Whaley & Lam): relations are
+boolean functions over bit-blasted attributes, so joins become AND,
+projection becomes existential quantification, and dedup is free.
+
+The manager counts every recursive operation step; the solver converts
+that count into simulated time and enforces an operation cap so runaway
+BDDs (the paper's "orders of magnitude slower on graphs" cases) abort as
+timeouts instead of hanging the host.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EvaluationTimeout
+
+ZERO = 0
+ONE = 1
+
+
+class BddManager:
+    """Nodes are integers; 0/1 are the terminals.
+
+    Node ``i`` (>1) is ``(var, lo, hi)``: if variable ``var`` is 0 follow
+    ``lo``, else ``hi``. Variables are ordered by their integer id.
+    """
+
+    def __init__(self, max_ops: int | None = None) -> None:
+        self._vars: list[int] = [-1, -1]   # terminals have no variable
+        self._lo: list[int] = [0, 1]
+        self._hi: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._exists_cache: dict[tuple[int, frozenset[int]], int] = {}
+        self.ops = 0
+        self.max_ops = max_ops
+        self.peak_nodes = 2
+
+    # -- node construction ----------------------------------------------------
+
+    def _tick(self) -> None:
+        self.ops += 1
+        if self.max_ops is not None and self.ops > self.max_ops:
+            raise EvaluationTimeout(
+                f"BDD operation budget exhausted ({self.max_ops} ops)"
+            )
+
+    def mk(self, var: int, lo: int, hi: int) -> int:
+        """Canonical node constructor (reduction + hash-consing)."""
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._vars)
+        self._vars.append(var)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        self._unique[key] = node
+        self.peak_nodes = max(self.peak_nodes, node + 1)
+        return node
+
+    def var_true(self, var: int) -> int:
+        return self.mk(var, ZERO, ONE)
+
+    def var_false(self, var: int) -> int:
+        return self.mk(var, ONE, ZERO)
+
+    def cube(self, assignment: dict[int, bool]) -> int:
+        """Conjunction of literals, e.g. the encoding of one tuple."""
+        node = ONE
+        for var in sorted(assignment, reverse=True):
+            if assignment[var]:
+                node = self.mk(var, ZERO, node)
+            else:
+                node = self.mk(var, node, ZERO)
+        return node
+
+    def node_var(self, node: int) -> int:
+        return self._vars[node]
+
+    # -- boolean operations --------------------------------------------------------
+
+    def apply_and(self, a: int, b: int) -> int:
+        return self._apply("and", a, b)
+
+    def apply_or(self, a: int, b: int) -> int:
+        return self._apply("or", a, b)
+
+    def apply_diff(self, a: int, b: int) -> int:
+        """a AND NOT b."""
+        return self._apply("diff", a, b)
+
+    def _apply(self, op: str, a: int, b: int) -> int:
+        self._tick()
+        terminal = self._apply_terminal(op, a, b)
+        if terminal is not None:
+            return terminal
+        if op in ("and", "or") and b < a:
+            a, b = b, a  # commutative: canonicalize the cache key
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        var_a = self._vars[a] if a > 1 else 1 << 60
+        var_b = self._vars[b] if b > 1 else 1 << 60
+        top = min(var_a, var_b)
+        a_lo, a_hi = (self._lo[a], self._hi[a]) if var_a == top else (a, a)
+        b_lo, b_hi = (self._lo[b], self._hi[b]) if var_b == top else (b, b)
+        result = self.mk(top, self._apply(op, a_lo, b_lo), self._apply(op, a_hi, b_hi))
+        self._apply_cache[key] = result
+        return result
+
+    @staticmethod
+    def _apply_terminal(op: str, a: int, b: int) -> int | None:
+        if op == "and":
+            if a == ZERO or b == ZERO:
+                return ZERO
+            if a == ONE:
+                return b
+            if b == ONE:
+                return a
+            if a == b:
+                return a
+        elif op == "or":
+            if a == ONE or b == ONE:
+                return ONE
+            if a == ZERO:
+                return b
+            if b == ZERO:
+                return a
+            if a == b:
+                return a
+        elif op == "diff":
+            if a == ZERO or b == ONE:
+                return ZERO
+            if b == ZERO:
+                return a
+            if a == b:
+                return ZERO
+        return None
+
+    def exists(self, node: int, variables: frozenset[int]) -> int:
+        """Existentially quantify ``variables`` out of ``node``."""
+        self._tick()
+        if node <= 1:
+            return node
+        key = (node, variables)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._vars[node]
+        lo = self.exists(self._lo[node], variables)
+        hi = self.exists(self._hi[node], variables)
+        if var in variables:
+            result = self.apply_or(lo, hi)
+        else:
+            result = self.mk(var, lo, hi)
+        self._exists_cache[key] = result
+        return result
+
+    # -- inspection -----------------------------------------------------------------
+
+    def size(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._lo[current])
+            stack.append(self._hi[current])
+        return len(seen) + 2
+
+    def sat_count(self, node: int, num_vars: int) -> int:
+        """Number of satisfying assignments over variables 0..num_vars-1."""
+        if node == ZERO:
+            return 0
+        if node == ONE:
+            return 1 << num_vars
+        memo: dict[int, int] = {}
+
+        def count(current: int) -> int:
+            if current == ZERO:
+                return 0
+            if current == ONE:
+                return 1
+            if current in memo:
+                return memo[current]
+            var = self._vars[current]
+            lo, hi = self._lo[current], self._hi[current]
+            lo_var = self._vars[lo] if lo > 1 else num_vars
+            hi_var = self._vars[hi] if hi > 1 else num_vars
+            total = count(lo) * (1 << (lo_var - var - 1)) + count(hi) * (
+                1 << (hi_var - var - 1)
+            )
+            memo[current] = total
+            return total
+
+        return count(node) * (1 << self._vars[node])
+
+    def iter_sat(self, node: int, variables: list[int]):
+        """Yield satisfying assignments as dicts over ``variables``."""
+        var_set = set(variables)
+
+        def walk(current: int, index: int, partial: dict[int, bool]):
+            if current == ZERO:
+                return
+            if index == len(variables):
+                if current == ONE:
+                    yield dict(partial)
+                return
+            var = variables[index]
+            node_var = self._vars[current] if current > 1 else None
+            if current == ONE or (node_var is not None and node_var != var and node_var not in var_set):
+                # Free variable at this level: branch both ways.
+                for value in (False, True):
+                    partial[var] = value
+                    yield from walk(current, index + 1, partial)
+                del partial[var]
+                return
+            if node_var == var:
+                partial[var] = False
+                yield from walk(self._lo[current], index + 1, partial)
+                partial[var] = True
+                yield from walk(self._hi[current], index + 1, partial)
+                del partial[var]
+            else:
+                # node_var is a quantified-out or later variable in var order;
+                # treat current level as free.
+                for value in (False, True):
+                    partial[var] = value
+                    yield from walk(current, index + 1, partial)
+                del partial[var]
+
+        yield from walk(node, 0, {})

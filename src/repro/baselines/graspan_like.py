@@ -1,0 +1,50 @@
+"""Graspan behavioural model (Wang et al., ASPLOS 2017).
+
+A single-machine disk-based graph system for interprocedural static
+analysis: computation is a worklist over *edge pairs* driven by a
+context-free grammar, so it only expresses binary relations and neither
+negation nor aggregation. The paper attributes its slowness to frequent
+sorting, coordination, and poor multi-core utilization; being disk-based
+it rarely OOMs — it is just slow.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine, CostProfile
+from repro.common.errors import UnsupportedFeatureError
+from repro.datalog.analyzer import AnalyzedProgram
+
+
+class GraspanLike(BaselineEngine):
+    name = "Graspan"
+
+    def make_profile(self, threads: int) -> CostProfile:
+        return CostProfile(
+            name=self.name,
+            threads=threads,
+            parallel_efficiency=0.18,        # poor multi-core utilization
+            per_tuple_build=3.0e-6,
+            per_tuple_probe=2.0e-6,
+            per_tuple_materialize=1.5e-6,
+            per_tuple_dedup=9.0e-6,          # sort-merge dedup every round
+            per_iteration_overhead=2.0e-1,   # partition (re)load + sort from disk
+            startup_overhead=2.0,
+            memory_overhead_factor=0.8,      # disk-resident partitions
+            transient_overhead_factor=1.2,
+        )
+
+    def check_supported(self, analyzed: AnalyzedProgram) -> None:
+        features = analyzed.features
+        if features:
+            if features.has_aggregation:
+                raise UnsupportedFeatureError(
+                    "Graspan's grammar formulation cannot express aggregation"
+                )
+            if features.has_negation:
+                raise UnsupportedFeatureError(
+                    "Graspan's grammar formulation cannot express negation"
+                )
+            if features.max_arity > 2:
+                raise UnsupportedFeatureError(
+                    "Graspan is restricted to binary relations (graphs)"
+                )

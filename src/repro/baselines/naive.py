@@ -1,0 +1,68 @@
+"""Naive bottom-up evaluation (Section 3.2).
+
+Re-applies every rule to the *full* relations each iteration until no new
+tuples appear. Used as the correctness oracle in the test suite and as
+the didactic lower bound in the ablation benches: it derives the same
+tuples over and over, which semi-naive avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineEngine, CostProfile, _merge, _vstack
+from repro.baselines.ruleeval import evaluate_rule
+from repro.datalog.analyzer import AnalyzedProgram, Stratum
+from repro.engine.metrics import MetricsRecorder
+
+
+class NaiveEngine(BaselineEngine):
+    """Textbook naive evaluation; single-machine, modest parallelism."""
+
+    name = "Naive"
+
+    def make_profile(self, threads: int) -> CostProfile:
+        return CostProfile(
+            name=self.name,
+            threads=threads,
+            parallel_efficiency=0.6,
+            per_iteration_overhead=1.0e-3,
+            startup_overhead=0.01,
+            memory_overhead_factor=2.0,
+        )
+
+    def _run_stratum(
+        self,
+        analyzed: AnalyzedProgram,
+        stratum: Stratum,
+        relations: dict[str, np.ndarray],
+        metrics: MetricsRecorder,
+    ) -> int:
+        predicates = sorted(stratum.idb_predicates())
+        agg_funcs = {name: analyzed.aggregate_func(name) for name in predicates}
+        iterations = 0
+        while True:
+            iterations += 1
+            work = self._make_counters()
+            dedup_tuples = 0
+            grew = False
+            for name in predicates:
+                produced = [
+                    evaluate_rule(rule, relations, counters=work)
+                    for rule in analyzed.rules_for(name, stratum)
+                    if not rule.is_fact
+                ]
+                facts = [
+                    np.asarray([[term.value for term in rule.head.terms]], dtype=np.int64)
+                    for rule in analyzed.rules_for(name, stratum)
+                    if rule.is_fact
+                ]
+                candidate = _vstack(produced + facts, analyzed.arities[name])
+                dedup_tuples += candidate.shape[0]
+                merged, delta = _merge(relations[name], candidate, agg_funcs[name])
+                relations[name] = merged
+                if delta.shape[0]:
+                    grew = True
+            self._account(metrics, relations, work, dedup_tuples)
+            if not grew or not stratum.recursive:
+                return iterations

@@ -1,0 +1,27 @@
+"""Shared infrastructure: errors, RNG helpers, timing, and record types."""
+
+from repro.common.errors import (
+    CatalogError,
+    DatalogError,
+    EngineError,
+    EvaluationTimeout,
+    OutOfMemoryError,
+    PlanError,
+    ReproError,
+    SqlSyntaxError,
+    StratificationError,
+    UnsupportedFeatureError,
+)
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "EngineError",
+    "OutOfMemoryError",
+    "EvaluationTimeout",
+    "PlanError",
+    "SqlSyntaxError",
+    "DatalogError",
+    "StratificationError",
+    "UnsupportedFeatureError",
+]

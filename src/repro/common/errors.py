@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A table/column was not found, or a name collides with an existing one."""
+
+
+class SqlSyntaxError(ReproError):
+    """The mini-SQL frontend could not tokenize or parse a statement."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be bound against the catalog."""
+
+
+class EngineError(ReproError):
+    """A physical operator failed during execution."""
+
+
+class OutOfMemoryError(EngineError):
+    """The (modeled) memory budget was exceeded during execution.
+
+    Mirrors the OOM failures the paper reports for baseline systems on the
+    dense Gn-p workloads.
+    """
+
+
+class EvaluationTimeout(EngineError):
+    """The (modeled) evaluation exceeded its time budget (paper: >10h runs)."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program failed to parse or validate."""
+
+
+class StratificationError(DatalogError):
+    """Negation/aggregation through recursion: no valid stratification exists."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """An engine was asked to evaluate a program outside its feature set.
+
+    The baseline engines reproduce the feature envelopes of Table 1 (e.g.
+    BigDatalog rejects mutual recursion, Souffle rejects recursive
+    aggregation); they signal that by raising this error.
+    """

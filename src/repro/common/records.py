@@ -1,0 +1,82 @@
+"""Result record types shared by engines, the harness, and the benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One sample on the simulated time axis."""
+
+    time: float
+    value: float
+
+
+@dataclass
+class Trace:
+    """A named time series (memory usage, CPU utilization, delta sizes...)."""
+
+    name: str
+    samples: list[TraceSample] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append(TraceSample(time, value))
+
+    def peak(self) -> float:
+        if not self.samples:
+            return 0.0
+        return max(sample.value for sample in self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(sample.value for sample in self.samples) / len(self.samples)
+
+    def final(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.samples[-1].value
+
+    def as_tuples(self) -> list[tuple[float, float]]:
+        return [(sample.time, sample.value) for sample in self.samples]
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one Datalog program on one engine.
+
+    Attributes:
+        engine: engine display name ("RecStep", "Souffle", ...).
+        program: program name ("TC", "CSPA", ...).
+        dataset: dataset label ("G1K", "httpd", ...).
+        relations: fixpoint contents, relation name -> sorted tuple set size
+            is available via ``sizes``; full contents under ``tuples``.
+        sim_seconds: simulated elapsed time (see common.timing).
+        iterations: number of semi-naive iterations across all strata.
+        peak_memory_bytes: peak of the modeled memory footprint.
+        memory_trace: memory footprint over simulated time.
+        cpu_trace: CPU utilization (0..1) over simulated time.
+        status: "ok", "oom", "timeout", or "unsupported".
+        unsupported_reason: set when status is "unsupported".
+    """
+
+    engine: str
+    program: str
+    dataset: str
+    tuples: dict[str, "object"] = field(default_factory=dict)
+    sim_seconds: float = 0.0
+    iterations: int = 0
+    peak_memory_bytes: int = 0
+    memory_trace: Trace | None = None
+    cpu_trace: Trace | None = None
+    status: str = "ok"
+    unsupported_reason: str = ""
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def sizes(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.tuples.items()}

@@ -1,0 +1,11 @@
+"""RecStep core: the paper's primary contribution.
+
+``RecStep`` compiles Datalog to SQL over the ``repro.engine`` backend and
+evaluates it semi-naively with the paper's optimizations: UIE, OOF, DSD,
+EOST, FAST-DEDUP, and the PBME bit-matrix mode for dense graph programs.
+"""
+
+from repro.core.config import OofMode, PbmeMode, RecStepConfig
+from repro.core.recstep import RecStep
+
+__all__ = ["RecStep", "RecStepConfig", "OofMode", "PbmeMode"]

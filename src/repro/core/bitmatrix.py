@@ -1,0 +1,475 @@
+"""Parallel Bit-Matrix Evaluation (Section 5.3, Algorithms 2 and 3).
+
+For dense-graph programs whose IDB has a small active domain, RecStep
+replaces hash-based join+dedup with an n x n bit matrix: joins become
+row ORs, dedup becomes bit tests, and the two stages fuse (no
+intermediate materialization). We implement the matrix as packed
+``uint64`` words and reproduce both schedules the paper studies:
+
+* **zero-coordination** (the default): each thread owns a round-robin
+  partition of matrix rows and runs to completion independently; skew in
+  generated work shows up as idle threads (Figure 7, SG);
+* **coordination** (SG-PBME-COORD): oversized deltas are repacked into a
+  global work pool, trading communication overhead for load balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import DatalogError
+from repro.core import compiler
+from repro.core.config import PbmeMode, RecStepConfig
+from repro.datalog import ast as dast
+from repro.datalog.analyzer import AnalyzedProgram, Stratum
+from repro.engine import kernels
+from repro.engine.database import Database
+
+#: Simulated seconds per visited bit-pair during matrix expansion.
+COST_PER_BIT_VISIT = 2.5e-8
+#: Simulated seconds of communication per rebalanced work order (COORD).
+COORD_ORDER_OVERHEAD = 2.0e-4
+#: Work-order size threshold for the COORD variant (pairs per order).
+COORD_THRESHOLD = 4096
+
+
+# --------------------------------------------------------------------------
+# Packed bit matrix
+# --------------------------------------------------------------------------
+
+
+class PackedBitMatrix:
+    """An n x n boolean matrix packed into uint64 words."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"matrix dimension must be positive, got {n}")
+        self.n = n
+        self.words = (n + 63) // 64
+        self.bits = np.zeros((n, self.words), dtype=np.uint64)
+
+    def memory_bytes(self) -> int:
+        return self.bits.nbytes
+
+    def set_pairs(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        masks = np.uint64(1) << (cols.astype(np.uint64) & np.uint64(63))
+        flat = rows.astype(np.int64) * self.words + (cols >> 6)
+        np.bitwise_or.at(self.bits.reshape(-1), flat, masks)
+
+    def test_pairs(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Boolean array: bit (row, col) already set?"""
+        words = self.bits[rows, cols >> 6]
+        return (words >> (cols.astype(np.uint64) & np.uint64(63))) & np.uint64(1) != 0
+
+    def count(self) -> int:
+        return int(np.sum(np.bitwise_count(self.bits)))
+
+    def row_bits(self, row_vector: np.ndarray) -> np.ndarray:
+        """Column indices of set bits in one packed row vector."""
+        unpacked = np.unpackbits(row_vector.view(np.uint8), bitorder="little")
+        return np.flatnonzero(unpacked[: self.n])
+
+    def extract_pairs(self) -> np.ndarray:
+        """All (row, col) set bits as an (m, 2) int64 matrix."""
+        unpacked = np.unpackbits(self.bits.view(np.uint8), bitorder="little")
+        unpacked = unpacked.reshape(self.n, self.words * 64)[:, : self.n]
+        rows, cols = np.nonzero(unpacked)
+        return np.column_stack([rows, cols]).astype(np.int64)
+
+
+# --------------------------------------------------------------------------
+# Shape detection
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PbmeDecision:
+    applicable: bool
+    reason: str
+    shape: str = ""           # "TC" or "SG"
+    idb: str = ""
+    base_relation: str = ""   # TC: base-rule EDB; SG: the arc relation
+    edge_relation: str = ""   # TC: recursive-rule EDB
+    domain_size: int = 0
+    stratum: Stratum | None = None
+
+
+def _match_tc_shape(analyzed: AnalyzedProgram, stratum: Stratum) -> PbmeDecision | None:
+    """P(x,y) :- B(x,y).  P(x,y) :- P(x,z), A(z,y)."""
+    if len(stratum.predicates) != 1 or not stratum.recursive:
+        return None
+    (predicate,) = stratum.predicates
+    if analyzed.arities[predicate] != 2:
+        return None
+    rules = [rule for rule in stratum.rules if rule.head.predicate == predicate]
+    if len(rules) != 2:
+        return None
+    base = rec = None
+    for rule in rules:
+        if any(atom.predicate == predicate for atom in rule.body_atoms()):
+            rec = rule
+        else:
+            base = rule
+    if base is None or rec is None:
+        return None
+    # Base: single positive binary atom, head vars in order, nothing else.
+    if (
+        len(base.body) != 1
+        or base.negative_atoms()
+        or not _plain_binary(base.head)
+        or not _plain_binary(base.positive_atoms()[0])
+        or base.head.terms != base.positive_atoms()[0].terms
+    ):
+        return None
+    # Recursive: P(x,z), A(z,y) with head (x, y); no comparisons/negation.
+    if len(rec.body) != 2 or rec.negative_atoms() or rec.comparisons():
+        return None
+    atoms = rec.positive_atoms()
+    p_atom = next((a for a in atoms if a.predicate == predicate), None)
+    a_atom = next((a for a in atoms if a.predicate != predicate), None)
+    if p_atom is None or a_atom is None:
+        return None
+    if a_atom.predicate in stratum.predicates or not _plain_binary(p_atom) or not _plain_binary(a_atom):
+        return None
+    hx, hy = rec.head.terms
+    px, pz = p_atom.terms
+    az, ay = a_atom.terms
+    if (hx, hy, px) != (px, ay, hx) or pz != az:
+        return None
+    return PbmeDecision(
+        applicable=True,
+        reason="TC-shaped stratum",
+        shape="TC",
+        idb=predicate,
+        base_relation=base.positive_atoms()[0].predicate,
+        edge_relation=a_atom.predicate,
+        stratum=stratum,
+    )
+
+
+def _match_sg_shape(analyzed: AnalyzedProgram, stratum: Stratum) -> PbmeDecision | None:
+    """P(x,y) :- A(p,x), A(p,y), x != y.  P(x,y) :- A(a,x), P(a,b), A(b,y)."""
+    if len(stratum.predicates) != 1 or not stratum.recursive:
+        return None
+    (predicate,) = stratum.predicates
+    if analyzed.arities[predicate] != 2:
+        return None
+    rules = [rule for rule in stratum.rules if rule.head.predicate == predicate]
+    if len(rules) != 2:
+        return None
+    base = rec = None
+    for rule in rules:
+        if any(atom.predicate == predicate for atom in rule.body_atoms()):
+            rec = rule
+        else:
+            base = rule
+    if base is None or rec is None:
+        return None
+    base_atoms = base.positive_atoms()
+    if (
+        len(base_atoms) != 2
+        or base.negative_atoms()
+        or len(base.comparisons()) != 1
+        or base_atoms[0].predicate != base_atoms[1].predicate
+        or not all(_plain_binary(a) for a in base_atoms)
+    ):
+        return None
+    arc = base_atoms[0].predicate
+    p0, x0 = base_atoms[0].terms
+    p1, y1 = base_atoms[1].terms
+    comparison = base.comparisons()[0]
+    if p0 != p1 or base.head.terms != (x0, y1) or comparison.op != "!=":
+        return None
+    rec_atoms = rec.positive_atoms()
+    if len(rec_atoms) != 3 or rec.negative_atoms() or rec.comparisons():
+        return None
+    p_atoms = [a for a in rec_atoms if a.predicate == predicate]
+    a_atoms = [a for a in rec_atoms if a.predicate == arc]
+    if len(p_atoms) != 1 or len(a_atoms) != 2:
+        return None
+    if not all(_plain_binary(a) for a in rec_atoms):
+        return None
+    (pa, pb) = p_atoms[0].terms
+    hx, hy = rec.head.terms
+    first = next((a for a in a_atoms if a.terms == (pa, hx)), None)
+    second = next((a for a in a_atoms if a.terms == (pb, hy)), None)
+    if first is None or second is None:
+        return None
+    return PbmeDecision(
+        applicable=True,
+        reason="SG-shaped stratum",
+        shape="SG",
+        idb=predicate,
+        base_relation=arc,
+        edge_relation=arc,
+        stratum=stratum,
+    )
+
+
+def _plain_binary(atom: dast.Atom) -> bool:
+    return atom.arity == 2 and all(isinstance(t, dast.Variable) for t in atom.terms)
+
+
+def pbme_applicability(
+    analyzed: AnalyzedProgram,
+    stratum: Stratum,
+    database: Database,
+    config: RecStepConfig,
+) -> PbmeDecision:
+    """Decide whether PBME evaluates this stratum (Section 5.3).
+
+    Conditions: PBME enabled, the stratum matches the TC or SG pattern,
+    the active domain is non-negative, and (in AUTO mode) the bit matrix
+    plus index structures fit in the memory budget.
+    """
+    if config.pbme is PbmeMode.OFF:
+        return PbmeDecision(applicable=False, reason="pbme disabled")
+    decision = _match_tc_shape(analyzed, stratum) or _match_sg_shape(analyzed, stratum)
+    if decision is None:
+        if config.pbme is PbmeMode.ON:
+            raise DatalogError(
+                f"pbme=ON but stratum {stratum.index} does not match TC/SG"
+            )
+        return PbmeDecision(applicable=False, reason="no TC/SG shape")
+
+    relations = {decision.base_relation, decision.edge_relation}
+    high = 0
+    for relation in relations:
+        rows = database.catalog.get_table(relation).data()
+        if rows.shape[0] == 0:
+            continue
+        if int(rows.min()) < 0:
+            return PbmeDecision(applicable=False, reason="negative domain values")
+        high = max(high, int(rows.max()))
+    n = high + 1
+    decision.domain_size = n
+
+    matrix_bytes = n * ((n + 63) // 64) * 8
+    index_bytes = matrix_bytes if decision.shape == "SG" else 0
+    budget = database.metrics.memory_budget
+    if config.pbme is PbmeMode.AUTO:
+        if matrix_bytes + index_bytes > 0.8 * budget:
+            return PbmeDecision(
+                applicable=False,
+                reason=f"bit matrix ({(matrix_bytes + index_bytes) / 1e6:.0f} MB) "
+                "does not fit the memory budget",
+            )
+        # PBME pays off on *dense* graphs (Section 5.3); sparse inputs such
+        # as the CSDA program graphs stay on the relational path.
+        edge_count = database.table_size(decision.edge_relation)
+        if n > 0 and edge_count / (n * n) < 5e-4:
+            return PbmeDecision(
+                applicable=False,
+                reason=f"graph too sparse for PBME (density {edge_count / (n * n):.2e})",
+            )
+    return decision
+
+
+# --------------------------------------------------------------------------
+# Evaluation
+# --------------------------------------------------------------------------
+
+
+def run_pbme_stratum(
+    decision: PbmeDecision,
+    database: Database,
+    config: RecStepConfig,
+    report,
+) -> None:
+    """Evaluate a TC/SG stratum with the bit matrix and record metrics."""
+    n = decision.domain_size
+    edge_rows = database.table_array(decision.edge_relation)
+    base_rows = database.table_array(decision.base_relation)
+
+    if decision.shape == "TC":
+        matrix, per_thread_cost, depth = _run_tc(
+            base_rows, edge_rows, n, config.threads, database
+        )
+        makespan, utilization = _zero_coordination_schedule(per_thread_cost)
+        iterations = depth
+    else:
+        matrix, per_thread_cost, iterations, rebalances = _run_sg(
+            edge_rows, n, config.threads, config.sg_coordination, database
+        )
+        if config.sg_coordination:
+            total = float(per_thread_cost.sum())
+            width = max(1.0, config.threads * 0.95)
+            makespan = total / width + rebalances * COORD_ORDER_OVERHEAD
+            utilization = min(1.0, total / (config.threads * makespan)) if makespan else 1.0
+        else:
+            makespan, utilization = _zero_coordination_schedule(per_thread_cost)
+
+    database.metrics.advance(makespan, utilization)
+    pairs = matrix.extract_pairs()
+    database.replace_rows(compiler.full_table(decision.idb), pairs)
+    database.analyze(compiler.full_table(decision.idb))
+    report.iterations += iterations
+
+
+def _zero_coordination_schedule(per_thread_cost: np.ndarray) -> tuple[float, float]:
+    """Makespan/utilization when each thread runs its partition alone."""
+    makespan = float(per_thread_cost.max()) if per_thread_cost.size else 0.0
+    if makespan <= 0:
+        return 0.0, 1.0
+    utilization = float(per_thread_cost.sum()) / (per_thread_cost.size * makespan)
+    return makespan, utilization
+
+
+def _run_tc(
+    base_rows: np.ndarray,
+    edge_rows: np.ndarray,
+    n: int,
+    threads: int,
+    database: Database,
+) -> tuple[PackedBitMatrix, np.ndarray, int]:
+    """Algorithm 2: per-row frontier expansion, rows partitioned round-robin."""
+    edge_matrix = PackedBitMatrix(n)
+    if edge_rows.shape[0]:
+        edge_matrix.set_pairs(edge_rows[:, 0], edge_rows[:, 1])
+    result = PackedBitMatrix(n)
+    if base_rows.shape[0]:
+        result.set_pairs(base_rows[:, 0], base_rows[:, 1])
+
+    transient = edge_matrix.memory_bytes() + result.memory_bytes()
+    database.metrics.allocate_transient(transient)
+
+    per_thread_cost = np.zeros(max(1, threads), dtype=np.float64)
+    max_depth = 0
+    words = result.words
+    for row in range(n):
+        current = result.bits[row].copy()
+        frontier = result.row_bits(current)
+        cost = 0.0
+        depth = 0
+        while frontier.size:
+            depth += 1
+            reached = np.bitwise_or.reduce(edge_matrix.bits[frontier], axis=0)
+            cost += frontier.size * words * 64 * COST_PER_BIT_VISIT
+            added = reached & ~current
+            current |= reached
+            frontier = result.row_bits(added)
+        result.bits[row] = current
+        per_thread_cost[row % max(1, threads)] += cost
+        max_depth = max(max_depth, depth)
+
+    database.metrics.release_transient(transient - result.memory_bytes())
+    database.metrics.release_transient(result.memory_bytes())
+    return result, per_thread_cost, max_depth
+
+
+def _run_sg(
+    arc_rows: np.ndarray,
+    n: int,
+    threads: int,
+    coordination: bool,
+    database: Database,
+) -> tuple[PackedBitMatrix, np.ndarray, int, int]:
+    """Algorithm 3: pair worklist over the bit matrix with a child index.
+
+    Work is attributed to the thread owning the originating matrix row;
+    generated pairs inherit their producer's thread (the thread-local
+    delta of Algorithm 3), which is what makes skew possible.
+    """
+    k = max(1, threads)
+    matrix = PackedBitMatrix(n)
+    index_bytes = matrix.memory_bytes()  # Varc vector index (line 4)
+    transient = matrix.memory_bytes() + index_bytes
+    database.metrics.allocate_transient(transient)
+
+    parents = arc_rows[:, 0] if arc_rows.shape[0] else np.empty(0, np.int64)
+    children = arc_rows[:, 1] if arc_rows.shape[0] else np.empty(0, np.int64)
+
+    # Seeds: sg(x, y) for siblings x != y (join arc with itself on parent).
+    li, ri = kernels.equi_join_indices(parents, parents)
+    seed_x = children[li]
+    seed_y = children[ri]
+    keep = seed_x != seed_y
+    seed_x, seed_y = seed_x[keep], seed_y[keep]
+
+    per_thread_cost = np.zeros(k, dtype=np.float64)
+    rebalances = 0
+
+    def dedup_against_matrix(
+        xs: np.ndarray, ys: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if xs.size == 0:
+            return xs, ys, owners
+        key = xs * np.int64(n) + ys
+        _, first = np.unique(key, return_index=True)
+        xs, ys, owners = xs[first], ys[first], owners[first]
+        fresh = ~matrix.test_pairs(xs, ys)
+        xs, ys, owners = xs[fresh], ys[fresh], owners[fresh]
+        if xs.size:
+            matrix.set_pairs(xs, ys)
+        return xs, ys, owners
+
+    seed_owner = (seed_x % k).astype(np.int64)
+    delta_x, delta_y, delta_owner = dedup_against_matrix(seed_x, seed_y, seed_owner)
+    seed_cost = np.bincount(seed_owner % k, minlength=k) * COST_PER_BIT_VISIT
+    per_thread_cost += seed_cost
+
+    #: Expanded (q, p) rows per batch: bounds the host-side size of the
+    #: degree-squared product while leaving modeled costs untouched.
+    chunk_output_rows = 4_000_000
+    out_degree = np.bincount(parents, minlength=n).astype(np.int64) if parents.size else np.zeros(n, np.int64)
+
+    def chunk_boundaries(xs: np.ndarray, ys: np.ndarray) -> list[tuple[int, int]]:
+        """Split the delta so each batch expands to ~chunk_output_rows."""
+        if xs.size == 0:
+            return []
+        weights = out_degree[xs] * out_degree[ys]
+        cumulative = np.cumsum(weights)
+        boundaries = []
+        start = 0
+        base = 0
+        for index in range(xs.size):
+            if cumulative[index] - base > chunk_output_rows and index > start:
+                boundaries.append((start, index))
+                start = index
+                base = cumulative[index - 1]
+        boundaries.append((start, xs.size))
+        return boundaries
+
+    iterations = 0
+    while delta_x.size:
+        iterations += 1
+        next_x: list[np.ndarray] = []
+        next_y: list[np.ndarray] = []
+        next_owner: list[np.ndarray] = []
+        for start, stop in chunk_boundaries(delta_x, delta_y):
+            chunk_x = delta_x[start:stop]
+            chunk_y = delta_y[start:stop]
+            chunk_owner = delta_owner[start:stop]
+            # Expand: (a, b) -> (q, p) for q in children(a), p in children(b).
+            li, ri = kernels.equi_join_indices(chunk_x, parents)
+            mid_q = children[ri]
+            mid_b = chunk_y[li]
+            mid_owner = chunk_owner[li]
+            li2, ri2 = kernels.equi_join_indices(mid_b, parents)
+            out_q = mid_q[li2]
+            out_p = children[ri2]
+            out_owner = mid_owner[li2]
+
+            visit_counts = np.bincount(out_owner, minlength=k)
+            per_thread_cost += visit_counts * COST_PER_BIT_VISIT
+            if coordination:
+                rebalances += int(np.sum(visit_counts > COORD_THRESHOLD))
+
+            fresh_x, fresh_y, fresh_owner = dedup_against_matrix(out_q, out_p, out_owner)
+            if fresh_x.size:
+                next_x.append(fresh_x)
+                next_y.append(fresh_y)
+                next_owner.append(fresh_owner)
+        if next_x:
+            delta_x = np.concatenate(next_x)
+            delta_y = np.concatenate(next_y)
+            delta_owner = np.concatenate(next_owner)
+        else:
+            delta_x = delta_x[:0]
+            delta_y = delta_y[:0]
+            delta_owner = delta_owner[:0]
+
+    database.metrics.release_transient(transient)
+    return matrix, per_thread_cost, iterations, rebalances

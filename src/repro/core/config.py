@@ -1,0 +1,82 @@
+"""RecStep configuration: every optimization is a switch.
+
+The Figure 2/3 ablation turns each of these off one at a time; the
+``no_op`` preset turns everything off (RecStep-NO-OP in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET
+
+
+class OofMode(enum.Enum):
+    """Optimization-on-the-fly statistics policy (Section 5.1)."""
+
+    ON = "on"        # targeted stats (sizes for joins) at each iteration
+    NA = "na"        # never re-analyze: plans frozen at iteration 1
+    FA = "fa"        # full ANALYZE of every updated table, every iteration
+
+
+class PbmeMode(enum.Enum):
+    """Parallel bit-matrix evaluation policy (Section 5.3)."""
+
+    AUTO = "auto"    # use when the program matches TC/SG and the matrix fits
+    ON = "on"        # force (raises if the program doesn't match)
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class RecStepConfig:
+    """All knobs of a RecStep evaluation."""
+
+    threads: int = 20
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    time_budget: float = DEFAULT_TIME_BUDGET
+    enforce_budgets: bool = True
+
+    uie: bool = True                 # unified IDB evaluation
+    oof: OofMode = OofMode.ON        # optimization on the fly
+    dsd: bool = True                 # dynamic set difference
+    eost: bool = True                # evaluation as one single transaction
+    fast_dedup: bool = True          # CCK-GSCHT deduplication
+    pbme: PbmeMode = PbmeMode.AUTO   # bit-matrix evaluation
+    sg_coordination: bool = False    # Figure 7's SG-PBME-COORD variant
+
+    def without(self, optimization: str) -> "RecStepConfig":
+        """A copy with one optimization disabled (ablation helper).
+
+        ``optimization`` is one of: "uie", "oof" (alias "oof-na"),
+        "oof-fa", "dsd", "eost", "fast_dedup", "pbme".
+        """
+        key = optimization.lower().replace("-", "_")
+        if key == "uie":
+            return replace(self, uie=False)
+        if key in ("oof", "oof_na"):
+            return replace(self, oof=OofMode.NA)
+        if key == "oof_fa":
+            return replace(self, oof=OofMode.FA)
+        if key == "dsd":
+            return replace(self, dsd=False)
+        if key == "eost":
+            return replace(self, eost=False)
+        if key == "fast_dedup":
+            return replace(self, fast_dedup=False)
+        if key == "pbme":
+            return replace(self, pbme=PbmeMode.OFF)
+        raise ValueError(f"unknown optimization {optimization!r}")
+
+    @classmethod
+    def no_op(cls, **overrides) -> "RecStepConfig":
+        """RecStep-NO-OP: every optimization disabled."""
+        return cls(
+            uie=False,
+            oof=OofMode.NA,
+            dsd=False,
+            eost=False,
+            fast_dedup=False,
+            pbme=PbmeMode.OFF,
+            **overrides,
+        )

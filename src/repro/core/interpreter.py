@@ -1,0 +1,259 @@
+"""The interpreter: Algorithm 1, semi-naive evaluation with stratification.
+
+The interpreter drives the relational backend exactly the way the paper's
+interpreter drives QuickStep: it creates the IDB/∆/m∆ tables, issues the
+generated SQL per stratum and iteration, calls ``analyze`` according to
+the OOF mode, deduplicates with a separate ``dedup`` call (INSERTs use
+UNION ALL), computes ∆ with the DSD-chosen strategy, and commits once at
+the end under EOST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import DatalogError
+from repro.core import compiler
+from repro.core.compiler import CompiledPredicate, CompiledStratum, QueryGenerator
+from repro.core.config import OofMode, RecStepConfig
+from repro.core.setdiff_policy import DsdPolicy
+from repro.datalog.analyzer import AnalyzedProgram
+from repro.engine.database import Database
+from repro.sql import ast as sast
+
+
+@dataclass
+class IterationRecord:
+    """Telemetry for one semi-naive iteration of one stratum."""
+
+    stratum: int
+    iteration: int
+    delta_sizes: dict[str, int] = field(default_factory=dict)
+    set_diff_strategies: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class InterpreterReport:
+    iterations: int = 0
+    records: list[IterationRecord] = field(default_factory=list)
+    pbme_strata: list[int] = field(default_factory=list)
+
+
+class SemiNaiveInterpreter:
+    """Evaluates one analyzed program on a Database backend."""
+
+    def __init__(
+        self,
+        database: Database,
+        analyzed: AnalyzedProgram,
+        config: RecStepConfig,
+        edb_schemas: dict[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        self._db = database
+        self._analyzed = analyzed
+        self._config = config
+        self._edb_schemas = edb_schemas or {}
+        self._generator = QueryGenerator(analyzed)
+        self._policies: dict[str, DsdPolicy] = {}
+        self.report = InterpreterReport()
+
+    # -- setup -----------------------------------------------------------------
+
+    def load_edb(self, edb_data: dict[str, np.ndarray]) -> None:
+        """Create and bulk-load the EDB tables."""
+        missing = self._analyzed.edb - set(edb_data)
+        if missing:
+            raise DatalogError(f"missing EDB relations: {sorted(missing)}")
+        for name in sorted(self._analyzed.edb):
+            arity = self._analyzed.arities[name]
+            columns = self._edb_schemas.get(name, compiler.columns_for(arity))
+            rows = np.asarray(edb_data[name], dtype=np.int64).reshape(-1, arity)
+            self._db.load_table(name, columns, rows)
+
+    def create_idb_tables(self) -> None:
+        for name in sorted(self._analyzed.idb):
+            columns = compiler.columns_for(self._analyzed.arities[name])
+            self._db.create_table(compiler.full_table(name), columns)
+            self._db.create_table(compiler.delta_table(name), columns)
+            self._db.create_table(compiler.mdelta_table(name), columns)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def run(self) -> InterpreterReport:
+        """Evaluate all strata to fixpoint (Algorithm 1)."""
+        for compiled_stratum in self._generator.compile():
+            if self._maybe_run_pbme(compiled_stratum):
+                continue
+            self._run_stratum(compiled_stratum)
+        self._db.commit()
+        return self.report
+
+    def _maybe_run_pbme(self, compiled_stratum: CompiledStratum) -> bool:
+        """Delegate a TC/SG-shaped stratum to the bit-matrix evaluator."""
+        from repro.core import bitmatrix
+
+        decision = bitmatrix.pbme_applicability(
+            self._analyzed, compiled_stratum.stratum, self._db, self._config
+        )
+        if not decision.applicable:
+            return False
+        bitmatrix.run_pbme_stratum(decision, self._db, self._config, self.report)
+        self.report.pbme_strata.append(compiled_stratum.stratum.index)
+        return True
+
+    def _run_stratum(self, compiled_stratum: CompiledStratum) -> None:
+        stratum = compiled_stratum.stratum
+        predicates = compiled_stratum.predicates
+        for predicate in predicates:
+            self._policies[predicate.predicate] = DsdPolicy(enabled=self._config.dsd)
+
+        # Iteration 0: all rules over full relations.
+        record = IterationRecord(stratum=stratum.index, iteration=0)
+        for predicate in predicates:
+            if predicate.facts:
+                self._db.append_rows(
+                    compiler.full_table(predicate.predicate),
+                    np.asarray(predicate.facts, dtype=np.int64),
+                )
+            self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)
+        self.report.records.append(record)
+        self.report.iterations += 1
+
+        if not stratum.recursive:
+            self._drop_working_tables(predicates)
+            return
+
+        iteration = 0
+        while True:
+            iteration += 1
+            record = IterationRecord(stratum=stratum.index, iteration=iteration)
+            for predicate in predicates:
+                self._evaluate_predicate(predicate, predicate.delta_query(), record, init=False)
+            self.report.records.append(record)
+            self.report.iterations += 1
+            if all(size == 0 for size in record.delta_sizes.values()):
+                break
+        self._drop_working_tables(predicates)
+
+    def _drop_working_tables(self, predicates: list[CompiledPredicate]) -> None:
+        for predicate in predicates:
+            self._db.execute_ast(sast.DropTable(compiler.delta_table(predicate.predicate)))
+            self._db.execute_ast(sast.DropTable(compiler.mdelta_table(predicate.predicate)))
+
+    # -- one predicate, one iteration ------------------------------------------------
+
+    def _evaluate_predicate(
+        self,
+        predicate: CompiledPredicate,
+        query: sast.Query | None,
+        record: IterationRecord,
+        init: bool,
+    ) -> None:
+        name = predicate.predicate
+        full = compiler.full_table(name)
+        delta = compiler.delta_table(name)
+        mdelta = compiler.mdelta_table(name)
+
+        if query is not None:
+            self._uieval(predicate, query)
+        self._analyze_after_eval(predicate, init)
+
+        if predicate.aggregate in ("MIN", "MAX"):
+            candidates = self._db.table_array(mdelta)
+            _, improved = self._db.aggregate_merge(full, candidates, predicate.aggregate)
+            delta_rows = improved
+            strategy = "AGG-MERGE"
+        else:
+            dedup_outcome = self._db.dedup_table(mdelta)
+            self._analyze_after_dedup(predicate, init)
+            policy = self._policies[name]
+            strategy = policy.choose(
+                self._db.table_size(full), dedup_outcome.output_rows
+            )
+            outcome = self._db.set_difference(mdelta, full, strategy)
+            if outcome.intersection_size is not None:
+                policy.observe_intersection(
+                    dedup_outcome.output_rows, outcome.intersection_size
+                )
+            delta_rows = outcome.delta
+            self._db.append_rows(full, delta_rows)
+
+        self._db.replace_rows(delta, delta_rows)
+        self._db.execute_ast(sast.DeleteAll(mdelta))
+        self._analyze_after_delta(predicate, init)
+
+        record.delta_sizes[name] = int(delta_rows.shape[0])
+        record.set_diff_strategies[name] = strategy
+
+    def _uieval(self, predicate: CompiledPredicate, query: sast.Query) -> None:
+        """Issue the evaluation SQL: one query under UIE, many without."""
+        mdelta = compiler.mdelta_table(predicate.predicate)
+        if self._config.uie or isinstance(query, sast.Select):
+            self._db.execute_ast(sast.InsertSelect(mdelta, query))
+            return
+        # Individual IDB evaluation (Figure 4, left): one INSERT per
+        # subquery into its own temp table, then a merge query.
+        assert isinstance(query, sast.UnionAll)
+        columns = compiler.columns_for(predicate.arity)
+        tmp_names: list[str] = []
+        for index, select in enumerate(query.selects):
+            tmp = compiler.tmp_table(predicate.predicate, index)
+            tmp_names.append(tmp)
+            self._db.create_table(tmp, columns)
+            self._db.execute_ast(sast.InsertSelect(tmp, select))
+        merge_arms = []
+        for index, tmp in enumerate(tmp_names):
+            alias = f"t{index}"
+            merge_arms.append(
+                sast.Select(
+                    items=tuple(
+                        sast.SelectItem(sast.ColumnRef(alias, c), c) for c in columns
+                    ),
+                    tables=(sast.TableRef(tmp, alias),),
+                )
+            )
+        merged: sast.Query = (
+            merge_arms[0] if len(merge_arms) == 1 else sast.UnionAll(tuple(merge_arms))
+        )
+        self._db.execute_ast(sast.InsertSelect(mdelta, merged))
+        for tmp in tmp_names:
+            self._db.execute_ast(sast.DropTable(tmp))
+
+    # -- OOF: the analyze schedule --------------------------------------------------
+
+    def _analyze_after_eval(self, predicate: CompiledPredicate, init: bool) -> None:
+        """``analyze(Rt)`` — line 9 of Algorithm 1."""
+        mdelta = compiler.mdelta_table(predicate.predicate)
+        mode = self._config.oof
+        if init or mode is OofMode.ON:
+            # Targeted: sizes for joins; fuller stats only for aggregation.
+            self._db.analyze(mdelta, full=bool(predicate.aggregate))
+        elif mode is OofMode.FA:
+            self._db.analyze(mdelta, full=True)
+        # OofMode.NA after init: statistics stay frozen.
+        if mode is OofMode.FA and not init:
+            for table in (
+                compiler.full_table(predicate.predicate),
+                compiler.delta_table(predicate.predicate),
+            ):
+                self._db.analyze(table, full=True)
+
+    def _analyze_after_dedup(self, predicate: CompiledPredicate, init: bool) -> None:
+        """``analyze(R_delta, R)`` — line 11 of Algorithm 1."""
+        mode = self._config.oof
+        if init or mode is OofMode.ON:
+            self._db.analyze(compiler.mdelta_table(predicate.predicate))
+            self._db.analyze(compiler.full_table(predicate.predicate))
+        elif mode is OofMode.FA:
+            self._db.analyze(compiler.mdelta_table(predicate.predicate), full=True)
+            self._db.analyze(compiler.full_table(predicate.predicate), full=True)
+
+    def _analyze_after_delta(self, predicate: CompiledPredicate, init: bool) -> None:
+        mode = self._config.oof
+        if init or mode is OofMode.ON:
+            self._db.analyze(compiler.delta_table(predicate.predicate))
+            self._db.analyze(compiler.full_table(predicate.predicate))
+        elif mode is OofMode.FA:
+            self._db.analyze(compiler.delta_table(predicate.predicate), full=True)

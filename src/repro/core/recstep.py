@@ -1,0 +1,133 @@
+"""The RecStep engine facade.
+
+``RecStep`` is the top-level public API of this reproduction: give it a
+Datalog program (source text or a :class:`~repro.programs.ProgramSpec`)
+and EDB data, and it evaluates to fixpoint on the parallel relational
+backend, returning an :class:`~repro.common.records.EvaluationResult`
+with the fixpoint, simulated runtime, and memory/CPU traces.
+
+Example::
+
+    from repro import RecStep
+    from repro.programs import get_program
+
+    engine = RecStep()
+    result = engine.evaluate(get_program("TC"), {"arc": edges}, dataset="G1K")
+    print(result.sizes(), result.sim_seconds)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import EvaluationTimeout, OutOfMemoryError
+from repro.common.records import EvaluationResult
+from repro.core.config import RecStepConfig
+from repro.core.interpreter import SemiNaiveInterpreter
+from repro.datalog.analyzer import AnalyzedProgram, analyze_program
+from repro.datalog.parser import parse_program
+from repro.engine.database import Database
+from repro.programs.library import ProgramSpec
+
+
+class RecStep:
+    """General-purpose parallel in-memory Datalog engine (the paper's system)."""
+
+    name = "RecStep"
+
+    def __init__(self, config: RecStepConfig | None = None) -> None:
+        self.config = config or RecStepConfig()
+        self.last_database: Database | None = None
+        self.last_report = None
+
+    def evaluate(
+        self,
+        program: ProgramSpec | AnalyzedProgram | str,
+        edb_data: dict[str, np.ndarray],
+        dataset: str = "unnamed",
+    ) -> EvaluationResult:
+        """Evaluate ``program`` over ``edb_data`` to fixpoint.
+
+        Args:
+            program: a ProgramSpec, an analyzed program, or Datalog source.
+            edb_data: relation name -> (rows, arity) int array.
+            dataset: label recorded in the result (for the harness).
+
+        Returns:
+            EvaluationResult with status "ok", "oom", or "timeout" — the
+            paper's three outcome classes (a failed run reports its
+            partial simulated time and peak memory).
+        """
+        analyzed, program_name, edb_schemas = _resolve_program(program)
+        database = Database(
+            threads=self.config.threads,
+            memory_budget=self.config.memory_budget,
+            time_budget=self.config.time_budget,
+            eost=self.config.eost,
+            fast_dedup=self.config.fast_dedup,
+            enforce_budgets=self.config.enforce_budgets,
+        )
+        self.last_database = database
+        interpreter = SemiNaiveInterpreter(
+            database, analyzed, self.config, edb_schemas=edb_schemas
+        )
+        result = EvaluationResult(
+            engine=self.name, program=program_name, dataset=dataset
+        )
+        try:
+            interpreter.load_edb(edb_data)
+            interpreter.create_idb_tables()
+            report = interpreter.run()
+        except OutOfMemoryError:
+            result.status = "oom"
+        except EvaluationTimeout:
+            result.status = "timeout"
+        else:
+            result.iterations = report.iterations
+            result.detail["pbme_strata"] = float(len(report.pbme_strata))
+            for name in sorted(analyzed.idb):
+                result.tuples[name] = database.catalog.get_table(name).to_set()
+            self.last_report = report
+        result.sim_seconds = database.sim_seconds
+        result.peak_memory_bytes = database.peak_memory_bytes
+        result.memory_trace = database.metrics.memory_trace
+        result.cpu_trace = database.metrics.cpu_trace
+        return result
+
+
+def explain_program(program: ProgramSpec | AnalyzedProgram | str) -> str:
+    """Render the SQL RecStep generates for every stratum of a program.
+
+    The textual counterpart of Figure 4, for any program: per IDB, the
+    init query and (for recursive strata) the UIE delta query.
+    """
+    from repro.core.compiler import QueryGenerator, mdelta_table, render_uie_sql
+
+    analyzed, name, _ = _resolve_program(program)
+    lines = [f"program {name}: {len(analyzed.strata)} strata"]
+    for compiled in QueryGenerator(analyzed).compile():
+        stratum = compiled.stratum
+        kind = "recursive" if stratum.recursive else "non-recursive"
+        lines.append("")
+        lines.append(
+            f"stratum {stratum.index} ({kind}): "
+            f"{', '.join(sorted(stratum.predicates))}"
+        )
+        for predicate in compiled.predicates:
+            init = predicate.init_query()
+            if init is not None:
+                lines.append(f"  init:  INSERT INTO {mdelta_table(predicate.predicate)} {init};")
+            if stratum.recursive and predicate.delta_subqueries:
+                lines.append(f"  delta: {render_uie_sql(predicate)}")
+    return "\n".join(lines)
+
+
+def _resolve_program(
+    program: ProgramSpec | AnalyzedProgram | str,
+) -> tuple[AnalyzedProgram, str, dict[str, tuple[str, ...]]]:
+    if isinstance(program, ProgramSpec):
+        return program.parse(), program.name, dict(program.edb_schemas)
+    if isinstance(program, AnalyzedProgram):
+        return program, program.program.name, {}
+    analyzed = analyze_program(parse_program(program))
+    return analyzed, analyzed.program.name, {}

@@ -1,0 +1,344 @@
+"""Rule analysis: safety, EDB/IDB split, dependency graph, stratification.
+
+This is the paper's *rule analyzer* component (Figure 1): it validates the
+program, derives the predicate dependency graph, partitions it into
+strongly connected components, and orders the strata topologically.
+Negation (and non-MIN/MAX aggregation) must point to strictly lower
+strata; MIN/MAX aggregation is additionally allowed *inside* recursion,
+the paper's "recursive aggregation" (Section 3.3, programs CC and SSSP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import DatalogError, StratificationError
+from repro.datalog import ast
+
+#: Aggregates with a fixpoint-convergent recursive semantics.
+RECURSIVE_SAFE_AGGREGATES = {"MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class ProgramFeatures:
+    """Feature envelope of a program (drives Table 1's capability matrix)."""
+
+    has_negation: bool
+    has_aggregation: bool
+    has_recursive_aggregation: bool
+    has_mutual_recursion: bool
+    has_nonlinear_recursion: bool
+    is_recursive: bool
+    max_arity: int
+    num_rules: int
+    num_strata: int
+
+
+@dataclass
+class Stratum:
+    """One strongly connected component of the dependency graph."""
+
+    index: int
+    predicates: set[str]
+    rules: list[ast.Rule]
+    recursive: bool
+
+    def idb_predicates(self) -> set[str]:
+        return {rule.head.predicate for rule in self.rules}
+
+
+@dataclass
+class AnalyzedProgram:
+    """A validated program plus everything evaluation needs."""
+
+    program: ast.Program
+    edb: set[str]
+    idb: set[str]
+    arities: dict[str, int]
+    strata: list[Stratum] = field(default_factory=list)
+    features: ProgramFeatures | None = None
+
+    def rules_for(self, predicate: str, stratum: Stratum) -> list[ast.Rule]:
+        """``rules(R, s)`` of Algorithm 1."""
+        return [rule for rule in stratum.rules if rule.head.predicate == predicate]
+
+    def aggregate_func(self, predicate: str) -> str | None:
+        """The aggregate used in ``predicate``'s heads, if any (validated
+        to be consistent across rules)."""
+        for rule in self.program.rules:
+            if rule.head.predicate != predicate:
+                continue
+            for term in rule.head.terms:
+                if isinstance(term, ast.AggTerm):
+                    return term.func
+        return None
+
+
+def analyze_program(program: ast.Program) -> AnalyzedProgram:
+    """Validate ``program`` and compute its stratification.
+
+    Raises:
+        DatalogError: arity conflicts, unsafe rules, malformed aggregation.
+        StratificationError: negation (or non-MIN/MAX aggregation) through
+            recursion.
+    """
+    arities = _check_arities(program)
+    edb, idb = _split_edb_idb(program)
+    for rule in program.rules:
+        _check_safety(rule)
+        _check_aggregation_shape(rule)
+    _check_aggregate_consistency(program, idb)
+
+    strata = _stratify(program, idb)
+    features = _compute_features(program, strata, arities)
+    analyzed = AnalyzedProgram(
+        program=program, edb=edb, idb=idb, arities=arities, strata=strata, features=features
+    )
+    _check_stratified_negation(analyzed)
+    _check_recursive_aggregation(analyzed)
+    return analyzed
+
+
+# --------------------------------------------------------------------------
+# Validation passes
+# --------------------------------------------------------------------------
+
+
+def _check_arities(program: ast.Program) -> dict[str, int]:
+    arities: dict[str, int] = {}
+    for rule in program.rules:
+        for atom in (rule.head, *rule.body_atoms()):
+            known = arities.get(atom.predicate)
+            if known is None:
+                arities[atom.predicate] = atom.arity
+            elif known != atom.arity:
+                raise DatalogError(
+                    f"predicate {atom.predicate!r} used with arity {atom.arity} "
+                    f"and {known}"
+                )
+    return arities
+
+
+def _split_edb_idb(program: ast.Program) -> tuple[set[str], set[str]]:
+    idb = {rule.head.predicate for rule in program.rules}
+    all_predicates = program.predicates()
+    edb = all_predicates - idb
+    return edb, idb
+
+
+def _check_safety(rule: ast.Rule) -> None:
+    """Safety: all head/negated/comparison variables bound positively."""
+    positive_vars: set[str] = set()
+    for atom in rule.positive_atoms():
+        positive_vars |= atom.variables()
+    unbound_head = rule.head.variables() - positive_vars
+    if unbound_head:
+        raise DatalogError(
+            f"unsafe rule {rule}: head variables {sorted(unbound_head)} not bound "
+            "by a positive body atom"
+        )
+    for atom in rule.negative_atoms():
+        unbound = atom.variables() - positive_vars
+        if unbound:
+            raise DatalogError(
+                f"unsafe rule {rule}: negated atom variables {sorted(unbound)} "
+                "not bound by a positive body atom"
+            )
+    for comparison in rule.comparisons():
+        unbound = comparison.variables() - positive_vars
+        if unbound:
+            raise DatalogError(
+                f"unsafe rule {rule}: comparison variables {sorted(unbound)} "
+                "not bound by a positive body atom"
+            )
+
+
+def _check_aggregation_shape(rule: ast.Rule) -> None:
+    """At most one aggregate term, and it must be the last head term."""
+    agg_positions = [
+        index
+        for index, term in enumerate(rule.head.terms)
+        if isinstance(term, ast.AggTerm)
+    ]
+    if not agg_positions:
+        return
+    if len(agg_positions) > 1:
+        raise DatalogError(f"rule {rule} has more than one aggregate head term")
+    if agg_positions[0] != len(rule.head.terms) - 1:
+        raise DatalogError(
+            f"rule {rule}: the aggregate must be the last head term"
+        )
+
+
+def _check_aggregate_consistency(program: ast.Program, idb: set[str]) -> None:
+    """All rules of one predicate agree on whether/how they aggregate."""
+    for predicate in sorted(idb):
+        funcs: set[str | None] = set()
+        for rule in program.rules:
+            if rule.head.predicate != predicate:
+                continue
+            func = None
+            for term in rule.head.terms:
+                if isinstance(term, ast.AggTerm):
+                    func = term.func
+            funcs.add(func)
+        if len(funcs) > 1:
+            raise DatalogError(
+                f"predicate {predicate!r} mixes aggregated and plain heads: {funcs}"
+            )
+
+
+# --------------------------------------------------------------------------
+# Dependency graph and stratification (Tarjan SCC + topological order)
+# --------------------------------------------------------------------------
+
+
+def _dependency_edges(program: ast.Program, idb: set[str]) -> dict[str, set[str]]:
+    """Edges body-idb -> head (predicate-level dependency graph)."""
+    edges: dict[str, set[str]] = {predicate: set() for predicate in idb}
+    for rule in program.rules:
+        for atom in rule.body_atoms():
+            if atom.predicate in idb:
+                edges[atom.predicate].add(rule.head.predicate)
+    return edges
+
+
+def _tarjan_scc(nodes: list[str], edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's algorithm, iterative; SCCs in reverse topological order."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(sorted(edges.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(edges.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _stratify(program: ast.Program, idb: set[str]) -> list[Stratum]:
+    edges = _dependency_edges(program, idb)
+    sccs = _tarjan_scc(sorted(idb), edges)
+    # Tarjan emits SCCs in reverse topological order; reverse for evaluation.
+    ordered = list(reversed(sccs))
+    strata: list[Stratum] = []
+    for index, component in enumerate(ordered):
+        members = set(component)
+        rules = [rule for rule in program.rules if rule.head.predicate in members]
+        recursive = any(
+            atom.predicate in members
+            for rule in rules
+            for atom in rule.body_atoms()
+        )
+        strata.append(Stratum(index=index, predicates=members, rules=rules, recursive=recursive))
+    return strata
+
+
+def _stratum_of(analyzed: AnalyzedProgram, predicate: str) -> int:
+    for stratum in analyzed.strata:
+        if predicate in stratum.predicates:
+            return stratum.index
+    raise DatalogError(f"predicate {predicate!r} has no stratum")
+
+
+def _check_stratified_negation(analyzed: AnalyzedProgram) -> None:
+    for stratum in analyzed.strata:
+        for rule in stratum.rules:
+            for atom in rule.negative_atoms():
+                if atom.predicate in analyzed.edb:
+                    continue
+                if _stratum_of(analyzed, atom.predicate) >= stratum.index:
+                    raise StratificationError(
+                        f"negated atom {atom} in rule {rule} does not refer to a "
+                        "strictly lower stratum"
+                    )
+
+
+def _check_recursive_aggregation(analyzed: AnalyzedProgram) -> None:
+    for stratum in analyzed.strata:
+        if not stratum.recursive:
+            continue
+        for rule in stratum.rules:
+            for term in rule.head.terms:
+                if isinstance(term, ast.AggTerm) and term.func not in RECURSIVE_SAFE_AGGREGATES:
+                    raise StratificationError(
+                        f"aggregate {term.func} in recursive rule {rule} has no "
+                        "convergent fixpoint semantics (only MIN/MAX may recurse)"
+                    )
+
+
+# --------------------------------------------------------------------------
+# Features
+# --------------------------------------------------------------------------
+
+
+def _compute_features(
+    program: ast.Program, strata: list[Stratum], arities: dict[str, int]
+) -> ProgramFeatures:
+    has_negation = any(rule.negative_atoms() for rule in program.rules)
+    has_aggregation = any(rule.has_aggregation() for rule in program.rules)
+    has_recursive_aggregation = any(
+        stratum.recursive and rule.has_aggregation()
+        for stratum in strata
+        for rule in stratum.rules
+    )
+    has_mutual_recursion = any(len(stratum.predicates) > 1 and stratum.recursive for stratum in strata)
+    has_nonlinear = False
+    for stratum in strata:
+        if not stratum.recursive:
+            continue
+        for rule in stratum.rules:
+            same_stratum_atoms = [
+                atom
+                for atom in rule.positive_atoms()
+                if atom.predicate in stratum.predicates
+            ]
+            if len(same_stratum_atoms) >= 2:
+                has_nonlinear = True
+    return ProgramFeatures(
+        has_negation=has_negation,
+        has_aggregation=has_aggregation,
+        has_recursive_aggregation=has_recursive_aggregation,
+        has_mutual_recursion=has_mutual_recursion,
+        has_nonlinear_recursion=has_nonlinear,
+        is_recursive=any(stratum.recursive for stratum in strata),
+        max_arity=max(arities.values(), default=0),
+        num_rules=len(program.rules),
+        num_strata=len(strata),
+    )

@@ -1,0 +1,186 @@
+"""AST for the Datalog dialect (pure Datalog + stratified negation +
+aggregation, per Section 3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+AGGREGATE_FUNCS = ("MIN", "MAX", "SUM", "COUNT", "AVG")
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+# -- terms / scalar expressions ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """Anonymous variable ``_`` (each occurrence independent)."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """``left op right`` with op in {+, -, *} over variables/constants."""
+
+    op: str
+    left: "ScalarExpr"
+    right: "ScalarExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+ScalarExpr = Variable | Constant | Arithmetic
+
+
+@dataclass(frozen=True)
+class AggTerm:
+    """Head term ``AGG(expr)``, e.g. ``MIN(d1 + d2)``."""
+
+    func: str
+    expr: ScalarExpr
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.expr})"
+
+
+HeadTerm = Variable | Constant | AggTerm
+BodyTerm = Variable | Constant | Wildcard
+
+
+def scalar_variables(expr: ScalarExpr) -> set[str]:
+    """Variable names occurring in a scalar expression."""
+    if isinstance(expr, Variable):
+        return {expr.name}
+    if isinstance(expr, Constant):
+        return set()
+    return scalar_variables(expr.left) | scalar_variables(expr.right)
+
+
+# -- literals ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t1, ..., tk)``, possibly negated in a body."""
+
+    predicate: str
+    terms: tuple[BodyTerm | HeadTerm, ...]
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for term in self.terms:
+            if isinstance(term, Variable):
+                names.add(term.name)
+            elif isinstance(term, AggTerm):
+                names |= scalar_variables(term.expr)
+        return names
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(term) for term in self.terms)
+        prefix = "!" if self.negated else ""
+        return f"{prefix}{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Built-in comparison literal, e.g. ``x != y`` or ``d < 10``."""
+
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+
+    def variables(self) -> set[str]:
+        return scalar_variables(self.left) | scalar_variables(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+BodyLiteral = Atom | Comparison
+
+
+# -- rules and programs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.`` A rule with an empty body is a fact."""
+
+    head: Atom
+    body: tuple[BodyLiteral, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def body_atoms(self) -> tuple[Atom, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return tuple(atom for atom in self.body_atoms() if not atom.negated)
+
+    def negative_atoms(self) -> tuple[Atom, ...]:
+        return tuple(atom for atom in self.body_atoms() if atom.negated)
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Comparison))
+
+    def has_aggregation(self) -> bool:
+        return any(isinstance(term, AggTerm) for term in self.head.terms)
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        body = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {body}."
+
+
+@dataclass
+class Program:
+    """A parsed (not yet analyzed) Datalog program."""
+
+    rules: list[Rule] = field(default_factory=list)
+    name: str = "program"
+
+    def predicates(self) -> set[str]:
+        names: set[str] = set()
+        for rule in self.rules:
+            names.add(rule.head.predicate)
+            for atom in rule.body_atoms():
+                names.add(atom.predicate)
+        return names
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,121 @@
+"""Static convergence checks for recursive aggregation.
+
+Section 3.3: "one must be careful that the semantics of the Datalog
+program lead to convergence to a fixpoint; in this paper, we assume that
+the program given as input always converges ([28] studies how to test
+this property)". This module implements the practical sufficient checks
+from that line of work (pre-mappability-style conditions):
+
+* a recursive MIN converges if every recursive contribution to the
+  aggregated value is *non-decreasing* in the recursive value — e.g.
+  ``MIN(d1 + d2)`` with a non-negative weight column (SSSP), or
+  ``MIN(z)`` passed through unchanged (CC);
+* symmetrically, a recursive MAX needs non-increasing contributions.
+
+The checker is conservative: it proves convergence for the paper's
+programs and flags anything it cannot prove (e.g. ``MIN(d1 - d2)``,
+where negative cycles would descend forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog import ast
+from repro.datalog.analyzer import AnalyzedProgram
+
+
+@dataclass(frozen=True)
+class ConvergenceIssue:
+    """One rule the checker cannot prove convergent."""
+
+    rule: str
+    reason: str
+
+
+def check_convergence(analyzed: AnalyzedProgram) -> list[ConvergenceIssue]:
+    """Return the (possibly empty) list of unprovable recursive aggregates."""
+    issues: list[ConvergenceIssue] = []
+    for stratum in analyzed.strata:
+        if not stratum.recursive:
+            continue
+        for rule in stratum.rules:
+            for term in rule.head.terms:
+                if not isinstance(term, ast.AggTerm):
+                    continue
+                recursive_atoms = [
+                    atom
+                    for atom in rule.positive_atoms()
+                    if atom.predicate in stratum.predicates
+                ]
+                if not recursive_atoms:
+                    continue  # base rule: cannot diverge
+                reason = _unprovable_reason(term, recursive_atoms)
+                if reason is not None:
+                    issues.append(ConvergenceIssue(rule=str(rule), reason=reason))
+    return issues
+
+
+def _unprovable_reason(
+    term: ast.AggTerm, recursive_atoms: list[ast.Atom]
+) -> str | None:
+    """None if the aggregate provably converges, else an explanation."""
+    recursive_value_vars: set[str] = set()
+    for atom in recursive_atoms:
+        # By convention (enforced by the analyzer) the aggregated value is
+        # the last column of an aggregated predicate.
+        last = atom.terms[-1]
+        if isinstance(last, ast.Variable):
+            recursive_value_vars.add(last.name)
+
+    if term.func == "MIN":
+        return _check_monotone(term.expr, recursive_value_vars, increasing=True)
+    if term.func == "MAX":
+        return _check_monotone(term.expr, recursive_value_vars, increasing=False)
+    return f"{term.func} has no convergent recursive semantics"
+
+
+def _check_monotone(
+    expr: ast.ScalarExpr, value_vars: set[str], increasing: bool
+) -> str | None:
+    """Prove that ``expr`` cannot move past the fixpoint.
+
+    For MIN (``increasing=True``) every term combined with the recursive
+    value must be non-negative additive or the value itself; subtraction
+    of anything from the value, or multiplication by possibly-negative
+    factors, is unprovable.
+    """
+    if isinstance(expr, ast.Variable):
+        return None  # the value itself, or a plain body column: bounded
+    if isinstance(expr, ast.Constant):
+        if increasing and expr.value < 0:
+            return f"negative constant {expr.value} can decrease MIN forever"
+        if not increasing and expr.value > 0:
+            return f"positive constant {expr.value} can increase MAX forever"
+        return None
+    if isinstance(expr, ast.Arithmetic):
+        if expr.op == "+":
+            left = _check_monotone(expr.left, value_vars, increasing)
+            right = _check_monotone(expr.right, value_vars, increasing)
+            return left or right
+        if expr.op == "-":
+            touches_value = bool(
+                ast.scalar_variables(expr) & value_vars
+            )
+            if touches_value:
+                return (
+                    "subtraction involving the recursive value is not "
+                    "provably monotone (negative cycles would diverge)"
+                )
+            return None
+        if expr.op == "*":
+            # Products are monotone only with provably non-negative
+            # factors; variables have unknown sign.
+            factors = ast.scalar_variables(expr)
+            if factors & value_vars:
+                return (
+                    "multiplication of the recursive value has unknown "
+                    "sign; convergence not provable"
+                )
+            return None
+    return "unsupported aggregate expression"

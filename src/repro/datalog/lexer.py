@@ -1,0 +1,72 @@
+"""Lexer for the Datalog dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import DatalogError
+
+
+class TokType(enum.Enum):
+    IDENT = "ident"      # lowercase-leading: predicates and variables
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+_SYMBOLS = (":-", "!=", "<=", ">=", "(", ")", ",", ".", "!", "=", "<", ">", "+", "-", "*", "_")
+
+
+@dataclass(frozen=True)
+class Tok:
+    ttype: TokType
+    text: str
+    position: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.ttype is TokType.SYMBOL and self.text in symbols
+
+
+def tokenize(text: str) -> list[Tok]:
+    """Tokenize Datalog source; ``//`` and ``%`` start line comments."""
+    tokens: list[Tok] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "%" or text.startswith("//", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            tokens.append(Tok(TokType.NUMBER, text[start:index], start))
+            continue
+        if char.isalpha():
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            tokens.append(Tok(TokType.IDENT, text[start:index], start))
+            continue
+        if char == "_" and index + 1 < length and (text[index + 1].isalnum() or text[index + 1] == "_"):
+            start = index
+            index += 1
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            tokens.append(Tok(TokType.IDENT, text[start:index], start))
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Tok(TokType.SYMBOL, symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise DatalogError(f"unexpected character {char!r} at offset {index}")
+    tokens.append(Tok(TokType.END, "", length))
+    return tokens

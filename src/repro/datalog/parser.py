@@ -1,0 +1,182 @@
+"""Recursive-descent parser for the Datalog dialect.
+
+Conventions (matching the paper's notation, Section 3.1): variables are
+lower-case identifiers like ``x, y, d1``; predicates are identifiers in
+atom position; ``_`` is an anonymous variable; negation is written ``!``
+or ``not``; aggregation appears only in head terms as ``AGG(expr)``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DatalogError
+from repro.datalog import ast
+from repro.datalog.lexer import Tok, TokType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Tok]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> Tok:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Tok:
+        token = self._tokens[self._index]
+        if token.ttype is not TokType.END:
+            self._index += 1
+        return token
+
+    def _expect_symbol(self, *symbols: str) -> Tok:
+        token = self._peek()
+        if not token.is_symbol(*symbols):
+            raise DatalogError(
+                f"expected {' or '.join(symbols)}, found {token.text!r} "
+                f"at offset {token.position}"
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.ttype is not TokType.IDENT:
+            raise DatalogError(
+                f"expected identifier, found {token.text!r} at offset {token.position}"
+            )
+        self._advance()
+        return token.text
+
+    def _accept_symbol(self, *symbols: str) -> bool:
+        if self._peek().is_symbol(*symbols):
+            self._advance()
+            return True
+        return False
+
+    # -- program --------------------------------------------------------------
+
+    def parse_program(self, name: str) -> ast.Program:
+        program = ast.Program(name=name)
+        while self._peek().ttype is not TokType.END:
+            program.rules.append(self.parse_rule())
+        return program
+
+    def parse_rule(self) -> ast.Rule:
+        head = self._parse_atom(in_head=True)
+        if head.negated:
+            raise DatalogError(f"rule head {head} may not be negated")
+        body: list[ast.BodyLiteral] = []
+        if self._accept_symbol(":-"):
+            body.append(self._parse_body_literal())
+            while self._accept_symbol(","):
+                body.append(self._parse_body_literal())
+        self._expect_symbol(".")
+        return ast.Rule(head=head, body=tuple(body))
+
+    # -- literals -----------------------------------------------------------------
+
+    def _parse_body_literal(self) -> ast.BodyLiteral:
+        token = self._peek()
+        if token.is_symbol("!"):
+            self._advance()
+            atom = self._parse_atom(in_head=False)
+            return ast.Atom(atom.predicate, atom.terms, negated=True)
+        if token.ttype is TokType.IDENT and token.text == "not" and self._peek(1).ttype is TokType.IDENT:
+            self._advance()
+            atom = self._parse_atom(in_head=False)
+            return ast.Atom(atom.predicate, atom.terms, negated=True)
+        # Atom vs comparison: an atom is IDENT followed by "(".
+        if token.ttype is TokType.IDENT and self._peek(1).is_symbol("("):
+            return self._parse_atom(in_head=False)
+        return self._parse_comparison()
+
+    def _parse_atom(self, in_head: bool) -> ast.Atom:
+        predicate = self._expect_ident()
+        self._expect_symbol("(")
+        terms: list[ast.BodyTerm | ast.HeadTerm] = []
+        while True:
+            terms.append(self._parse_term(in_head))
+            if not self._accept_symbol(","):
+                break
+        self._expect_symbol(")")
+        return ast.Atom(predicate, tuple(terms))
+
+    def _parse_term(self, in_head: bool) -> ast.BodyTerm | ast.HeadTerm:
+        token = self._peek()
+        if token.is_symbol("_"):
+            if in_head:
+                raise DatalogError("wildcard _ is not allowed in a rule head")
+            self._advance()
+            return ast.Wildcard()
+        if token.ttype is TokType.IDENT and token.text.upper() in ast.AGGREGATE_FUNCS:
+            if self._peek(1).is_symbol("("):
+                if not in_head:
+                    raise DatalogError("aggregation is only allowed in rule heads")
+                func = self._advance().text.upper()
+                self._expect_symbol("(")
+                expr = self._parse_scalar()
+                self._expect_symbol(")")
+                return ast.AggTerm(func, expr)
+        if in_head:
+            # Heads allow arithmetic-free terms only: variable or constant.
+            if token.ttype is TokType.NUMBER or token.is_symbol("-"):
+                return ast.Constant(self._parse_signed_number())
+            return ast.Variable(self._expect_ident())
+        if token.ttype is TokType.NUMBER or token.is_symbol("-"):
+            return ast.Constant(self._parse_signed_number())
+        return ast.Variable(self._expect_ident())
+
+    def _parse_comparison(self) -> ast.Comparison:
+        left = self._parse_scalar()
+        token = self._peek()
+        if not token.is_symbol("=", "!=", "<", "<=", ">", ">="):
+            raise DatalogError(
+                f"expected comparison operator, found {token.text!r} "
+                f"at offset {token.position}"
+            )
+        self._advance()
+        right = self._parse_scalar()
+        return ast.Comparison(token.text, left, right)
+
+    # -- scalar expressions -------------------------------------------------------------
+
+    def _parse_scalar(self) -> ast.ScalarExpr:
+        left = self._parse_scalar_primary()
+        while self._peek().is_symbol("+", "-", "*"):
+            op = self._advance().text
+            right = self._parse_scalar_primary()
+            left = ast.Arithmetic(op, left, right)
+        return left
+
+    def _parse_scalar_primary(self) -> ast.ScalarExpr:
+        token = self._peek()
+        if token.ttype is TokType.NUMBER or token.is_symbol("-"):
+            return ast.Constant(self._parse_signed_number())
+        if token.is_symbol("("):
+            self._advance()
+            expr = self._parse_scalar()
+            self._expect_symbol(")")
+            return expr
+        return ast.Variable(self._expect_ident())
+
+    def _parse_signed_number(self) -> int:
+        negative = self._accept_symbol("-")
+        token = self._peek()
+        if token.ttype is not TokType.NUMBER:
+            raise DatalogError(f"expected number, found {token.text!r}")
+        self._advance()
+        value = int(token.text)
+        return -value if negative else value
+
+
+def parse_program(source: str, name: str = "program") -> ast.Program:
+    """Parse a full Datalog program from source text."""
+    return _Parser(tokenize(source)).parse_program(name)
+
+
+def parse_rule(source: str) -> ast.Rule:
+    """Parse a single rule (must end with ``.``)."""
+    parser = _Parser(tokenize(source))
+    rule = parser.parse_rule()
+    trailing = parser._peek()
+    if trailing.ttype is not TokType.END:
+        raise DatalogError(f"trailing input {trailing.text!r}")
+    return rule

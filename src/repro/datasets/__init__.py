@@ -1,0 +1,27 @@
+"""Synthetic dataset generators (Table 3's datasets, scaled to one host).
+
+The paper's real datasets (livejournal/orkut/arabic/twitter and the
+linux/postgresql/httpd program graphs) are multi-gigabyte downloads; this
+offline reproduction generates structural proxies at ~1/100 scale with
+the knobs that drive each experiment's shape (density for Gn-p, degree
+skew for the social graphs, chain depth for CSDA, fan-out for CSPA).
+EXPERIMENTS.md records every scale factor.
+"""
+
+from repro.datasets.andersen import andersen_dataset
+from repro.datasets.gnp import gnp_graph
+from repro.datasets.programgraphs import cspa_dataset, csda_dataset
+from repro.datasets.realworld import realworld_graph
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.datasets.rmat import rmat_graph
+
+__all__ = [
+    "gnp_graph",
+    "rmat_graph",
+    "realworld_graph",
+    "andersen_dataset",
+    "cspa_dataset",
+    "csda_dataset",
+    "DATASETS",
+    "load_dataset",
+]

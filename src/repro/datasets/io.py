@@ -1,0 +1,30 @@
+"""Edge-list file I/O.
+
+RecStep's paper frontend reads ``.datalog`` files with paths to input
+tables; examples here read/write the same whitespace-separated integer
+format so users can bring their own data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def save_relation(path: str | Path, rows: np.ndarray) -> None:
+    """Write a relation as whitespace-separated integers, one tuple/line."""
+    rows = np.asarray(rows, dtype=np.int64)
+    np.savetxt(path, rows, fmt="%d", delimiter="\t")
+
+
+def load_relation(path: str | Path, arity: int | None = None) -> np.ndarray:
+    """Read a whitespace-separated integer relation file."""
+    rows = np.loadtxt(path, dtype=np.int64, ndmin=2)
+    if rows.size == 0:
+        return np.empty((0, arity or 0), dtype=np.int64)
+    if arity is not None and rows.shape[1] != arity:
+        raise ValueError(
+            f"{path}: expected arity {arity}, found {rows.shape[1]} columns"
+        )
+    return rows

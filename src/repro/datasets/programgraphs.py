@@ -1,0 +1,114 @@
+"""Program-graph proxies for the Graspan benchmarks (linux/postgresql/httpd).
+
+Two very different structures drive the paper's two analyses:
+
+* **CSDA** (dataflow): control-flow graphs are long, mostly sequential
+  chains with occasional branches — evaluation needs on the order of a
+  *thousand* small iterations (Section 6.3: "the evaluation of CSDA on
+  all three datasets needs many iterations (~1000)"), which is exactly
+  the regime where per-query overhead dominates and RecStep loses.
+* **CSPA** (points-to): assignment/dereference graphs are shallow but
+  bushy — few iterations with large deltas, the regime where RecStep's
+  data parallelism wins.
+
+Scale: ~1/50 of the original program sizes; chain depth (CSDA) is kept
+at paper scale because iteration *count* is the load-bearing property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import derive_seed, make_rng
+from repro.datasets.graphs import clean_edges
+
+#: CSDA proxy: (number of chains, chain length, branch probability,
+#: null-seed count). Chain length sets the iteration count.
+CSDA_SPECS: dict[str, tuple[int, int, float, int]] = {
+    "linux": (60, 1100, 0.08, 260),
+    "postgresql": (40, 800, 0.08, 160),
+    "httpd": (24, 500, 0.08, 100),
+}
+
+#: CSPA proxy: number of program variables. Assign/dereference edge
+#: counts derive from it (sub-critical assign branching, module-local
+#: dereferences) so the valueFlow/valueAlias fixpoint is large but stays
+#: inside the scaled 1.6 GB memory model — RecStep must complete all
+#: three, like the paper. httpd is smallest: that is where per-query
+#: overhead weighs most and Souffle edges out RecStep (Figure 15c).
+CSPA_SPECS: dict[str, int] = {
+    "linux": 1_700,
+    "postgresql": 1_200,
+    "httpd": 1_000,
+}
+#: Assign edges per variable (sub-critical: expected reach stays bounded).
+CSPA_ASSIGN_FACTOR = 0.9
+#: Dereference pairs per variable.
+CSPA_DEREF_FACTOR = 0.12
+#: Locality window for dereference endpoints (a "module" of variables).
+CSPA_MODULE = 8
+#: Depth of the layered assign DAG.
+CSPA_LAYERS = 10
+
+
+def csda_dataset(name: str, seed: int = 0) -> dict[str, np.ndarray]:
+    """``arc`` (control-flow) and ``nullEdge`` (initial null facts)."""
+    try:
+        chains, length, branch_p, seeds = CSDA_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown CSDA dataset {name!r}; available: {sorted(CSDA_SPECS)}"
+        ) from None
+    rng = make_rng(derive_seed(seed, "csda", name))
+    edges: list[np.ndarray] = []
+    for chain in range(chains):
+        base = chain * length
+        vertices = np.arange(base, base + length, dtype=np.int64)
+        edges.append(np.column_stack([vertices[:-1], vertices[1:]]))
+        # Occasional short forward branches (if/else joins).
+        branch_mask = rng.random(length - 3) < branch_p
+        sources = vertices[:-3][branch_mask]
+        edges.append(np.column_stack([sources, sources + 2]))
+    arc = clean_edges(np.vstack(edges))
+    # Null definitions enter near chain heads so facts flow the full depth.
+    chain_ids = rng.integers(0, chains, size=seeds, dtype=np.int64)
+    offsets = rng.integers(0, max(1, length // 20), size=seeds, dtype=np.int64)
+    starts = chain_ids * length + offsets
+    null_edges = clean_edges(
+        np.column_stack([starts, starts + 1]), allow_self_loops=True
+    )
+    return {"arc": arc, "nullEdge": null_edges}
+
+
+def cspa_dataset(name: str, seed: int = 0) -> dict[str, np.ndarray]:
+    """``assign`` and ``dereference`` relations for the CSPA proxy."""
+    try:
+        variables = CSPA_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown CSPA dataset {name!r}; available: {sorted(CSPA_SPECS)}"
+        ) from None
+    rng = make_rng(derive_seed(seed, "cspa", name))
+    assigns = int(variables * CSPA_ASSIGN_FACTOR)
+    derefs = int(variables * CSPA_DEREF_FACTOR)
+    # Layered DAG assignments: deep enough for interesting value flow,
+    # sub-critical branching so reach stays bounded (paper: cloning makes
+    # contexts part of the data, keeping the graph DAG-like).
+    per_layer = variables // CSPA_LAYERS
+    src_layer = rng.integers(0, CSPA_LAYERS - 1, size=assigns, dtype=np.int64)
+    src = src_layer * per_layer + rng.integers(0, per_layer, size=assigns)
+    dst = (src_layer + 1) * per_layer + rng.integers(0, per_layer, size=assigns)
+    assign = clean_edges(np.column_stack([dst, src]))  # assign(to, from)
+    # Dereferences are *local*: both endpoints live in the same module-
+    # sized window of variables. Real program graphs have this locality;
+    # without it, memoryAlias wires global shortcuts into valueFlow and
+    # the fixpoint degenerates toward n^2 (nothing like the paper's data).
+    base = rng.integers(
+        0, max(1, variables - CSPA_MODULE), size=derefs, dtype=np.int64
+    )
+    deref_var = base + rng.integers(0, CSPA_MODULE, size=derefs)
+    deref_val = base + rng.integers(0, CSPA_MODULE, size=derefs)
+    dereference = clean_edges(
+        np.column_stack([deref_var, deref_val]), allow_self_loops=True
+    )
+    return {"assign": assign, "dereference": dereference}

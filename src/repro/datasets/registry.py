@@ -1,0 +1,82 @@
+"""Central dataset registry: name -> EDB relations.
+
+One naming scheme across tests, examples, and every bench:
+
+* ``G500``, ``G1K``, ``G1K-0.01`` ...        — Gn-p graphs (``arc``)
+* ``RMAT-10K`` ... ``RMAT-1M``               — R-MAT graphs (``arc``)
+* ``livejournal`` / ``orkut`` / ...          — real-world proxies (``arc``)
+* ``andersen-1`` .. ``andersen-7``           — AA EDBs
+* ``csda-linux`` / ``cspa-httpd`` / ...      — program-analysis EDBs
+
+Graph datasets return ``{"arc": edges}``; callers add ``id`` (source
+vertex) or a weight column as the program requires (see
+``repro.analysis.harness``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datasets.andersen import andersen_dataset
+from repro.datasets.gnp import gnp_graph
+from repro.datasets.programgraphs import CSDA_SPECS, CSPA_SPECS, cspa_dataset, csda_dataset
+from repro.datasets.realworld import REALWORLD_SPECS, realworld_graph
+from repro.datasets.rmat import rmat_graph
+
+#: Scaled stand-ins for the paper's G5K..G80K sweep (1/10 vertex scale,
+#: density raised so the graphs stay "dense" in the paper's sense).
+GNP_SIZES: dict[str, tuple[int, float]] = {
+    "G500": (500, 0.01),
+    "G700": (700, 0.01),
+    "G1K": (1000, 0.01),
+    "G1K-0.05": (1000, 0.05),
+    "G1K-0.1": (1000, 0.1),
+    "G2K": (2000, 0.01),
+    "G4K": (4000, 0.01),
+    "G8K": (8000, 0.01),
+}
+
+#: Scaled stand-ins for RMAT-1M .. RMAT-128M (1/100 vertex scale).
+RMAT_SIZES: dict[str, int] = {
+    "RMAT-10K": 10_000,
+    "RMAT-20K": 20_000,
+    "RMAT-40K": 40_000,
+    "RMAT-80K": 80_000,
+    "RMAT-160K": 160_000,
+    "RMAT-320K": 320_000,
+    "RMAT-640K": 640_000,
+    "RMAT-1280K": 1_280_000,
+}
+
+
+def _build_registry() -> dict[str, Callable[[int], dict[str, np.ndarray]]]:
+    registry: dict[str, Callable[[int], dict[str, np.ndarray]]] = {}
+    for name, (n, p) in GNP_SIZES.items():
+        registry[name] = lambda seed, n=n, p=p: {"arc": gnp_graph(n, p, seed=seed)}
+    for name, n in RMAT_SIZES.items():
+        registry[name] = lambda seed, n=n: {"arc": rmat_graph(n, seed=seed)}
+    for name in REALWORLD_SPECS:
+        registry[name] = lambda seed, name=name: {"arc": realworld_graph(name, seed=seed)}
+    for number in range(1, 8):
+        registry[f"andersen-{number}"] = lambda seed, k=number: andersen_dataset(k, seed=seed)
+    for name in CSDA_SPECS:
+        registry[f"csda-{name}"] = lambda seed, name=name: csda_dataset(name, seed=seed)
+    for name in CSPA_SPECS:
+        registry[f"cspa-{name}"] = lambda seed, name=name: cspa_dataset(name, seed=seed)
+    return registry
+
+
+DATASETS: dict[str, Callable[[int], dict[str, np.ndarray]]] = _build_registry()
+
+
+def load_dataset(name: str, seed: int = 0) -> dict[str, np.ndarray]:
+    """Generate the named dataset's EDB relations (deterministic in seed)."""
+    try:
+        generator = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return generator(seed)

@@ -1,0 +1,13 @@
+"""Parallel in-memory relational engine (the QuickStep stand-in).
+
+``Database`` is the public entry point: it parses mini-SQL, binds it
+against the catalog, plans joins with cost-based build-side selection,
+executes vectorized NumPy kernels, and charges all work to a simulated
+multicore clock (see ``repro.common.timing``).
+"""
+
+from repro.engine.database import Database
+from repro.engine.executor import ParallelCostModel
+from repro.engine.metrics import MetricsRecorder
+
+__all__ = ["Database", "ParallelCostModel", "MetricsRecorder"]

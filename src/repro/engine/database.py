@@ -1,0 +1,290 @@
+"""The Database facade: SQL in, arrays out, everything metered.
+
+This is the engine's public API, playing the role QuickStep plays for
+RecStep: the interpreter connects to a :class:`Database`, issues SQL
+(``execute``), refreshes statistics (``analyze``), and calls the two
+system-level specialized operations (``dedup_table``,
+``set_difference``). All work — including per-query dispatch overhead and
+EOST-vs-per-query I/O — lands on one simulated clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.engine.dedup import DedupOutcome, deduplicate
+from repro.engine.executor import QUERY_DISPATCH_OVERHEAD, ParallelCostModel
+from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET, MetricsRecorder
+from repro.engine.operators import ExecutionContext, run_query
+from repro.engine.setops import (
+    SetDifferenceOutcome,
+    one_phase_set_difference,
+    two_phase_set_difference,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnSchema, ColumnType
+from repro.storage.manager import StorageManager
+from repro.storage.stats import StatsMode
+from repro.storage.table import Table
+
+
+class Database:
+    """An in-memory parallel relational database with a mini-SQL surface.
+
+    Args:
+        threads: simulated worker count (the experiments' thread knob).
+        memory_budget: modeled memory in bytes; exceeding it raises
+            ``OutOfMemoryError``, reproducing the paper's OOM envelope.
+        eost: evaluate-as-one-single-transaction; when off, every
+            state-changing query pays a write-back (Section 5.2).
+        fast_dedup: use the CCK-GSCHT dedup path (Section 5.2).
+        enforce_budgets: disable to let tests run without OOM/timeout.
+    """
+
+    def __init__(
+        self,
+        threads: int = 20,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        time_budget: float = DEFAULT_TIME_BUDGET,
+        eost: bool = True,
+        fast_dedup: bool = True,
+        enforce_budgets: bool = True,
+    ) -> None:
+        self.catalog = Catalog()
+        self.storage = StorageManager(eost=eost)
+        self.cost_model = ParallelCostModel(threads=threads)
+        self.metrics = MetricsRecorder(
+            memory_budget=memory_budget,
+            time_budget=time_budget,
+            enforce_budgets=enforce_budgets,
+        )
+        self.fast_dedup = fast_dedup
+        self.queries_executed = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            catalog=self.catalog, metrics=self.metrics, cost_model=self.cost_model
+        )
+
+    #: Catalog-only DDL (CREATE/DROP) costs far less than a full query
+    #: compile+dispatch cycle.
+    DDL_OVERHEAD = 5.0e-4
+
+    def _charge_dispatch(self) -> None:
+        self.queries_executed += 1
+        self.metrics.advance(QUERY_DISPATCH_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
+
+    def _charge_ddl(self) -> None:
+        self.queries_executed += 1
+        self.metrics.advance(self.DDL_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
+
+    def _after_mutation(self, table: Table, new_bytes: int) -> None:
+        io_cost = self.storage.mark_dirty(table.name, new_bytes)
+        if io_cost:
+            self.metrics.advance(io_cost, utilization=0.02)
+        self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+
+    # -- SQL surface ------------------------------------------------------------
+
+    def execute(self, sql_text: str) -> np.ndarray | None:
+        """Parse and execute one SQL statement.
+
+        SELECT returns an ``(n, width)`` int64 matrix; other statements
+        return ``None``.
+        """
+        return self.execute_ast(parse_statement(sql_text))
+
+    def execute_ast(self, statement: ast.Statement) -> np.ndarray | None:
+        """Execute an already parsed statement (used by the compiler)."""
+        if isinstance(statement, (ast.CreateTable, ast.DropTable)):
+            self._charge_ddl()
+        else:
+            self._charge_dispatch()
+        if isinstance(statement, ast.CreateTable):
+            self.catalog.create_table(
+                statement.table,
+                [ColumnSchema(name, ctype) for name, ctype in statement.columns],
+            )
+            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+            return None
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.table)
+            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+            return None
+        if isinstance(statement, ast.InsertValues):
+            table = self.catalog.get_table(statement.table)
+            table.append_tuples(statement.rows)
+            self._after_mutation(table, len(statement.rows) * table.tuple_bytes())
+            return None
+        if isinstance(statement, ast.InsertSelect):
+            rows = run_query(statement.query, self._context())
+            table = self.catalog.get_table(statement.table)
+            table.append_array(rows)
+            self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+            return None
+        if isinstance(statement, ast.DeleteAll):
+            table = self.catalog.get_table(statement.table)
+            table.truncate()
+            self._after_mutation(table, 0)
+            return None
+        if isinstance(statement, ast.Analyze):
+            mode = StatsMode.FULL if statement.full else StatsMode.SIZE_ONLY
+            cost = self.catalog.analyze(statement.table, mode)
+            self.metrics.advance(cost, utilization=0.5)
+            return None
+        if isinstance(statement, ast.SelectStatement):
+            return run_query(statement.query, self._context())
+        raise PlanError(f"unsupported statement {statement!r}")
+
+    def execute_script(self, sql_text: str) -> None:
+        """Execute a ``;``-separated script, discarding SELECT results."""
+        from repro.sql.parser import parse_script
+
+        for statement in parse_script(sql_text).statements:
+            self.execute_ast(statement)
+
+    # -- programmatic surface ------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        self._charge_ddl()
+        table = self.catalog.create_table(
+            name, [ColumnSchema(column, ColumnType.INT) for column in columns]
+        )
+        self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+        return table
+
+    def load_table(self, name: str, columns: Sequence[str], rows: np.ndarray) -> Table:
+        """Create a table and bulk-load rows (dataset ingest path)."""
+        table = self.create_table(name, columns)
+        table.append_array(np.asarray(rows, dtype=np.int64).reshape(-1, len(columns)))
+        self._after_mutation(table, table.memory_bytes())
+        self.catalog.analyze(name, StatsMode.SIZE_ONLY)
+        return table
+
+    def table_array(self, name: str) -> np.ndarray:
+        return self.catalog.get_table(name).to_array()
+
+    def table_size(self, name: str) -> int:
+        return self.catalog.get_table(name).num_rows
+
+    def analyze(self, name: str, full: bool = False) -> None:
+        """Refresh optimizer statistics (Algorithm 1's ``analyze``)."""
+        mode = StatsMode.FULL if full else StatsMode.SIZE_ONLY
+        cost = self.catalog.analyze(name, mode)
+        self.metrics.advance(cost, utilization=0.5)
+
+    def dedup_table(self, name: str) -> DedupOutcome:
+        """Deduplicate a table in place (Algorithm 1's ``dedup``).
+
+        Bucket pre-allocation is sized from the *catalog statistics* (the
+        paper's "conservative approximation ... size of the table"): if
+        the statistics are stale — OOF disabled — the hash table is
+        mis-sized and dedup pays collision chains or wasted memory.
+        """
+        self._charge_dispatch()
+        table = self.catalog.get_table(name)
+        estimated_rows = self.catalog.get_stats(name).num_rows
+        outcome = deduplicate(
+            table.to_array(),
+            self._context(),
+            fast=self.fast_dedup,
+            estimated_rows=estimated_rows,
+        )
+        table.replace_contents(outcome.rows)
+        self._after_mutation(table, 0)
+        return outcome
+
+    def set_difference(
+        self, new_table: str, base_table: str, strategy: str = "OPSD"
+    ) -> SetDifferenceOutcome:
+        """Compute ``new_table - base_table`` with the given strategy."""
+        new_rows = self.catalog.get_table(new_table).data()
+        base_rows = self.catalog.get_table(base_table).data()
+        ctx = self._context()
+        if strategy == "OPSD":
+            self._charge_dispatch()
+            return one_phase_set_difference(new_rows, base_rows, ctx)
+        if strategy == "TPSD":
+            self._charge_dispatch()
+            return two_phase_set_difference(new_rows, base_rows, ctx)
+        raise PlanError(f"unknown set-difference strategy {strategy!r}")
+
+    def aggregate_merge(
+        self, name: str, candidates: np.ndarray, func: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge candidate (group..., value) rows into an aggregated table.
+
+        Implements the recursive-aggregation step (Section 3.3 / the CC
+        and SSSP programs): the table keeps one row per group holding the
+        current best value; candidates with strictly better values update
+        it. Returns ``(merged_rows, improved_rows)`` — the improved rows
+        are the iteration's ∆.
+        """
+        from repro.engine import kernels
+        from repro.engine.executor import AGGREGATE_PHASE, COST_AGGREGATE
+
+        if func not in ("MIN", "MAX"):
+            raise PlanError(f"aggregate_merge supports MIN/MAX, not {func!r}")
+        self._charge_dispatch()
+        table = self.catalog.get_table(name)
+        existing = table.data()
+        candidates = np.asarray(candidates, dtype=np.int64).reshape(-1, table.arity)
+        combined = np.vstack([existing, candidates]) if existing.shape[0] else candidates
+        n = combined.shape[0]
+        ctx = self._context()
+        ctx.metrics.allocate_transient(n * 16)
+        ctx.charge_parallel(AGGREGATE_PHASE, n * COST_AGGREGATE, n)
+        if n == 0:
+            ctx.metrics.release_transient(n * 16)
+            return existing.copy(), np.empty((0, table.arity), dtype=np.int64)
+        group_columns = [combined[:, i] for i in range(table.arity - 1)]
+        keys, (values,) = kernels.group_aggregate(group_columns, [(func, combined[:, -1])])
+        merged = np.column_stack([keys, values]) if keys.size else values.reshape(-1, 1)
+        improved = kernels.rows_difference(merged, existing)
+        ctx.metrics.release_transient(n * 16)
+        table.replace_contents(merged)
+        self._after_mutation(table, merged.shape[0] * table.tuple_bytes())
+        return merged, improved
+
+    def append_rows(self, name: str, rows: np.ndarray) -> None:
+        """Append rows to a table (the ``R <- R ⊎ ΔR`` step)."""
+        self._charge_dispatch()
+        table = self.catalog.get_table(name)
+        table.append_array(rows)
+        self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+
+    def replace_rows(self, name: str, rows: np.ndarray) -> None:
+        """Swap a table's contents (the ∆-table update each iteration)."""
+        self._charge_dispatch()
+        table = self.catalog.get_table(name)
+        table.replace_contents(np.asarray(rows, dtype=np.int64))
+        self._after_mutation(table, table.memory_bytes())
+
+    def commit(self) -> None:
+        """Flush pending writes (end of the EOST transaction)."""
+        cost = self.storage.commit()
+        if cost:
+            self.metrics.advance(cost, utilization=0.02)
+
+    def explain(self, sql_text: str) -> str:
+        """EXPLAIN a SELECT / INSERT..SELECT against current statistics."""
+        from repro.engine.explain import explain_sql
+
+        return explain_sql(sql_text, self.catalog)
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.metrics.now()
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self.metrics.peak_bytes

@@ -1,0 +1,105 @@
+"""EXPLAIN: render the plan the optimizer would choose for a query.
+
+The interpreter's behaviour (join order, build sides, anti-joins) is
+driven by catalog statistics; ``explain`` makes those decisions visible
+without executing anything, which is how the OOF ablation was debugged
+and is generally useful when authoring Datalog programs.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import expr_aliases
+from repro.engine.optimizer import choose_build_side, order_tables_by_estimate
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog
+
+
+def explain_query(query: ast.Query, catalog: Catalog) -> str:
+    """A textual plan for a SELECT or UNION ALL against ``catalog``."""
+    if isinstance(query, ast.UnionAll):
+        parts = []
+        for index, select in enumerate(query.selects):
+            parts.append(f"UNION ALL arm {index}:")
+            parts.append(_indent(_explain_select(select, catalog)))
+        return "\n".join(parts)
+    return _explain_select(query, catalog)
+
+
+def explain_sql(sql_text: str, catalog: Catalog) -> str:
+    """EXPLAIN for a SQL string (SELECT or INSERT..SELECT)."""
+    statement = parse_statement(sql_text)
+    if isinstance(statement, ast.SelectStatement):
+        return explain_query(statement.query, catalog)
+    if isinstance(statement, ast.InsertSelect):
+        plan = explain_query(statement.query, catalog)
+        return f"INSERT INTO {statement.table}\n{_indent(plan)}"
+    raise ValueError(f"cannot explain statement {type(statement).__name__}")
+
+
+def _explain_select(select: ast.Select, catalog: Catalog) -> str:
+    schemas = {
+        ref.alias: catalog.get_table(ref.table).column_names for ref in select.tables
+    }
+    table_of = {ref.alias: ref.table for ref in select.tables}
+    estimates = {
+        alias: catalog.get_stats(table_of[alias]).num_rows for alias in schemas
+    }
+
+    join_edges = []
+    filters = []
+    anti_joins = []
+    for predicate in select.where:
+        if isinstance(predicate, ast.NotExists):
+            anti_joins.append(predicate)
+            continue
+        left = expr_aliases(predicate.left, schemas)
+        right = expr_aliases(predicate.right, schemas)
+        if predicate.op == "=" and len(left) == 1 and len(right) == 1 and left != right:
+            join_edges.append((next(iter(left)), next(iter(right)), predicate))
+        else:
+            filters.append(predicate)
+
+    ordered = order_tables_by_estimate(estimates)
+    lines = []
+    current = ordered[0]
+    lines.append(
+        f"scan {table_of[current]} AS {current} (est. {estimates[current]} rows)"
+    )
+    bound = {current}
+    frame_estimate = estimates[current]
+    for alias in ordered[1:]:
+        edges = [
+            predicate
+            for a, b, predicate in join_edges
+            if {a, b} == {alias} | ({a, b} & bound)
+            and alias in (a, b)
+            and ({a, b} - {alias}) <= bound
+        ]
+        decision = choose_build_side(frame_estimate, estimates[alias])
+        side = "left(frame)" if decision.build_left else f"right({alias})"
+        kind = "hash join" if edges else "cross join"
+        condition = " AND ".join(str(p) for p in edges) if edges else "true"
+        lines.append(
+            f"{kind} {table_of[alias]} AS {alias} "
+            f"(est. {estimates[alias]} rows) ON {condition} [build: {side}]"
+        )
+        bound.add(alias)
+        frame_estimate = max(frame_estimate, estimates[alias])
+    for predicate in filters:
+        lines.append(f"filter {predicate}")
+    for anti in anti_joins:
+        inner = ", ".join(ref.table for ref in anti.subquery.tables)
+        lines.append(f"anti join (NOT EXISTS over {inner})")
+    if select.group_by or any(
+        isinstance(item.expr, ast.AggregateCall) for item in select.items
+    ):
+        keys = ", ".join(str(e) for e in select.group_by) or "<global>"
+        lines.append(f"aggregate GROUP BY {keys}")
+    items = ", ".join(str(item) for item in select.items)
+    lines.append(f"project {items}")
+    return "\n".join(lines)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,90 @@
+"""Evaluation metrics: simulated clock, memory accounting, CPU trace.
+
+Memory is modeled, not measured: the recorder tracks the bytes of all
+catalog tables plus whatever transient structures (hash tables, pipeline
+materializations, bit-matrices) operators declare while they run. This is
+what lets a 15 GB host reproduce the paper's 160 GB-server OOM envelope:
+engines whose modeled footprint exceeds the configured budget raise
+:class:`~repro.common.errors.OutOfMemoryError` exactly where the real
+system would have died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EvaluationTimeout, OutOfMemoryError
+from repro.common.records import Trace
+from repro.common.timing import SimClock
+
+#: Default modeled server memory. The paper's server has 160 GB; our
+#: datasets are roughly two orders of magnitude smaller, so the default
+#: budget scales accordingly (overridable per experiment).
+DEFAULT_MEMORY_BUDGET = int(1.6e9)
+DEFAULT_TIME_BUDGET = 36_000.0  # paper's 10 h timeout, simulated seconds
+
+
+@dataclass
+class MetricsRecorder:
+    """Collects memory/CPU traces on a shared simulated time axis."""
+
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    time_budget: float = DEFAULT_TIME_BUDGET
+    clock: SimClock = field(default_factory=SimClock)
+    memory_trace: Trace = field(default_factory=lambda: Trace("memory_bytes"))
+    cpu_trace: Trace = field(default_factory=lambda: Trace("cpu_utilization"))
+    base_bytes: int = 0
+    transient_bytes: int = 0
+    peak_bytes: int = 0
+    enforce_budgets: bool = True
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    # -- time ---------------------------------------------------------------
+
+    def advance(self, seconds: float, utilization: float = 0.05) -> None:
+        """Advance the clock, recording CPU utilization over the span."""
+        if seconds <= 0:
+            return
+        self.cpu_trace.record(self.clock.now(), utilization)
+        self.clock.advance(seconds)
+        self.cpu_trace.record(self.clock.now(), utilization)
+        if self.enforce_budgets and self.clock.now() > self.time_budget:
+            raise EvaluationTimeout(
+                f"simulated time {self.clock.now():.1f}s exceeded budget "
+                f"{self.time_budget:.1f}s"
+            )
+
+    # -- memory ---------------------------------------------------------------
+
+    def set_base_bytes(self, total: int) -> None:
+        """Update the resident-table footprint (called after each query)."""
+        self.base_bytes = total
+        self._sample_memory()
+
+    def allocate_transient(self, size: int) -> None:
+        """Declare a transient allocation (hash table, materialization)."""
+        self.transient_bytes += size
+        self._sample_memory()
+
+    def release_transient(self, size: int) -> None:
+        self.transient_bytes = max(0, self.transient_bytes - size)
+        self._sample_memory()
+
+    def _sample_memory(self) -> None:
+        total = self.base_bytes + self.transient_bytes
+        self.peak_bytes = max(self.peak_bytes, total)
+        self.memory_trace.record(self.clock.now(), float(total))
+        if self.enforce_budgets and total > self.memory_budget:
+            raise OutOfMemoryError(
+                f"modeled footprint {total / 1e6:.1f} MB exceeds budget "
+                f"{self.memory_budget / 1e6:.1f} MB"
+            )
+
+    def memory_percent_trace(self) -> list[tuple[float, float]]:
+        """Memory trace as a percentage of the budget (paper's y-axis)."""
+        return [
+            (sample.time, 100.0 * sample.value / self.memory_budget)
+            for sample in self.memory_trace.samples
+        ]

@@ -1,0 +1,461 @@
+"""Physical execution of SELECT queries.
+
+One module implements the whole pipeline the RecStep query generator
+needs: scan → (filter) → multi-way equi-join with cost-based build-side
+selection → anti-join (NOT EXISTS) → projection or grouped aggregation.
+Every operator charges its work to the execution context's parallel cost
+model and declares its transient allocations to the metrics recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.engine import kernels
+from repro.engine.executor import (
+    AGGREGATE_PHASE,
+    BUILD_PHASE,
+    COST_AGGREGATE,
+    COST_BUILD,
+    COST_MATERIALIZE,
+    COST_PROBE,
+    COST_SCAN,
+    PROBE_PHASE,
+    SCAN_PHASE,
+    ParallelCostModel,
+    PhaseKind,
+    split_tasks,
+)
+from repro.engine.expressions import (
+    Frame,
+    evaluate,
+    evaluate_comparison,
+    expr_aliases,
+)
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.optimizer import choose_build_side, order_tables_by_estimate
+from repro.sql import ast
+from repro.storage.block import block_count
+from repro.storage.catalog import Catalog
+
+#: Modeled per-entry overhead of a join hash table (bucket pointer + next).
+HASH_ENTRY_OVERHEAD = 24
+
+#: Hard cap on a single join's output cardinality. QuickStep would spill
+#: such an intermediate to disk and (on the paper's dense workloads)
+#: subsequently die; we surface it as the same OOM failure. This also
+#: bounds host-side allocations independent of the modeled budget.
+HARD_JOIN_ROWS = 30_000_000
+
+
+@dataclass
+class ExecutionContext:
+    """Everything operators need: catalog, metrics, and the cost model."""
+
+    catalog: Catalog
+    metrics: MetricsRecorder
+    cost_model: ParallelCostModel
+
+    def charge_parallel(self, kind: PhaseKind, total_cost: float, rows_hint: int) -> None:
+        """Run a data-parallel phase through the scheduler and the clock."""
+        tasks = split_tasks(total_cost, block_count(rows_hint))
+        outcome = self.cost_model.run_phase(kind, tasks)
+        self.metrics.advance(outcome.makespan, outcome.efficiency)
+
+    def estimated_rows(self, table_name: str) -> int:
+        return self.catalog.get_stats(table_name).num_rows
+
+
+# --------------------------------------------------------------------------
+# Predicate classification
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _JoinEdge:
+    """Equality predicate linking exactly two aliases."""
+
+    alias_a: str
+    expr_a: ast.Expr
+    alias_b: str
+    expr_b: ast.Expr
+
+    def key_for(self, alias: str) -> ast.Expr:
+        if alias == self.alias_a:
+            return self.expr_a
+        if alias == self.alias_b:
+            return self.expr_b
+        raise PlanError(f"alias {alias!r} not part of join edge")
+
+    def other(self, alias: str) -> str:
+        return self.alias_b if alias == self.alias_a else self.alias_a
+
+
+@dataclass
+class _ClassifiedPredicates:
+    join_edges: list[_JoinEdge]
+    filters: list[tuple[set[str], ast.Comparison]]
+    anti_joins: list[ast.NotExists]
+
+
+def _classify_predicates(
+    select: ast.Select, schemas: dict[str, tuple[str, ...]]
+) -> _ClassifiedPredicates:
+    join_edges: list[_JoinEdge] = []
+    filters: list[tuple[set[str], ast.Comparison]] = []
+    anti_joins: list[ast.NotExists] = []
+    for predicate in select.where:
+        if isinstance(predicate, ast.NotExists):
+            anti_joins.append(predicate)
+            continue
+        left_aliases = expr_aliases(predicate.left, schemas)
+        right_aliases = expr_aliases(predicate.right, schemas)
+        if (
+            predicate.op == "="
+            and len(left_aliases) == 1
+            and len(right_aliases) == 1
+            and left_aliases != right_aliases
+        ):
+            (alias_a,) = left_aliases
+            (alias_b,) = right_aliases
+            join_edges.append(_JoinEdge(alias_a, predicate.left, alias_b, predicate.right))
+        else:
+            filters.append((left_aliases | right_aliases, predicate))
+    return _ClassifiedPredicates(join_edges, filters, anti_joins)
+
+
+# --------------------------------------------------------------------------
+# Join pipeline
+# --------------------------------------------------------------------------
+
+
+def _scan_table(alias: str, table_name: str, ctx: ExecutionContext) -> Frame:
+    table = ctx.catalog.get_table(table_name)
+    data = table.data()
+    ctx.charge_parallel(SCAN_PHASE, table.num_rows * COST_SCAN, table.num_rows)
+    return Frame.from_table(alias, data, table.column_names)
+
+
+def _apply_ready_filters(
+    frame: Frame,
+    bound: set[str],
+    classified: _ClassifiedPredicates,
+    applied: set[int],
+    ctx: ExecutionContext,
+) -> Frame:
+    for index, (aliases, predicate) in enumerate(classified.filters):
+        if index in applied or not aliases <= bound:
+            continue
+        mask = evaluate_comparison(predicate, frame)
+        ctx.charge_parallel(SCAN_PHASE, len(frame) * COST_SCAN, len(frame))
+        frame = frame.select(mask)
+        applied.add(index)
+    return frame
+
+
+def _join_frame_with_alias(
+    frame: Frame,
+    frame_estimate: int,
+    alias: str,
+    table_name: str,
+    edges: list[_JoinEdge],
+    ctx: ExecutionContext,
+) -> Frame:
+    """Hash-join the running frame with a new base table."""
+    new_frame = _scan_table(alias, table_name, ctx)
+    right_estimate = ctx.estimated_rows(table_name)
+
+    if not edges:
+        # Cross product (e.g. node(x), node(y) in the NTC program).
+        n, m = len(frame), len(new_frame)
+        width = len(frame.indices) + 1
+        # Reserve the output *before* materializing so oversized products
+        # die as modeled OOMs, not host allocations.
+        ctx.metrics.allocate_transient(n * m * 8 * width)
+        left_positions = np.repeat(np.arange(n, dtype=np.int64), m)
+        right_positions = np.tile(np.arange(m, dtype=np.int64), n)
+        ctx.charge_parallel(PROBE_PHASE, (n * m) * COST_MATERIALIZE, n)
+        result = frame.joined_with(
+            alias, new_frame.bases[alias], new_frame.schemas[alias],
+            left_positions, new_frame.indices[alias][right_positions],
+        )
+        ctx.metrics.release_transient(n * m * 8 * width)
+        _charge_frame_materialization(result, ctx)
+        return result
+
+    left_keys = [evaluate(edge.key_for(edge.other(alias)), frame) for edge in edges]
+    right_keys = [evaluate(edge.key_for(alias), new_frame) for edge in edges]
+    left_key, right_key = kernels.make_join_keys(left_keys, right_keys)
+
+    # The *decision* uses optimizer estimates (possibly stale); the *cost*
+    # uses true sizes. A stale decision builds the hash table on the truly
+    # larger side — slower and bigger, exactly the OOF-NA penalty.
+    decision = choose_build_side(frame_estimate, right_estimate)
+    true_left, true_right = len(frame), len(new_frame)
+    if decision.build_left:
+        build_rows, probe_rows = true_left, true_right
+    else:
+        build_rows, probe_rows = true_right, true_left
+    hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
+    ctx.metrics.allocate_transient(hash_bytes)
+    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
+    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+
+    # Reserve the join output before it exists: an intermediate too big
+    # for the modeled budget must OOM here, not in the host allocator.
+    out_rows = kernels.equi_join_count(left_key, right_key)
+    if out_rows > HARD_JOIN_ROWS:
+        from repro.common.errors import OutOfMemoryError
+
+        raise OutOfMemoryError(
+            f"join intermediate of {out_rows} rows exceeds the spill limit"
+        )
+    out_width = len(frame.indices) + 1
+    out_bytes = out_rows * 8 * out_width
+    ctx.metrics.allocate_transient(out_bytes)
+    left_positions, right_positions = kernels.equi_join_indices(left_key, right_key)
+    result = frame.joined_with(
+        alias,
+        new_frame.bases[alias],
+        new_frame.schemas[alias],
+        left_positions,
+        new_frame.indices[alias][right_positions],
+    )
+    ctx.metrics.release_transient(out_bytes)
+    _charge_frame_materialization(result, ctx)
+    ctx.metrics.release_transient(hash_bytes)
+    return result
+
+
+def _charge_frame_materialization(frame: Frame, ctx: ExecutionContext) -> None:
+    rows = len(frame)
+    width = len(frame.indices)
+    ctx.metrics.allocate_transient(rows * 8 * width)
+    ctx.charge_parallel(PROBE_PHASE, rows * COST_MATERIALIZE, rows)
+    ctx.metrics.release_transient(rows * 8 * width)
+
+
+def _build_join_frame(select: ast.Select, ctx: ExecutionContext) -> Frame:
+    schemas: dict[str, tuple[str, ...]] = {}
+    table_of: dict[str, str] = {}
+    for ref in select.tables:
+        if ref.alias in schemas:
+            raise PlanError(f"duplicate alias {ref.alias!r}")
+        schemas[ref.alias] = ctx.catalog.get_table(ref.table).column_names
+        table_of[ref.alias] = ref.table
+
+    classified = _classify_predicates(select, schemas)
+    estimates = {alias: ctx.estimated_rows(table_of[alias]) for alias in schemas}
+    ordered = order_tables_by_estimate(estimates)
+
+    applied_filters: set[int] = set()
+    start = ordered[0]
+    frame = _scan_table(start, table_of[start], ctx)
+    frame = _apply_ready_filters(frame, {start}, classified, applied_filters, ctx)
+    bound = {start}
+    remaining = [alias for alias in ordered if alias != start]
+    frame_estimate = estimates[start]
+
+    while remaining:
+        connected = [
+            alias
+            for alias in remaining
+            if any(
+                {edge.alias_a, edge.alias_b} == {alias, other}
+                for edge in classified.join_edges
+                for other in bound
+            )
+        ]
+        next_alias = connected[0] if connected else remaining[0]
+        edges = [
+            edge
+            for edge in classified.join_edges
+            if next_alias in (edge.alias_a, edge.alias_b)
+            and edge.other(next_alias) in bound
+        ]
+        frame = _join_frame_with_alias(
+            frame, frame_estimate, next_alias, table_of[next_alias], edges, ctx
+        )
+        bound.add(next_alias)
+        remaining.remove(next_alias)
+        frame = _apply_ready_filters(frame, bound, classified, applied_filters, ctx)
+        # After materializing, the pipeline knows the true cardinality.
+        frame_estimate = len(frame)
+
+    if len(applied_filters) != len(classified.filters):
+        raise PlanError("some WHERE predicates reference unknown aliases")
+
+    for anti in classified.anti_joins:
+        frame = _apply_anti_join(frame, anti, ctx)
+    return frame
+
+
+# --------------------------------------------------------------------------
+# NOT EXISTS anti-join
+# --------------------------------------------------------------------------
+
+
+def _apply_anti_join(frame: Frame, anti: ast.NotExists, ctx: ExecutionContext) -> Frame:
+    sub = anti.subquery
+    inner_schemas: dict[str, tuple[str, ...]] = {}
+    for ref in sub.tables:
+        inner_schemas[ref.alias] = ctx.catalog.get_table(ref.table).column_names
+
+    inner_predicates: list[ast.Predicate] = []
+    correlated: list[tuple[ast.Expr, ast.Expr]] = []  # (outer expr, inner expr)
+    for predicate in sub.where:
+        if isinstance(predicate, ast.NotExists):
+            raise PlanError("nested NOT EXISTS is not supported")
+        left_inner = _is_inner(predicate.left, inner_schemas, frame)
+        right_inner = _is_inner(predicate.right, inner_schemas, frame)
+        if left_inner and right_inner:
+            inner_predicates.append(predicate)
+        elif predicate.op == "=" and left_inner != right_inner:
+            outer_expr, inner_expr = (
+                (predicate.right, predicate.left)
+                if left_inner
+                else (predicate.left, predicate.right)
+            )
+            correlated.append((outer_expr, inner_expr))
+        else:
+            raise PlanError(f"unsupported correlated predicate {predicate}")
+    if not correlated:
+        raise PlanError("NOT EXISTS subquery must correlate with the outer query")
+
+    inner_select = ast.Select(
+        items=tuple(
+            ast.SelectItem(ast.Literal(1), None) for _ in correlated
+        ),  # items unused; we join on raw expressions below
+        tables=sub.tables,
+        where=tuple(inner_predicates),
+    )
+    inner_frame = _build_join_frame(inner_select, ctx)
+
+    outer_keys = [evaluate(outer_expr, frame) for outer_expr, _ in correlated]
+    inner_keys = [evaluate(inner_expr, inner_frame) for _, inner_expr in correlated]
+    left_key, right_key = kernels.make_join_keys(outer_keys, inner_keys)
+
+    hash_bytes = len(inner_frame) * (8 + HASH_ENTRY_OVERHEAD)
+    ctx.metrics.allocate_transient(hash_bytes)
+    ctx.charge_parallel(BUILD_PHASE, len(inner_frame) * COST_BUILD, len(inner_frame))
+    ctx.charge_parallel(PROBE_PHASE, len(frame) * COST_PROBE, len(frame))
+    mask = kernels.anti_join_mask(left_key, right_key)
+    ctx.metrics.release_transient(hash_bytes)
+    return frame.select(mask)
+
+
+def _is_inner(
+    expr: ast.Expr, inner_schemas: dict[str, tuple[str, ...]], outer_frame: Frame
+) -> bool:
+    """True if the expression refers to the subquery's own tables."""
+    if isinstance(expr, ast.Literal):
+        return True
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is not None:
+            if expr.table in inner_schemas:
+                return True
+            if expr.table in outer_frame.schemas:
+                return False
+            raise PlanError(f"unknown alias {expr.table!r} in NOT EXISTS")
+        inner_owner = any(expr.column in schema for schema in inner_schemas.values())
+        outer_owner = any(expr.column in schema for schema in outer_frame.schemas.values())
+        if inner_owner and not outer_owner:
+            return True
+        if outer_owner and not inner_owner:
+            return False
+        raise PlanError(f"ambiguous column {expr.column!r} in NOT EXISTS")
+    if isinstance(expr, ast.BinaryOp):
+        sides = {
+            _is_inner(expr.left, inner_schemas, outer_frame),
+            _is_inner(expr.right, inner_schemas, outer_frame),
+        }
+        if len(sides) == 1:
+            return sides.pop()
+        raise PlanError("expression mixes inner and outer columns")
+    raise PlanError(f"unsupported expression in NOT EXISTS: {expr!r}")
+
+
+# --------------------------------------------------------------------------
+# Projection and aggregation
+# --------------------------------------------------------------------------
+
+
+def _has_aggregates(select: ast.Select) -> bool:
+    return any(isinstance(item.expr, ast.AggregateCall) for item in select.items)
+
+
+def _project(select: ast.Select, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
+    columns = [evaluate(item.expr, frame) for item in select.items]
+    rows = len(frame)
+    ctx.charge_parallel(SCAN_PHASE, rows * COST_MATERIALIZE * len(columns), rows)
+    if not columns:
+        raise PlanError("SELECT list is empty")
+    result = np.column_stack(columns) if rows else np.empty((0, len(columns)), np.int64)
+    if select.distinct:
+        ctx.charge_parallel(AGGREGATE_PHASE, rows * COST_AGGREGATE, rows)
+        result = kernels.unique_rows(result)
+    return result
+
+
+def _aggregate(select: ast.Select, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
+    group_exprs = list(select.group_by)
+    item_plan: list[tuple[str, int]] = []  # ("group", idx) or ("agg", idx)
+    agg_specs: list[tuple[str, np.ndarray]] = []
+    group_columns = [evaluate(expr, frame) for expr in group_exprs]
+    group_repr = [str(expr) for expr in group_exprs]
+
+    for item in select.items:
+        if isinstance(item.expr, ast.AggregateCall):
+            values = evaluate(item.expr.argument, frame)
+            item_plan.append(("agg", len(agg_specs)))
+            agg_specs.append((item.expr.func, values))
+        else:
+            text = str(item.expr)
+            if text not in group_repr:
+                raise PlanError(
+                    f"non-aggregate item {text} must appear in GROUP BY"
+                )
+            item_plan.append(("group", group_repr.index(text)))
+
+    rows = len(frame)
+    ctx.metrics.allocate_transient(rows * 16)
+    ctx.charge_parallel(AGGREGATE_PHASE, rows * COST_AGGREGATE, rows)
+    group_keys, agg_outputs = kernels.group_aggregate(group_columns, agg_specs)
+    ctx.metrics.release_transient(rows * 16)
+
+    if group_columns and group_keys.shape[0] == 0:
+        return np.empty((0, len(select.items)), dtype=np.int64)
+    out_columns: list[np.ndarray] = []
+    for kind, index in item_plan:
+        if kind == "group":
+            out_columns.append(group_keys[:, index])
+        else:
+            out_columns.append(agg_outputs[index])
+    return np.column_stack(out_columns)
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+def run_select(select: ast.Select, ctx: ExecutionContext) -> np.ndarray:
+    """Execute one SELECT block, returning an (n, items) int64 matrix."""
+    frame = _build_join_frame(select, ctx)
+    if _has_aggregates(select) or select.group_by:
+        return _aggregate(select, frame, ctx)
+    return _project(select, frame, ctx)
+
+
+def run_query(query: ast.Query, ctx: ExecutionContext) -> np.ndarray:
+    """Execute a SELECT or UNION ALL of SELECTs (bag semantics)."""
+    if isinstance(query, ast.Select):
+        return run_select(query, ctx)
+    parts = [run_select(select, ctx) for select in query.selects]
+    widths = {part.shape[1] for part in parts}
+    if len(widths) != 1:
+        raise PlanError(f"UNION ALL arms have differing widths {sorted(widths)}")
+    return np.vstack(parts)

@@ -1,0 +1,39 @@
+"""Cost-based planning decisions.
+
+The optimizer sees *catalog statistics*, not live tables. Statistics are
+refreshed only by explicit ANALYZE calls, so when the interpreter runs
+with OOF disabled (OOF-NA) the estimates here go stale and the planner
+keeps picking first-iteration join orders and build sides — the exact
+failure mode Figure 2 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.executor import COST_BUILD, COST_PROBE
+
+
+@dataclass(frozen=True)
+class BuildSideDecision:
+    """Which join input the hash table is built on."""
+
+    build_left: bool
+    estimated_build_rows: int
+
+
+def choose_build_side(left_estimate: int, right_estimate: int) -> BuildSideDecision:
+    """Build on the side the statistics claim is smaller (ties: left)."""
+    if left_estimate <= right_estimate:
+        return BuildSideDecision(build_left=True, estimated_build_rows=left_estimate)
+    return BuildSideDecision(build_left=False, estimated_build_rows=right_estimate)
+
+
+def join_cost_estimate(build_rows: int, probe_rows: int) -> float:
+    """Estimated cost of a hash join given the chosen build side."""
+    return build_rows * COST_BUILD + probe_rows * COST_PROBE
+
+
+def order_tables_by_estimate(estimates: dict[str, int]) -> list[str]:
+    """Aliases ordered by estimated cardinality (ascending, name-stable)."""
+    return sorted(estimates, key=lambda alias: (estimates[alias], alias))

@@ -1,0 +1,91 @@
+"""Set-difference strategies: OPSD and TPSD (paper Appendix A).
+
+Semi-naive evaluation computes ``delta = R_delta - R`` at every iteration
+of every IDB. The two SQL translations differ in what gets hashed:
+
+* **OPSD** (one-phase): build a hash table on the full recursive relation
+  ``R`` and anti-probe with ``R_delta``. Build cost grows with ``|R|``
+  every iteration.
+* **TPSD** (two-phase): hash the *smaller* of the two inputs to compute
+  the intersection ``r``, then hash ``r`` and anti-probe ``R_delta``.
+  More operators, but never builds on the (monotonically growing) ``R``.
+
+Both return exactly ``set(R_delta) - set(R)``; the DSD policy in
+``repro.core.setdiff_policy`` picks between them per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import kernels
+from repro.engine.executor import BUILD_PHASE, COST_BUILD, COST_PROBE, PROBE_PHASE
+from repro.engine.operators import HASH_ENTRY_OVERHEAD, ExecutionContext
+
+
+@dataclass(frozen=True)
+class SetDifferenceOutcome:
+    delta: np.ndarray
+    strategy: str
+    intersection_size: int | None  # TPSD only
+
+
+def _keys_for(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    left_cols = [left[:, i] for i in range(left.shape[1])]
+    right_cols = [right[:, i] for i in range(right.shape[1])]
+    return kernels.make_join_keys(left_cols, right_cols)
+
+
+def one_phase_set_difference(
+    new_rows: np.ndarray, existing_rows: np.ndarray, ctx: ExecutionContext
+) -> SetDifferenceOutcome:
+    """OPSD: hash ``existing_rows`` (R), anti-probe with ``new_rows``."""
+    build_rows = existing_rows.shape[0]
+    probe_rows = new_rows.shape[0]
+    hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
+    ctx.metrics.allocate_transient(hash_bytes)
+    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
+    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    new_unique = kernels.unique_rows(new_rows)
+    if build_rows == 0:
+        delta = new_unique
+    else:
+        new_keys, old_keys = _keys_for(new_unique, existing_rows)
+        delta = new_unique[kernels.anti_join_mask(new_keys, old_keys)]
+    ctx.metrics.release_transient(hash_bytes)
+    return SetDifferenceOutcome(delta=delta, strategy="OPSD", intersection_size=None)
+
+
+def two_phase_set_difference(
+    new_rows: np.ndarray, existing_rows: np.ndarray, ctx: ExecutionContext
+) -> SetDifferenceOutcome:
+    """TPSD: intersect hashing the smaller side, then subtract the intersection."""
+    n_new = new_rows.shape[0]
+    n_old = existing_rows.shape[0]
+
+    # Phase 1: r = R_delta ∩ R, building on the smaller input.
+    build_rows = min(n_new, n_old)
+    probe_rows = max(n_new, n_old)
+    phase1_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
+    ctx.metrics.allocate_transient(phase1_bytes)
+    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
+    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    intersection = kernels.rows_intersection(new_rows, existing_rows)
+    ctx.metrics.release_transient(phase1_bytes)
+
+    # Phase 2: delta = R_delta - r, building on (the usually tiny) r.
+    r_rows = intersection.shape[0]
+    phase2_bytes = r_rows * (8 + HASH_ENTRY_OVERHEAD)
+    ctx.metrics.allocate_transient(phase2_bytes)
+    ctx.charge_parallel(BUILD_PHASE, r_rows * COST_BUILD, r_rows)
+    ctx.charge_parallel(PROBE_PHASE, n_new * COST_PROBE, n_new)
+    if r_rows == 0:
+        delta = kernels.unique_rows(new_rows)
+    else:
+        new_unique = kernels.unique_rows(new_rows)
+        new_keys, r_keys = _keys_for(new_unique, intersection)
+        delta = new_unique[kernels.anti_join_mask(new_keys, r_keys)]
+    ctx.metrics.release_transient(phase2_bytes)
+    return SetDifferenceOutcome(delta=delta, strategy="TPSD", intersection_size=r_rows)

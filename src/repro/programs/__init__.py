@@ -1,0 +1,10 @@
+"""The paper's benchmark Datalog programs (Section 6.2)."""
+
+from repro.programs.library import (
+    ALL_PROGRAMS,
+    ProgramSpec,
+    get_program,
+    program_names,
+)
+
+__all__ = ["ALL_PROGRAMS", "ProgramSpec", "get_program", "program_names"]

@@ -1,0 +1,13 @@
+"""Mini-SQL frontend.
+
+Implements exactly the SQL subset RecStep's query generator emits:
+CREATE/DROP TABLE, INSERT INTO ... VALUES, INSERT INTO ... SELECT,
+SELECT with inner equi-joins, WHERE conjunctions, NOT EXISTS anti-joins,
+arithmetic expressions, GROUP BY aggregation (MIN/MAX/SUM/COUNT/AVG),
+UNION ALL, DELETE FROM (truncate) and ANALYZE.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement, parse_script
+
+__all__ = ["tokenize", "parse_statement", "parse_script"]

@@ -1,0 +1,206 @@
+"""AST node types for the mini-SQL dialect.
+
+The nodes are deliberately close to the textual dialect; binding against
+the catalog and lowering to physical operators happens in ``repro.engine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.column import ColumnType
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for scalar expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """``alias.column`` or bare ``column`` reference."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic: ``left op right`` with op in {+, -, *}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """``MIN(expr)`` etc. Only valid in a SELECT item."""
+
+    func: str  # MIN | MAX | SUM | COUNT | AVG
+    argument: Expr
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.argument})"
+
+
+# --------------------------------------------------------------------------
+# Predicates
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in {=, <>, !=, <, <=, >, >=}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class NotExists:
+    """``NOT EXISTS (SELECT ...)`` — compiled to an anti-join."""
+
+    subquery: "Select"
+
+    def __str__(self) -> str:
+        return f"NOT EXISTS ({self.subquery})"
+
+
+Predicate = Comparison | NotExists
+
+
+# --------------------------------------------------------------------------
+# Queries and statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: str
+
+    def __str__(self) -> str:
+        return self.table if self.table == self.alias else f"{self.table} {self.alias}"
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT block (a UNION ALL arm)."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: tuple[Predicate, ...] = ()
+    group_by: tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        parts = ["SELECT "]
+        if self.distinct:
+            parts.append("DISTINCT ")
+        parts.append(", ".join(str(item) for item in self.items))
+        parts.append(" FROM " + ", ".join(str(ref) for ref in self.tables))
+        if self.where:
+            parts.append(" WHERE " + " AND ".join(str(p) for p in self.where))
+        if self.group_by:
+            parts.append(" GROUP BY " + ", ".join(str(e) for e in self.group_by))
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class UnionAll:
+    """``SELECT ... UNION ALL SELECT ...`` — the UIE vehicle."""
+
+    selects: tuple[Select, ...]
+
+    def __str__(self) -> str:
+        return " UNION ALL ".join(str(select) for select in self.selects)
+
+
+Query = Select | UnionAll
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[tuple[str, ColumnType], ...]
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    table: str
+    rows: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class InsertSelect:
+    table: str
+    query: Query
+
+
+@dataclass(frozen=True)
+class DeleteAll:
+    table: str
+
+
+@dataclass(frozen=True)
+class Analyze:
+    table: str
+    full: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    query: Query
+
+
+Statement = (
+    CreateTable
+    | DropTable
+    | InsertValues
+    | InsertSelect
+    | DeleteAll
+    | Analyze
+    | SelectStatement
+)
+
+
+@dataclass
+class Script:
+    statements: list[Statement] = field(default_factory=list)

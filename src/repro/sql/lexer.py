@@ -1,0 +1,48 @@
+"""Hand-rolled lexer for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.tokens import KEYWORDS, SYMBOLS, Token, TokenType
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with a single END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token(TokenType.SYMBOL, symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {char!r}", position=index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,310 @@
+"""Recursive-descent parser for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import AGGREGATE_KEYWORDS, Token, TokenType
+from repro.storage.column import ColumnType
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.ttype is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise SqlSyntaxError(
+                f"expected {' or '.join(names)}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_symbol(self, *symbols: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(*symbols):
+            raise SqlSyntaxError(
+                f"expected {' or '.join(symbols)}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.ttype is not TokenType.IDENT:
+            raise SqlSyntaxError(f"expected identifier, found {token.text!r}", token.position)
+        self._advance()
+        return token.text
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, *symbols: str) -> bool:
+        if self._peek().is_symbol(*symbols):
+            self._advance()
+            return True
+        return False
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("CREATE"):
+            return self._parse_create()
+        if token.is_keyword("DROP"):
+            return self._parse_drop()
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("ANALYZE"):
+            return self._parse_analyze()
+        if token.is_keyword("SELECT"):
+            return ast.SelectStatement(self._parse_query())
+        raise SqlSyntaxError(f"unexpected token {token.text!r}", token.position)
+
+    def parse_script(self) -> ast.Script:
+        script = ast.Script()
+        while self._peek().ttype is not TokenType.END:
+            script.statements.append(self.parse_statement())
+            while self._accept_symbol(";"):
+                pass
+        return script
+
+    def finish_statement(self) -> None:
+        self._accept_symbol(";")
+        token = self._peek()
+        if token.ttype is not TokenType.END:
+            raise SqlSyntaxError(f"trailing input {token.text!r}", token.position)
+
+    def _parse_create(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        columns: list[tuple[str, ColumnType]] = []
+        while True:
+            column = self._expect_ident()
+            type_token = self._peek()
+            if type_token.is_keyword("INT", "BIGINT"):
+                self._advance()
+                ctype = ColumnType.parse(type_token.text)
+            else:
+                ctype = ColumnType.INT
+            columns.append((column, ctype))
+            if not self._accept_symbol(","):
+                break
+        self._expect_symbol(")")
+        return ast.CreateTable(name, tuple(columns))
+
+    def _parse_drop(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        return ast.DropTable(self._expect_ident())
+
+    def _parse_insert(self) -> ast.Statement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        if self._peek().is_keyword("VALUES"):
+            self._advance()
+            rows: list[tuple[int, ...]] = []
+            while True:
+                self._expect_symbol("(")
+                row: list[int] = []
+                while True:
+                    row.append(self._parse_signed_number())
+                    if not self._accept_symbol(","):
+                        break
+                self._expect_symbol(")")
+                rows.append(tuple(row))
+                if not self._accept_symbol(","):
+                    break
+            return ast.InsertValues(table, tuple(rows))
+        return ast.InsertSelect(table, self._parse_query())
+
+    def _parse_delete(self) -> ast.DeleteAll:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        return ast.DeleteAll(self._expect_ident())
+
+    def _parse_analyze(self) -> ast.Analyze:
+        self._expect_keyword("ANALYZE")
+        table = self._expect_ident()
+        full = self._accept_keyword("FULL")
+        return ast.Analyze(table, full=full)
+
+    def _parse_signed_number(self) -> int:
+        negative = self._accept_symbol("-")
+        token = self._peek()
+        if token.ttype is not TokenType.NUMBER:
+            raise SqlSyntaxError(f"expected number, found {token.text!r}", token.position)
+        self._advance()
+        value = int(token.text)
+        return -value if negative else value
+
+    # -- queries ---------------------------------------------------------------
+
+    def _parse_query(self) -> ast.Query:
+        selects = [self._parse_select()]
+        while True:
+            checkpoint = self._index
+            if self._accept_keyword("UNION"):
+                if not self._accept_keyword("ALL"):
+                    raise SqlSyntaxError(
+                        "only UNION ALL is supported (dedup is explicit)",
+                        self._peek().position,
+                    )
+                selects.append(self._parse_select())
+            else:
+                self._index = checkpoint
+                break
+        if len(selects) == 1:
+            return selects[0]
+        return ast.UnionAll(tuple(selects))
+
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = [self._parse_select_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        while self._accept_symbol(","):
+            tables.append(self._parse_table_ref())
+        where: list[ast.Predicate] = []
+        if self._accept_keyword("WHERE"):
+            where.append(self._parse_predicate())
+            while self._accept_keyword("AND"):
+                where.append(self._parse_predicate())
+        group_by: list[ast.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept_symbol(","):
+                group_by.append(self._parse_expr())
+        return ast.Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=tuple(where),
+            group_by=tuple(group_by),
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        table = self._expect_ident()
+        token = self._peek()
+        if token.ttype is TokenType.IDENT:
+            self._advance()
+            return ast.TableRef(table, token.text)
+        return ast.TableRef(table, table)
+
+    # -- predicates --------------------------------------------------------------
+
+    def _parse_predicate(self) -> ast.Predicate:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            self._expect_keyword("EXISTS")
+            self._expect_symbol("(")
+            subquery = self._parse_select()
+            self._expect_symbol(")")
+            return ast.NotExists(subquery)
+        left = self._parse_expr()
+        token = self._peek()
+        if not token.is_symbol("=", "<>", "!=", "<", "<=", ">", ">="):
+            raise SqlSyntaxError(f"expected comparison, found {token.text!r}", token.position)
+        self._advance()
+        op = "<>" if token.text == "!=" else token.text
+        right = self._parse_expr()
+        return ast.Comparison(op, left, right)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().is_symbol("+", "-"):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_primary()
+        while self._peek().is_symbol("*"):
+            self._advance()
+            right = self._parse_primary()
+            left = ast.BinaryOp("*", left, right)
+        return left
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.ttype is TokenType.KEYWORD and token.text in AGGREGATE_KEYWORDS:
+            self._advance()
+            self._expect_symbol("(")
+            if token.text == "COUNT" and self._peek().is_symbol("*"):
+                self._advance()
+                argument: ast.Expr = ast.Literal(1)
+            else:
+                argument = self._parse_expr()
+            self._expect_symbol(")")
+            return ast.AggregateCall(token.text, argument)
+        if token.ttype is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(int(token.text))
+        if token.is_symbol("-"):
+            self._advance()
+            inner = self._parse_primary()
+            if isinstance(inner, ast.Literal):
+                return ast.Literal(-inner.value)
+            return ast.BinaryOp("-", ast.Literal(0), inner)
+        if token.is_symbol("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_symbol(")")
+            return expr
+        if token.ttype is TokenType.IDENT:
+            self._advance()
+            if self._accept_symbol("."):
+                column = self._expect_ident()
+                return ast.ColumnRef(token.text, column)
+            return ast.ColumnRef(None, token.text)
+        raise SqlSyntaxError(f"expected expression, found {token.text!r}", token.position)
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse a single statement (trailing ``;`` allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.finish_statement()
+    return statement
+
+
+def parse_script(text: str) -> ast.Script:
+    """Parse a ``;``-separated sequence of statements."""
+    return _Parser(tokenize(text)).parse_script()

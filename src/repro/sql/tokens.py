@@ -1,0 +1,39 @@
+"""Token definitions for the mini-SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "EXISTS", "AS",
+    "INSERT", "INTO", "VALUES", "CREATE", "DROP", "TABLE", "DELETE",
+    "UNION", "ALL", "GROUP", "BY", "ANALYZE", "FULL", "DISTINCT",
+    "MIN", "MAX", "SUM", "COUNT", "AVG", "INT", "BIGINT",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "!=", "(", ")", ",", ".", ";", "*", "+", "-", "=", "<", ">")
+
+AGGREGATE_KEYWORDS = {"MIN", "MAX", "SUM", "COUNT", "AVG"}
+
+
+@dataclass(frozen=True)
+class Token:
+    ttype: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.ttype is TokenType.KEYWORD and self.text in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.ttype is TokenType.SYMBOL and self.text in symbols

@@ -1,0 +1,27 @@
+"""In-memory columnar storage substrate (the QuickStep stand-in).
+
+Tables hold fixed-width integer tuples in block-partitioned NumPy storage.
+The catalog tracks schemas and (explicitly refreshed) statistics, and the
+storage manager models persistence so the EOST optimization has an I/O
+cost to remove.
+"""
+
+from repro.storage.block import BLOCK_ROWS, iter_blocks
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnSchema, ColumnType
+from repro.storage.manager import StorageManager
+from repro.storage.stats import StatsMode, TableStats, collect_stats
+from repro.storage.table import Table
+
+__all__ = [
+    "BLOCK_ROWS",
+    "iter_blocks",
+    "Catalog",
+    "ColumnSchema",
+    "ColumnType",
+    "StorageManager",
+    "StatsMode",
+    "TableStats",
+    "collect_stats",
+    "Table",
+]

@@ -1,0 +1,39 @@
+"""Block partitioning of table storage.
+
+QuickStep stores tables as independent blocks that its scheduler hands to
+worker threads; we reproduce that by carving each table's row array into
+fixed-size row ranges. The executor turns each block into one task, so the
+block size is the unit of intra-operator parallelism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+#: Rows per storage block. Chosen so the scaled-down datasets still span
+#: enough blocks to keep all simulated workers busy (QuickStep's blocks are
+#: a few MB; our data is ~1/100 scale, so blocks shrink accordingly), while
+#: genuinely small deltas stay single-block — reproducing the paper's
+#: observation that small per-iteration inputs underutilize the cores.
+BLOCK_ROWS = 1 << 12
+
+
+def iter_blocks(rows: np.ndarray, block_rows: int = BLOCK_ROWS) -> Iterator[np.ndarray]:
+    """Yield consecutive row-range views of ``rows``.
+
+    Views, not copies: operators may read blocks but must not mutate them.
+    """
+    if block_rows <= 0:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
+    total = rows.shape[0]
+    for start in range(0, total, block_rows):
+        yield rows[start : start + block_rows]
+
+
+def block_count(num_rows: int, block_rows: int = BLOCK_ROWS) -> int:
+    """Number of blocks a table with ``num_rows`` rows occupies (min 1)."""
+    if num_rows <= 0:
+        return 1
+    return (num_rows + block_rows - 1) // block_rows

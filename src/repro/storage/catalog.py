@@ -1,0 +1,76 @@
+"""The catalog: schemas plus optimizer statistics.
+
+Statistics updates are explicit (the interpreter calls ``analyze``),
+mirroring Algorithm 1's ``analyze(R)`` calls and making the OOF ablation
+(stale vs. targeted vs. full statistics) observable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import CatalogError
+from repro.storage.column import ColumnSchema
+from repro.storage.stats import StatsMode, TableStats, collect_stats
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Name -> (table, stats) mapping with CREATE/DROP semantics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def create_table(self, name: str, columns: Sequence[ColumnSchema]) -> Table:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        self._stats[name] = TableStats(tuple_bytes=table.tuple_bytes())
+        return table
+
+    def adopt_table(self, table: Table) -> Table:
+        """Register an externally built table (dataset loaders use this)."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        self._stats[table.name] = TableStats(
+            num_rows=table.num_rows, tuple_bytes=table.tuple_bytes()
+        )
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+        del self._stats[name]
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def get_stats(self, name: str) -> TableStats:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def analyze(self, name: str, mode: StatsMode = StatsMode.SIZE_ONLY) -> float:
+        """Refresh statistics for ``name``; returns the modeled cost."""
+        table = self.get_table(name)
+        stats, cost = collect_stats(table, mode, previous=self._stats.get(name))
+        self._stats[name] = stats
+        return cost
+
+    def total_memory_bytes(self) -> int:
+        """Modeled bytes resident across all tables (memory traces)."""
+        return sum(table.memory_bytes() for table in self._tables.values())

@@ -1,0 +1,45 @@
+"""Column schema descriptors.
+
+The engine is an integer machine, like the paper's setting: "The inputs of
+Datalog programs are usually integers transformed by mapping the active
+domain of the original data" (Section 5.2, footnote 2). All columns are
+64-bit integers at the storage level; ``ColumnType`` records the declared
+logical type for width-aware optimizations such as the compact concatenated
+key used by FAST-DEDUP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the mini-SQL dialect."""
+
+    INT = "INT"        # 32-bit logical width (storage is int64)
+    BIGINT = "BIGINT"  # full 64-bit width
+
+    @property
+    def logical_bytes(self) -> int:
+        return 4 if self is ColumnType.INT else 8
+
+    @classmethod
+    def parse(cls, text: str) -> "ColumnType":
+        normalized = text.strip().upper()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(f"unknown column type {text!r}")
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Name and logical type of one table column."""
+
+    name: str
+    ctype: ColumnType = ColumnType.INT
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid column name {self.name!r}")

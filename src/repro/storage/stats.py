@@ -1,0 +1,98 @@
+"""Table statistics and the ANALYZE machinery behind OOF.
+
+The paper's Optimization-On-the-Fly collects *targeted* statistics at every
+iteration instead of either never re-analyzing (OOF-NA) or re-collecting
+everything (OOF-FA). We model three collection modes with different costs:
+
+* ``SIZE_ONLY``  — row count + tuple width; O(1). What OOF uses for joins.
+* ``FULL``       — adds min/max/sum/avg and a distinct estimate per column;
+                   requires a full scan. What OOF-FA always pays.
+* ``NONE``       — statistics frozen at their last value (OOF-NA).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.table import Table
+
+
+class StatsMode(enum.Enum):
+    NONE = "none"
+    SIZE_ONLY = "size_only"
+    FULL = "full"
+
+
+@dataclass
+class ColumnStats:
+    minimum: int = 0
+    maximum: int = 0
+    total: int = 0
+    mean: float = 0.0
+    distinct_estimate: int = 0
+
+
+@dataclass
+class TableStats:
+    """Optimizer-visible statistics for one table.
+
+    ``num_rows`` may be stale: it reflects the last ANALYZE, not the live
+    table, which is precisely what makes OOF-NA pick bad plans.
+    """
+
+    num_rows: int = 0
+    tuple_bytes: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    analyzed_full: bool = False
+
+    def estimated_bytes(self) -> int:
+        return self.num_rows * self.tuple_bytes
+
+
+def collect_stats(table: Table, mode: StatsMode, previous: TableStats | None = None) -> tuple[TableStats, float]:
+    """Collect statistics for ``table`` under ``mode``.
+
+    Returns the stats plus the modeled collection cost in simulated seconds
+    (charged by the interpreter's ``analyze`` calls).
+    """
+    if mode is StatsMode.NONE:
+        stats = previous if previous is not None else TableStats(tuple_bytes=table.tuple_bytes())
+        return stats, 0.0
+
+    stats = TableStats(num_rows=table.num_rows, tuple_bytes=table.tuple_bytes())
+    if mode is StatsMode.SIZE_ONLY:
+        # Catalog lookup only: constant, tiny cost.
+        return stats, 2e-5
+
+    data = table.data()
+    if table.num_rows:
+        for index, column in enumerate(table.columns):
+            values = data[:, index]
+            stats.columns[column.name] = ColumnStats(
+                minimum=int(values.min()),
+                maximum=int(values.max()),
+                total=int(values.sum()),
+                mean=float(values.mean()),
+                distinct_estimate=_distinct_estimate(values),
+            )
+    else:
+        for column in table.columns:
+            stats.columns[column.name] = ColumnStats()
+    stats.analyzed_full = True
+    # Full scan of every column: cost linear in cell count.
+    cost = 2e-9 * max(1, table.num_rows) * table.arity + 5e-5
+    return stats, cost
+
+
+def _distinct_estimate(values: np.ndarray) -> int:
+    """Sample-based distinct-count estimate (GEE-style scale-up)."""
+    n = values.shape[0]
+    if n <= 4096:
+        return int(np.unique(values).size)
+    sample = values[:: max(1, n // 4096)]
+    d_sample = int(np.unique(sample).size)
+    scale = n / sample.shape[0]
+    return min(n, int(d_sample * np.sqrt(scale)))

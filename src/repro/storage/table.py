@@ -1,0 +1,146 @@
+"""Growable in-memory tables.
+
+A :class:`Table` owns a 2-D ``int64`` array of shape ``(capacity, arity)``
+with amortized-doubling appends, plus the column schema. Rows are bag
+semantics at this layer — deduplication is an explicit engine operation
+(Algorithm 1's ``dedup``), exactly as in the paper where INSERT uses
+UNION ALL and dedup is a separate call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import CatalogError
+from repro.storage.block import BLOCK_ROWS, block_count, iter_blocks
+from repro.storage.column import ColumnSchema, ColumnType
+
+_INITIAL_CAPACITY = 64
+
+
+class Table:
+    """A named, typed, block-partitioned bag of integer tuples."""
+
+    def __init__(self, name: str, columns: Sequence[ColumnSchema]) -> None:
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            if column.name in seen:
+                raise CatalogError(f"duplicate column {column.name!r} in table {name!r}")
+            seen.add(column.name)
+        self.name = name
+        self.columns: tuple[ColumnSchema, ...] = tuple(columns)
+        self._rows = np.empty((_INITIAL_CAPACITY, len(columns)), dtype=np.int64)
+        self._count = 0
+
+    # -- schema ------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def tuple_bytes(self) -> int:
+        """Logical bytes per tuple (used by cost and memory models)."""
+        return sum(column.ctype.logical_bytes for column in self.columns)
+
+    # -- contents ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_rows(self) -> int:
+        return self._count
+
+    def data(self) -> np.ndarray:
+        """A read-only view of the live rows (no copy)."""
+        view = self._rows[: self._count]
+        view.flags.writeable = False
+        return view
+
+    def to_array(self) -> np.ndarray:
+        """A copy of the live rows, safe to mutate."""
+        return self._rows[: self._count].copy()
+
+    def to_set(self) -> set[tuple[int, ...]]:
+        """Rows as a Python set of tuples (tests and small results only)."""
+        return {tuple(int(value) for value in row) for row in self._rows[: self._count]}
+
+    def blocks(self, block_rows: int = BLOCK_ROWS):
+        return iter_blocks(self.data(), block_rows)
+
+    def num_blocks(self, block_rows: int = BLOCK_ROWS) -> int:
+        return block_count(self._count, block_rows)
+
+    def memory_bytes(self) -> int:
+        """Modeled resident size: logical tuple width times row count."""
+        return self.tuple_bytes() * self._count
+
+    # -- mutation ----------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= self._rows.shape[0]:
+            return
+        capacity = max(self._rows.shape[0], _INITIAL_CAPACITY)
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, self.arity), dtype=np.int64)
+        grown[: self._count] = self._rows[: self._count]
+        self._rows = grown
+
+    def append_array(self, rows: np.ndarray) -> None:
+        """Append a 2-D array of rows (bag semantics, no dedup)."""
+        if rows.ndim != 2 or rows.shape[1] != self.arity:
+            raise CatalogError(
+                f"cannot append shape {rows.shape} into table {self.name!r} "
+                f"of arity {self.arity}"
+            )
+        if rows.shape[0] == 0:
+            return
+        self._reserve(rows.shape[0])
+        self._rows[self._count : self._count + rows.shape[0]] = rows
+        self._count += rows.shape[0]
+
+    def append_tuples(self, tuples: Iterable[Sequence[int]]) -> None:
+        materialized = list(tuples)
+        if not materialized:
+            return
+        self.append_array(np.asarray(materialized, dtype=np.int64).reshape(len(materialized), self.arity))
+
+    def replace_contents(self, rows: np.ndarray) -> None:
+        """Overwrite the table's rows (used by dedup and delta swaps)."""
+        if rows.ndim != 2 or rows.shape[1] != self.arity:
+            raise CatalogError(
+                f"cannot load shape {rows.shape} into table {self.name!r} "
+                f"of arity {self.arity}"
+            )
+        self._rows = np.ascontiguousarray(rows, dtype=np.int64)
+        self._count = rows.shape[0]
+
+    def truncate(self) -> None:
+        self._count = 0
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.ctype.value}" for c in self.columns)
+        return f"Table({self.name!r}, [{cols}], rows={self._count})"
+
+
+def make_table(name: str, column_names: Sequence[str], ctype: ColumnType = ColumnType.INT) -> Table:
+    """Convenience constructor used heavily in tests and dataset loaders."""
+    return Table(name, [ColumnSchema(column, ctype) for column in column_names])

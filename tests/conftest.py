@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PbmeMode, RecStep, RecStepConfig
+
+
+@pytest.fixture
+def tiny_graph() -> np.ndarray:
+    """A 5-vertex DAG whose closure is easy to eyeball."""
+    return np.array([[0, 1], [1, 2], [2, 3], [0, 3], [3, 4]], dtype=np.int64)
+
+
+@pytest.fixture
+def random_graph() -> np.ndarray:
+    """A small random digraph (fixed seed) for cross-engine equivalence."""
+    rng = np.random.default_rng(42)
+    edges = np.unique(rng.integers(0, 15, size=(40, 2)), axis=0)
+    return edges[edges[:, 0] != edges[:, 1]]
+
+
+@pytest.fixture
+def recstep_unbudgeted() -> RecStep:
+    """RecStep with budgets off and PBME off (pure relational path)."""
+    return RecStep(RecStepConfig(enforce_budgets=False, pbme=PbmeMode.OFF))
+
+
+def reference_closure(edges) -> set[tuple[int, int]]:
+    """Brute-force transitive closure (the oracle used across tests)."""
+    facts = {(int(a), int(b)) for a, b in edges}
+    while True:
+        new = {(a, d) for (a, b) in facts for (c, d) in facts if b == c} - facts
+        if not new:
+            return facts
+        facts |= new

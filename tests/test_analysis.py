@@ -1,0 +1,110 @@
+"""Tests for the analysis toolkit: harness, capabilities, CPU efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capabilities import ENGINES, capability_matrix, format_capability_table
+from repro.analysis.cpu_efficiency import cpu_efficiency, format_efficiency
+from repro.analysis.harness import (
+    ENGINE_FACTORIES,
+    format_comparison_table,
+    format_status,
+    make_engine,
+    pick_sources,
+    prepare_edb,
+    run_workload,
+)
+from repro.common.records import EvaluationResult
+from repro.programs import get_program
+
+
+class TestHarness:
+    def test_make_engine_known_names(self):
+        for name in ENGINE_FACTORIES:
+            engine = make_engine(name, enforce_budgets=False)
+            assert hasattr(engine, "evaluate")
+
+    def test_make_engine_unknown(self):
+        with pytest.raises(KeyError):
+            make_engine("DataScript")
+
+    def test_prepare_edb_adds_source_for_reach(self):
+        edb = prepare_edb(get_program("REACH"), "G500")
+        assert "id" in edb
+        assert edb["id"].shape == (1, 1)
+
+    def test_prepare_edb_explicit_source(self):
+        edb = prepare_edb(get_program("REACH"), "G500", source=7)
+        assert edb["id"].tolist() == [[7]]
+
+    def test_prepare_edb_weights_for_sssp(self):
+        edb = prepare_edb(get_program("SSSP"), "G500")
+        assert edb["arc"].shape[1] == 3
+        assert (edb["arc"][:, 2] >= 1).all()
+
+    def test_prepare_edb_leaves_tc_alone(self):
+        edb = prepare_edb(get_program("TC"), "G500")
+        assert set(edb) == {"arc"}
+
+    def test_pick_sources_only_vertices_with_out_edges(self):
+        edges = np.array([[5, 6], [7, 8]])
+        sources = pick_sources(edges, count=2, seed=0)
+        assert set(sources[:, 0].tolist()) <= {5, 7}
+
+    def test_run_workload_end_to_end(self):
+        result = run_workload("RecStep", "TC", "G500", enforce_budgets=False)
+        assert result.status == "ok"
+        assert result.engine == "RecStep"
+        assert result.dataset == "G500"
+        assert len(result.tuples["tc"]) > 0
+
+    def test_run_workload_seed_changes_data(self):
+        a = run_workload("RecStep", "TC", "G500", seed=1, enforce_budgets=False)
+        b = run_workload("RecStep", "TC", "G500", seed=2, enforce_budgets=False)
+        assert a.sizes() != b.sizes()
+
+    def test_format_status(self):
+        ok = EvaluationResult("E", "P", "D", sim_seconds=2.0)
+        assert format_status(ok) == "2.0s"
+        oom = EvaluationResult("E", "P", "D", status="oom")
+        assert format_status(oom) == "Out of Memory"
+
+    def test_format_comparison_table(self):
+        result = EvaluationResult("RecStep", "TC", "G500", sim_seconds=1.5)
+        text = format_comparison_table("t", [("G500", {"RecStep": result})], ["RecStep"])
+        assert "G500" in text and "1.5s" in text
+
+
+class TestCapabilities:
+    def test_matrix_matches_paper_table1(self):
+        matrix = capability_matrix()
+        assert matrix["Mutual Recursion"] == {
+            "RecStep": "yes", "Souffle": "yes", "BigDatalog": "no",
+            "Graspan": "yes", "bddbddb": "yes",
+        }
+        assert matrix["Recursive Aggregation"]["RecStep"] == "yes"
+        assert matrix["Recursive Aggregation"]["Souffle"] == "no"
+
+    def test_format_includes_all_engines(self):
+        text = format_capability_table(capability_matrix())
+        for engine in ENGINES:
+            assert engine in text
+
+
+class TestCpuEfficiency:
+    def test_formula(self):
+        result = EvaluationResult("RecStep", "TC", "G1K", sim_seconds=5.0)
+        assert cpu_efficiency(result) == pytest.approx(1.0 / (5.0 * 20))
+        assert cpu_efficiency(result, cores=10) == pytest.approx(1.0 / 50.0)
+
+    def test_failed_run_has_no_efficiency(self):
+        result = EvaluationResult("RecStep", "TC", "G1K", status="oom")
+        assert cpu_efficiency(result) is None
+
+    def test_single_threaded_bddbddb(self):
+        result = EvaluationResult("bddbddb", "TC", "G1K", sim_seconds=100.0)
+        assert cpu_efficiency(result) == pytest.approx(0.01)
+
+    def test_format(self):
+        assert format_efficiency(None) == "-"
+        assert format_efficiency(1.23e-4) == "1.23e-04"

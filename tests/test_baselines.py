@@ -1,0 +1,221 @@
+"""Tests for the baseline engines: rule evaluator, feature envelopes,
+cross-engine equivalence, and cost-profile orderings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.harness import make_engine
+from repro.baselines import (
+    BddbddbLike,
+    BigDatalogLike,
+    GraspanLike,
+    NaiveEngine,
+    SouffleLike,
+)
+from repro.baselines.ruleeval import WorkCounters, evaluate_rule
+from repro.datalog.parser import parse_rule
+from repro.programs import get_program
+from tests.conftest import reference_closure
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=30
+).map(lambda pairs: np.asarray(sorted({p for p in pairs if p[0] != p[1]} or {(0, 1)}), dtype=np.int64))
+
+
+class TestRuleEvaluator:
+    def test_single_atom_projection(self):
+        rule = parse_rule("p(y, x) :- e(x, y).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 2], [3, 4]])})
+        assert {tuple(r) for r in out.tolist()} == {(2, 1), (4, 3)}
+
+    def test_join_two_atoms(self):
+        rule = parse_rule("p(x, z) :- e(x, y), e(y, z).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 2], [2, 3], [2, 4]])})
+        assert {tuple(r) for r in out.tolist()} == {(1, 3), (1, 4)}
+
+    def test_constant_in_atom(self):
+        rule = parse_rule("p(y) :- e(1, y).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 2], [3, 4]])})
+        assert out.tolist() == [[2]]
+
+    def test_repeated_variable_in_atom(self):
+        rule = parse_rule("p(x) :- e(x, x).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 1], [1, 2], [3, 3]])})
+        assert {tuple(r) for r in out.tolist()} == {(1,), (3,)}
+
+    def test_comparison(self):
+        rule = parse_rule("p(x, y) :- e(x, y), x < y.")
+        out = evaluate_rule(rule, {"e": np.array([[1, 2], [3, 1]])})
+        assert out.tolist() == [[1, 2]]
+
+    def test_arithmetic_comparison(self):
+        rule = parse_rule("p(x) :- e(x, y), x + y = 5.")
+        out = evaluate_rule(rule, {"e": np.array([[1, 4], [2, 2]])})
+        assert out.tolist() == [[1]]
+
+    def test_negation(self):
+        rule = parse_rule("p(x) :- e(x, y), !blocked(x).")
+        out = evaluate_rule(
+            rule,
+            {"e": np.array([[1, 2], [3, 4]]), "blocked": np.array([[1]])},
+        )
+        assert out.tolist() == [[3]]
+
+    def test_negation_with_constants_only(self):
+        rule = parse_rule("p(x) :- e(x, y), !flag(1).")
+        relations = {"e": np.array([[5, 6]]), "flag": np.array([[1]])}
+        assert evaluate_rule(rule, relations).shape[0] == 0
+        relations["flag"] = np.array([[2]])
+        assert evaluate_rule(rule, relations).tolist() == [[5]]
+
+    def test_delta_substitution(self):
+        rule = parse_rule("p(x, z) :- p(x, y), e(y, z).")
+        full = {"p": np.array([[0, 1], [5, 6]]), "e": np.array([[1, 2], [6, 7]])}
+        delta = {"p": np.array([[0, 1]])}
+        out = evaluate_rule(rule, full, delta_atom=0, delta_relations=delta)
+        assert {tuple(r) for r in out.tolist()} == {(0, 2)}
+
+    def test_aggregate_head_groups(self):
+        rule = parse_rule("g(x, MIN(y)) :- e(x, y).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 9], [1, 4], [2, 7]])})
+        assert {tuple(r) for r in out.tolist()} == {(1, 4), (2, 7)}
+
+    def test_cross_product(self):
+        rule = parse_rule("p(x, y) :- a(x), b(y).")
+        out = evaluate_rule(rule, {"a": np.array([[1], [2]]), "b": np.array([[8]])})
+        assert {tuple(r) for r in out.tolist()} == {(1, 8), (2, 8)}
+
+    def test_wildcards_ignored(self):
+        rule = parse_rule("p(x) :- e(x, _).")
+        out = evaluate_rule(rule, {"e": np.array([[1, 5], [1, 6]])})
+        assert sorted(out.tolist()) == [[1], [1]]  # bag semantics
+
+    def test_work_counters_accumulate(self):
+        rule = parse_rule("p(x, z) :- e(x, y), e(y, z).")
+        counters = WorkCounters()
+        evaluate_rule(rule, {"e": np.array([[1, 2], [2, 3]])}, counters=counters)
+        assert counters.joins == 1
+        assert counters.tuples_scanned > 0
+        assert counters.tuples_probed > 0
+
+
+class TestFeatureEnvelopes:
+    def test_souffle_rejects_recursive_aggregation_only(self):
+        engine = SouffleLike(enforce_budgets=False)
+        edges = np.array([[0, 1]])
+        assert engine.evaluate(get_program("CC"), {"arc": edges}).status == "unsupported"
+        assert engine.evaluate(get_program("GTC"), {"arc": edges}).status == "ok"
+        assert engine.evaluate(get_program("NTC"), {"arc": edges}).status == "ok"
+
+    def test_bigdatalog_rejects_mutual_recursion_only(self):
+        engine = BigDatalogLike(enforce_budgets=False)
+        edges = np.array([[0, 1]])
+        cspa = engine.evaluate(
+            get_program("CSPA"), {"assign": edges, "dereference": edges}
+        )
+        assert cspa.status == "unsupported"
+        assert engine.evaluate(get_program("CC"), {"arc": edges}).status == "ok"
+
+    def test_graspan_binary_no_agg_no_neg(self):
+        engine = GraspanLike(enforce_budgets=False)
+        edges = np.array([[0, 1]])
+        assert engine.evaluate(get_program("GTC"), {"arc": edges}).status == "unsupported"
+        assert engine.evaluate(get_program("NTC"), {"arc": edges}).status == "unsupported"
+        assert engine.evaluate(get_program("TC"), {"arc": edges}).status == "ok"
+
+    def test_bddbddb_rejects_aggregation_and_arithmetic(self):
+        engine = BddbddbLike(enforce_budgets=False)
+        edges = np.array([[0, 1]])
+        assert engine.evaluate(get_program("CC"), {"arc": edges}).status == "unsupported"
+        sssp_edb = {"arc": np.array([[0, 1, 1]]), "id": np.array([[0]])}
+        assert engine.evaluate(get_program("SSSP"), sssp_edb).status == "unsupported"
+        assert engine.evaluate(get_program("SG"), {"arc": edges}).status == "ok"
+
+
+class TestCrossEngineEquivalence:
+    ENGINES = ["RecStep", "Souffle", "BigDatalog", "Graspan", "bddbddb", "Naive"]
+
+    @given(edges_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_all_engines_agree_on_tc(self, edges):
+        expected = reference_closure(edges)
+        for name in self.ENGINES:
+            engine = make_engine(name, enforce_budgets=False)
+            result = engine.evaluate(get_program("TC"), {"arc": edges}, "prop")
+            assert result.status == "ok", name
+            assert result.tuples["tc"] == expected, name
+
+    @given(edges_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_supported_engines_agree_on_csda(self, edges):
+        edb = {"nullEdge": edges[:2], "arc": edges}
+        reference = None
+        for name in self.ENGINES:
+            engine = make_engine(name, enforce_budgets=False)
+            result = engine.evaluate(get_program("CSDA"), edb, "prop")
+            assert result.status == "ok", name
+            if reference is None:
+                reference = result.tuples["null"]
+            else:
+                assert result.tuples["null"] == reference, name
+
+    def test_engines_agree_on_andersen(self, random_graph):
+        edb = {
+            "addressOf": random_graph[:10],
+            "assign": random_graph[5:15],
+            "load": random_graph[2:8],
+            "store": random_graph[8:14],
+        }
+        results = {}
+        for name in ["RecStep", "Souffle", "BigDatalog", "bddbddb", "Naive"]:
+            engine = make_engine(name, enforce_budgets=False)
+            outcome = engine.evaluate(get_program("AA"), edb, "test")
+            assert outcome.status == "ok", name
+            results[name] = outcome.tuples["pointsTo"]
+        assert len({frozenset(v) for v in results.values()}) == 1
+
+
+class TestCostOrdering:
+    """Relative performance shapes on a mid-sized workload."""
+
+    @pytest.fixture(scope="class")
+    def tc_results(self):
+        rng = np.random.default_rng(9)
+        edges = np.unique(rng.integers(0, 250, size=(2200, 2)), axis=0)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        results = {}
+        for name in ["RecStep", "Souffle", "BigDatalog", "Graspan"]:
+            engine = make_engine(name, enforce_budgets=False)
+            results[name] = engine.evaluate(get_program("TC"), {"arc": edges}, "t")
+        return results
+
+    def test_recstep_beats_scaleup_baselines(self, tc_results):
+        recstep = tc_results["RecStep"].sim_seconds
+        for name in ("Souffle", "BigDatalog", "Graspan"):
+            assert tc_results[name].sim_seconds > recstep, name
+
+    def test_graspan_slowest(self, tc_results):
+        slowest = max(tc_results.values(), key=lambda r: r.sim_seconds)
+        assert slowest.engine in ("Graspan", "BigDatalog")
+
+    def test_memory_overhead_ordering(self, tc_results):
+        """BigDatalog (RDDs) models more resident memory than RecStep."""
+        assert (
+            tc_results["BigDatalog"].peak_memory_bytes
+            > tc_results["RecStep"].peak_memory_bytes
+        )
+
+    def test_all_produced_same_fixpoint(self, tc_results):
+        sizes = {len(r.tuples["tc"]) for r in tc_results.values()}
+        assert len(sizes) == 1
+
+
+class TestDistributedBigDatalog:
+    def test_distributed_gets_more_memory_and_threads(self):
+        local = BigDatalogLike(memory_budget=1000)
+        distributed = BigDatalogLike(distributed=True, memory_budget=1000)
+        assert distributed.memory_budget > local.memory_budget
+        assert distributed.profile.threads > local.profile.threads
+        assert distributed.name == "Distributed-BigDatalog"

@@ -1,0 +1,176 @@
+"""Tests for the BDD package and relation encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bdd.bdd import ONE, ZERO, BddManager
+from repro.baselines.bdd.encoding import BlockSpace
+from repro.common.errors import EvaluationTimeout
+
+
+class TestBddBasics:
+    def test_terminals(self):
+        manager = BddManager()
+        assert manager.apply_and(ONE, ZERO) == ZERO
+        assert manager.apply_or(ONE, ZERO) == ONE
+
+    def test_reduction_identical_children(self):
+        manager = BddManager()
+        assert manager.mk(0, 5, 5) == 5
+
+    def test_hash_consing(self):
+        manager = BddManager()
+        a = manager.mk(0, ZERO, ONE)
+        b = manager.mk(0, ZERO, ONE)
+        assert a == b
+
+    def test_var_true_false_complementary(self):
+        manager = BddManager()
+        x = manager.var_true(0)
+        not_x = manager.var_false(0)
+        assert manager.apply_and(x, not_x) == ZERO
+        assert manager.apply_or(x, not_x) == ONE
+
+    def test_and_commutes(self):
+        manager = BddManager()
+        x, y = manager.var_true(0), manager.var_true(1)
+        assert manager.apply_and(x, y) == manager.apply_and(y, x)
+
+    def test_diff_semantics(self):
+        manager = BddManager()
+        x, y = manager.var_true(0), manager.var_true(1)
+        x_and_y = manager.apply_and(x, y)
+        assert manager.apply_diff(x, x) == ZERO
+        assert manager.apply_diff(x_and_y, x) == ZERO
+        assert manager.apply_diff(x, x_and_y) != ZERO
+
+    def test_cube(self):
+        manager = BddManager()
+        cube = manager.cube({0: True, 1: False})
+        assert manager.sat_count(cube, 2) == 1
+
+    def test_exists_removes_variable(self):
+        manager = BddManager()
+        x, y = manager.var_true(0), manager.var_true(1)
+        f = manager.apply_and(x, y)
+        g = manager.exists(f, frozenset({0}))
+        assert g == y
+
+    def test_sat_count(self):
+        manager = BddManager()
+        x_or_y = manager.apply_or(manager.var_true(0), manager.var_true(1))
+        assert manager.sat_count(x_or_y, 2) == 3
+        assert manager.sat_count(ONE, 3) == 8
+        assert manager.sat_count(ZERO, 3) == 0
+
+    def test_size_counts_nodes(self):
+        manager = BddManager()
+        x = manager.var_true(0)
+        assert manager.size(x) == 3  # node + two terminals
+
+    def test_op_budget_enforced(self):
+        manager = BddManager(max_ops=5)
+        with pytest.raises(EvaluationTimeout):
+            for i in range(10):
+                manager.apply_or(manager.var_true(i), manager.var_true(i + 1))
+
+    @given(st.lists(st.integers(0, 15), min_size=0, max_size=12, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_or_of_cubes_satcount(self, values):
+        manager = BddManager()
+        f = ZERO
+        for value in values:
+            cube = {bit: bool(value & (1 << bit)) for bit in range(4)}
+            f = manager.apply_or(f, manager.cube(cube))
+        assert manager.sat_count(f, 4) == len(values)
+
+
+class TestBlockSpace:
+    def test_encode_decode_roundtrip(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=4, num_blocks=4)
+        rows = np.array([[1, 2], [3, 4], [15, 0]], dtype=np.int64)
+        node = space.encode_rows(rows, [0, 1])
+        decoded = space.decode(node, [0, 1])
+        assert {tuple(r) for r in decoded.tolist()} == {(1, 2), (3, 4), (15, 0)}
+
+    def test_decode_empty(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=2)
+        assert space.decode(ZERO, [0, 1]).shape == (0, 2)
+
+    def test_eq_bdd(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=2)
+        eq = space.eq(0, 1)
+        # Satisfying assignments of eq over 2 blocks are the 8 diagonal pairs.
+        decoded = space.decode(eq, [0, 1])
+        assert {tuple(r) for r in decoded.tolist()} == {(v, v) for v in range(8)}
+
+    def test_constant_cube(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=4, num_blocks=2)
+        node = space.constant_cube(0, 9)
+        decoded = space.decode(node, [0])
+        assert decoded.tolist() == [[9]]
+
+    def test_rename_moves_block(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=3)
+        rows = np.array([[1, 2], [5, 6]], dtype=np.int64)
+        node = space.encode_rows(rows, [0, 1])
+        renamed = space.rename(node, {0: 2})
+        decoded = space.decode(renamed, [2, 1])
+        assert {tuple(r) for r in decoded.tolist()} == {(1, 2), (5, 6)}
+
+    def test_rename_identity_is_noop(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=2)
+        node = space.encode_rows(np.array([[1, 2]], dtype=np.int64), [0, 1])
+        assert space.rename(node, {0: 0, 1: 1}) == node
+
+    def test_project_away(self):
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=2)
+        rows = np.array([[1, 2], [1, 3]], dtype=np.int64)
+        node = space.encode_rows(rows, [0, 1])
+        projected = space.project_away(node, [1])
+        decoded = space.decode(projected, [0])
+        assert decoded.tolist() == [[1]]
+
+    def test_sequential_ordering_larger_for_eq(self):
+        """The hyperparameter sensitivity the paper mentions: a bad
+        variable ordering inflates BDD sizes."""
+        inter_manager = BddManager()
+        interleaved = BlockSpace(inter_manager, bits=8, num_blocks=2, ordering="interleaved")
+        seq_manager = BddManager()
+        sequential = BlockSpace(seq_manager, bits=8, num_blocks=2, ordering="sequential")
+        eq_interleaved = interleaved.eq(0, 1)
+        eq_sequential = sequential.eq(0, 1)
+        assert seq_manager.size(eq_sequential) > inter_manager.size(eq_interleaved)
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(Exception):
+            BlockSpace(BddManager(), bits=70, num_blocks=2)
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpace(BddManager(), bits=3, num_blocks=2, ordering="random")
+
+
+class TestJoinViaBdd:
+    def test_manual_join(self):
+        """tc(x,y) join arc(y,z) via rename + and + exists == real join."""
+        manager = BddManager()
+        space = BlockSpace(manager, bits=3, num_blocks=4)
+        tc = np.array([[0, 1], [2, 3]], dtype=np.int64)
+        arc = np.array([[1, 4], [3, 5], [1, 6]], dtype=np.int64)
+        # blocks: x=0, y=1, z=2
+        tc_node = space.encode_rows(tc, [0, 1])
+        arc_node = space.rename(space.encode_rows(arc, [0, 1]), {0: 1, 1: 2})
+        joined = manager.apply_and(tc_node, arc_node)
+        projected = space.project_away(joined, [1])
+        decoded = space.decode(projected, [0, 2])
+        assert {tuple(r) for r in decoded.tolist()} == {(0, 4), (0, 6), (2, 5)}

@@ -1,0 +1,173 @@
+"""Tests for the .datalog CLI frontend and the EXPLAIN facility."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_datalog_file, run_datalog_file
+from repro.common.errors import DatalogError
+from repro.datasets.io import load_relation, save_relation
+from repro.engine.database import Database
+from repro.engine.explain import explain_sql
+
+
+@pytest.fixture
+def datalog_project(tmp_path):
+    """A .datalog file with its input relation on disk."""
+    edges = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int64)
+    save_relation(tmp_path / "arc.tsv", edges)
+    program = tmp_path / "tc.datalog"
+    program.write_text(
+        """
+.input arc arc.tsv
+.output tc tc_out.tsv
+
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+"""
+    )
+    return program
+
+
+class TestDatalogFile:
+    def test_parse_directives(self, datalog_project):
+        parsed = parse_datalog_file(datalog_project)
+        assert set(parsed.inputs) == {"arc"}
+        assert set(parsed.outputs) == {"tc"}
+        assert "tc(x, y)" in parsed.source
+
+    def test_malformed_directive(self, tmp_path):
+        bad = tmp_path / "bad.datalog"
+        bad.write_text(".input arc\np(x) :- arc(x, y).\n")
+        with pytest.raises(DatalogError):
+            parse_datalog_file(bad)
+
+    def test_run_writes_outputs(self, datalog_project):
+        result = run_datalog_file(datalog_project)
+        assert result.status == "ok"
+        rows = load_relation(datalog_project.parent / "tc_out.tsv", arity=2)
+        assert {tuple(r) for r in rows.tolist()} == {
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        }
+
+    def test_missing_input_rejected(self, tmp_path):
+        program = tmp_path / "p.datalog"
+        program.write_text("p(x) :- q(x).\n")
+        with pytest.raises(DatalogError):
+            run_datalog_file(program)
+
+    def test_unknown_output_rejected(self, tmp_path):
+        save_relation(tmp_path / "q.tsv", np.array([[1]]))
+        program = tmp_path / "p.datalog"
+        program.write_text(".input q q.tsv\n.output nope out.tsv\np(x) :- q(x).\n")
+        with pytest.raises(DatalogError):
+            run_datalog_file(program)
+
+    def test_alternate_engine(self, datalog_project):
+        result = run_datalog_file(datalog_project, engine_name="Souffle")
+        assert result.status == "ok"
+        assert result.engine == "Souffle"
+
+    def test_main_entry_point(self, datalog_project, capsys):
+        code = main([str(datalog_project)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "status:       ok" in output
+        assert "|tc| = 6" in output
+
+
+class TestExplain:
+    @pytest.fixture
+    def db(self):
+        database = Database(enforce_budgets=False)
+        database.execute("CREATE TABLE arc (x INT, y INT)")
+        database.execute("INSERT INTO arc VALUES (1,2),(2,3)")
+        database.execute("CREATE TABLE tc_delta (x INT, y INT)")
+        database.execute("INSERT INTO tc_delta VALUES (1,2)")
+        database.analyze("arc")
+        database.analyze("tc_delta")
+        return database
+
+    def test_explain_scan_and_join(self, db):
+        plan = explain_sql(
+            "SELECT d.x AS x, a.y AS y FROM tc_delta d, arc a WHERE d.y = a.x",
+            db.catalog,
+        )
+        assert "scan tc_delta AS d (est. 1 rows)" in plan
+        assert "hash join arc AS a" in plan
+        assert "[build:" in plan
+        assert "project" in plan
+
+    def test_explain_reflects_statistics(self, db):
+        # The smaller table (by stats) is scanned first and built on.
+        plan = explain_sql(
+            "SELECT d.x AS x FROM tc_delta d, arc a WHERE d.y = a.x", db.catalog
+        )
+        assert plan.splitlines()[0].startswith("scan tc_delta")
+        db.execute("DELETE FROM arc")
+        db.analyze("arc")
+        plan = explain_sql(
+            "SELECT d.x AS x FROM tc_delta d, arc a WHERE d.y = a.x", db.catalog
+        )
+        assert plan.splitlines()[0].startswith("scan arc")
+
+    def test_explain_aggregation_and_filter(self, db):
+        plan = explain_sql(
+            "SELECT a.x AS x, COUNT(a.y) AS c FROM arc a WHERE a.y > 1 GROUP BY a.x",
+            db.catalog,
+        )
+        assert "filter" in plan
+        assert "aggregate GROUP BY a.x" in plan
+
+    def test_explain_not_exists(self, db):
+        plan = explain_sql(
+            "SELECT a.x AS x FROM arc a WHERE NOT EXISTS "
+            "(SELECT 1 FROM tc_delta WHERE tc_delta.x = a.x)",
+            db.catalog,
+        )
+        assert "anti join (NOT EXISTS over tc_delta)" in plan
+
+    def test_explain_union_all(self, db):
+        plan = explain_sql(
+            "SELECT a.x AS v FROM arc a UNION ALL SELECT a.y AS v FROM arc a",
+            db.catalog,
+        )
+        assert "UNION ALL arm 0:" in plan
+        assert "UNION ALL arm 1:" in plan
+
+    def test_explain_insert_select(self, db):
+        plan = explain_sql(
+            "INSERT INTO tc_delta SELECT a.x AS x, a.y AS y FROM arc a", db.catalog
+        )
+        assert plan.startswith("INSERT INTO tc_delta")
+
+    def test_explain_non_query_rejected(self, db):
+        with pytest.raises(ValueError):
+            explain_sql("DROP TABLE arc", db.catalog)
+
+
+class TestExplainProgram:
+    def test_explain_program_covers_all_strata(self):
+        from repro.core.recstep import explain_program
+        from repro.programs import get_program
+
+        text = explain_program(get_program("CC"))
+        assert "3 strata" in text
+        assert "stratum 0 (recursive)" in text
+        assert "cc3_delta" in text  # semi-naive delta table appears
+
+    def test_explain_program_from_source(self):
+        from repro.core.recstep import explain_program
+
+        text = explain_program("p(x) :- e(x, y).")
+        assert "non-recursive" in text
+        assert "INSERT INTO p_mdelta" in text
+
+    def test_database_explain_method(self):
+        import numpy as np
+        from repro.engine.database import Database
+
+        db = Database(enforce_budgets=False)
+        db.load_table("e", ["a", "b"], np.array([[1, 2]]))
+        db.analyze("e")
+        plan = db.explain("SELECT e.a AS a FROM e")
+        assert "scan e" in plan

@@ -1,0 +1,133 @@
+"""Tests for the Datalog-to-SQL query generator."""
+
+from repro.core.compiler import (
+    QueryGenerator,
+    columns_for,
+    delta_table,
+    mdelta_table,
+    render_iie_sql,
+    render_uie_sql,
+)
+from repro.programs import get_program
+from repro.sql import ast as sast
+
+
+def compile_program(name: str):
+    analyzed = get_program(name).parse()
+    return QueryGenerator(analyzed).compile()
+
+
+class TestNaming:
+    def test_columns_for(self):
+        assert columns_for(3) == ("c0", "c1", "c2")
+
+    def test_table_names(self):
+        assert delta_table("tc") == "tc_delta"
+        assert mdelta_table("tc") == "tc_mdelta"
+
+
+class TestTcCompilation:
+    def test_init_query_unions_both_rules(self):
+        strata = compile_program("TC")
+        (predicate,) = strata[0].predicates
+        assert predicate.predicate == "tc"
+        assert len(predicate.init_subqueries) == 2
+
+    def test_delta_query_substitutes_delta_table(self):
+        strata = compile_program("TC")
+        (predicate,) = strata[0].predicates
+        assert len(predicate.delta_subqueries) == 1
+        tables = {ref.table for ref in predicate.delta_subqueries[0].tables}
+        assert "tc_delta" in tables
+        assert "arc" in tables
+
+    def test_join_predicate_generated(self):
+        strata = compile_program("TC")
+        (predicate,) = strata[0].predicates
+        select = predicate.delta_subqueries[0]
+        assert any(
+            isinstance(p, sast.Comparison) and p.op == "=" for p in select.where
+        )
+
+
+class TestNonlinearCompilation:
+    def test_andersen_delta_count(self):
+        """AA: 1 linear + 2+2 from the two-pointsTo rules = 6 delta arms
+        (plus the assign rule's single pointsTo atom)."""
+        strata = compile_program("AA")
+        (points_to,) = [
+            p for s in strata for p in s.predicates if p.predicate == "pointsTo"
+        ]
+        # rules: assign(1 idb atom) + load(2 idb atoms) + store(2 idb atoms)
+        assert len(points_to.delta_subqueries) == 5
+
+    def test_cspa_mutual_recursion_deltas(self):
+        strata = compile_program("CSPA")
+        recursive = [s for s in strata if s.stratum.recursive]
+        assert len(recursive) == 1
+        predicate_names = {p.predicate for p in recursive[0].predicates}
+        assert predicate_names == {"valueFlow", "memoryAlias", "valueAlias"}
+
+
+class TestAggregationCompilation:
+    def test_cc_group_by_emitted(self):
+        strata = compile_program("CC")
+        cc3 = next(p for s in strata for p in s.predicates if p.predicate == "cc3")
+        select = cc3.init_subqueries[0]
+        assert select.group_by
+        assert isinstance(select.items[-1].expr, sast.AggregateCall)
+
+    def test_sssp_arithmetic_in_aggregate(self):
+        strata = compile_program("SSSP")
+        sssp2 = next(p for s in strata for p in s.predicates if p.predicate == "sssp2")
+        recursive_arm = sssp2.delta_subqueries[0]
+        agg = recursive_arm.items[-1].expr
+        assert isinstance(agg.argument, sast.BinaryOp)
+        assert agg.argument.op == "+"
+
+
+class TestNegationCompilation:
+    def test_ntc_not_exists(self):
+        strata = compile_program("NTC")
+        ntc = next(p for s in strata for p in s.predicates if p.predicate == "ntc")
+        select = ntc.init_subqueries[0]
+        assert any(isinstance(p, sast.NotExists) for p in select.where)
+
+    def test_comparison_translated(self):
+        strata = compile_program("SG")
+        sg = next(p for s in strata for p in s.predicates if p.predicate == "sg")
+        base = sg.init_subqueries[0]
+        assert any(
+            isinstance(p, sast.Comparison) and p.op == "<>" for p in base.where
+        )
+
+
+class TestSqlRendering:
+    def test_uie_renders_single_statement(self):
+        """Figure 4, right side: one INSERT with UNION ALL arms."""
+        strata = compile_program("AA")
+        points_to = next(
+            p for s in strata for p in s.predicates if p.predicate == "pointsTo"
+        )
+        sql = render_uie_sql(points_to)
+        assert sql.count("INSERT INTO pointsTo_mdelta") == 1
+        assert sql.count("UNION ALL") == len(points_to.delta_subqueries) - 1
+
+    def test_iie_renders_per_subquery_inserts(self):
+        """Figure 4, left side: one INSERT per subquery plus a merge."""
+        strata = compile_program("AA")
+        points_to = next(
+            p for s in strata for p in s.predicates if p.predicate == "pointsTo"
+        )
+        sql = render_iie_sql(points_to)
+        arms = len(points_to.delta_subqueries)
+        assert sql.count("INSERT INTO pointsTo_tmp_mdelta") == arms
+        assert sql.count("INSERT INTO pointsTo_mdelta") == 1
+
+    def test_rendered_sql_reparses(self):
+        from repro.sql.parser import parse_script
+
+        strata = compile_program("TC")
+        (tc,) = strata[0].predicates
+        script = parse_script(render_uie_sql(tc))
+        assert len(script.statements) == 1

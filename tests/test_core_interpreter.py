@@ -1,0 +1,190 @@
+"""Behavioural tests of the interpreter: UIE/OOF/EOST/DSD effects.
+
+Correctness of the computed fixpoints is covered in test_core_programs;
+here we verify that the optimization switches change what the engine
+*does* (queries issued, statistics collected, I/O deferred) in the ways
+Algorithm 1 and Section 5 describe.
+"""
+
+import numpy as np
+import pytest
+
+from repro import OofMode, PbmeMode, RecStep, RecStepConfig
+from repro.programs import get_program
+
+
+@pytest.fixture
+def aa_edb():
+    rng = np.random.default_rng(2)
+    def rel(count):
+        return np.unique(rng.integers(0, 30, size=(count, 2)), axis=0)
+    return {
+        "addressOf": rel(20),
+        "assign": rel(18),
+        "load": rel(8),
+        "store": rel(8),
+    }
+
+
+def run_with(config: RecStepConfig, edb, program="AA"):
+    engine = RecStep(config)
+    result = engine.evaluate(get_program(program), edb, dataset="test")
+    assert result.status == "ok"
+    return engine, result
+
+
+BASE = dict(enforce_budgets=False, pbme=PbmeMode.OFF)
+
+
+class TestUie:
+    def test_uie_issues_fewer_queries(self, aa_edb):
+        on_engine, _ = run_with(RecStepConfig(**BASE), aa_edb)
+        off_engine, _ = run_with(RecStepConfig(**BASE, uie=False), aa_edb)
+        assert off_engine.last_database.queries_executed > on_engine.last_database.queries_executed
+
+    def test_uie_off_is_slower(self, aa_edb):
+        _, on = run_with(RecStepConfig(**BASE), aa_edb)
+        _, off = run_with(RecStepConfig(**BASE, uie=False), aa_edb)
+        assert off.sim_seconds > on.sim_seconds
+
+
+class TestOof:
+    def test_oof_na_freezes_statistics(self, aa_edb):
+        engine, _ = run_with(RecStepConfig(**BASE, oof=OofMode.NA), aa_edb)
+        # Delta-table stats stay at their init-time values under NA.
+        stats = engine.last_database.catalog  # tables dropped post-run;
+        assert stats is not None  # the run completed without re-analyzing
+
+    def test_oof_fa_costs_more_than_on(self, aa_edb):
+        _, on = run_with(RecStepConfig(**BASE, oof=OofMode.ON), aa_edb)
+        _, fa = run_with(RecStepConfig(**BASE, oof=OofMode.FA), aa_edb)
+        assert fa.sim_seconds > on.sim_seconds
+
+    def test_all_modes_same_fixpoint(self, aa_edb):
+        results = [
+            run_with(RecStepConfig(**BASE, oof=mode), aa_edb)[1].tuples["pointsTo"]
+            for mode in (OofMode.ON, OofMode.NA, OofMode.FA)
+        ]
+        assert results[0] == results[1] == results[2]
+
+
+class TestEost:
+    def test_eost_defers_flush(self, aa_edb):
+        engine, _ = run_with(RecStepConfig(**BASE), aa_edb)
+        storage = engine.last_database.storage
+        assert storage.eost
+        assert storage.query_commits == 0  # nothing written per query
+        assert storage.flushed_bytes > 0   # everything at commit
+
+    def test_no_eost_pays_per_query_io(self, aa_edb):
+        engine, _ = run_with(RecStepConfig(**BASE, eost=False), aa_edb)
+        assert engine.last_database.storage.query_commits > 0
+
+
+class TestDsd:
+    def test_strategies_recorded_per_iteration(self, aa_edb):
+        engine, _ = run_with(RecStepConfig(**BASE), aa_edb)
+        strategies = {
+            strategy
+            for record in engine.last_report.records
+            for strategy in record.set_diff_strategies.values()
+        }
+        assert strategies <= {"OPSD", "TPSD", "AGG-MERGE"}
+        assert strategies
+
+    def test_dsd_off_uses_only_opsd(self, aa_edb):
+        engine, _ = run_with(RecStepConfig(**BASE, dsd=False), aa_edb)
+        strategies = {
+            strategy
+            for record in engine.last_report.records
+            for strategy in record.set_diff_strategies.values()
+        }
+        assert strategies == {"OPSD"}
+
+    def test_dsd_picks_tpsd_in_long_tail(self):
+        """A long chain: R grows while deltas stay at one tuple, putting
+        later iterations deep in TPSD territory."""
+        chain = np.array([[i, i + 1] for i in range(60)])
+        engine, _ = run_with(RecStepConfig(**BASE), {"arc": chain}, program="TC")
+        strategies = [
+            strategy
+            for record in engine.last_report.records
+            for strategy in record.set_diff_strategies.values()
+        ]
+        assert "TPSD" in strategies
+
+
+class TestReporting:
+    def test_iteration_records_cover_run(self, aa_edb):
+        engine, result = run_with(RecStepConfig(**BASE), aa_edb)
+        records = engine.last_report.records
+        assert len(records) == result.iterations
+        assert records[-1].delta_sizes  # final record exists
+        assert all(size == 0 for size in records[-1].delta_sizes.values())
+
+    def test_delta_sizes_sum_to_fixpoint(self, aa_edb):
+        engine, result = run_with(RecStepConfig(**BASE), aa_edb)
+        derived = sum(
+            record.delta_sizes.get("pointsTo", 0)
+            for record in engine.last_report.records
+        )
+        assert derived == len(result.tuples["pointsTo"])
+
+    def test_traces_attached(self, aa_edb):
+        _, result = run_with(RecStepConfig(**BASE), aa_edb)
+        assert result.memory_trace.samples
+        assert result.cpu_trace.samples
+        assert result.peak_memory_bytes > 0
+
+
+class TestGroundFacts:
+    def test_fact_rules_seed_idb(self):
+        """Ground facts in the program (not the EDB) populate relations."""
+        source = """
+            base(1, 2).
+            base(2, 3).
+            tc(x, y) :- base(x, y).
+            tc(x, y) :- tc(x, z), base(z, y).
+        """
+        engine = RecStep(RecStepConfig(**BASE))
+        result = engine.evaluate(source, {}, dataset="facts")
+        assert result.status == "ok"
+        assert result.tuples["tc"] == {(1, 2), (2, 3), (1, 3)}
+
+    def test_facts_mix_with_edb(self):
+        source = """
+            seed(0).
+            reach(x) :- seed(x).
+            reach(y) :- reach(x), arc(x, y).
+        """
+        engine = RecStep(RecStepConfig(**BASE))
+        result = engine.evaluate(
+            source, {"arc": np.array([[0, 1], [1, 2]])}, dataset="facts"
+        )
+        assert result.tuples["reach"] == {(0,), (1,), (2,)}
+
+
+class TestEmptyInputs:
+    def test_empty_edb_relation(self):
+        engine = RecStep(RecStepConfig(**BASE))
+        result = engine.evaluate(
+            get_program("TC"), {"arc": np.empty((0, 2), dtype=np.int64)}, "empty"
+        )
+        assert result.status == "ok"
+        assert result.tuples["tc"] == set()
+        assert result.iterations >= 1
+
+    def test_cspa_with_empty_dereference(self):
+        engine = RecStep(RecStepConfig(**BASE))
+        result = engine.evaluate(
+            get_program("CSPA"),
+            {
+                "assign": np.array([[1, 2], [2, 3]]),
+                "dereference": np.empty((0, 2), dtype=np.int64),
+            },
+            "empty-deref",
+        )
+        assert result.status == "ok"
+        # valueFlow still contains the assign-derived and reflexive tuples.
+        assert (1, 2) in result.tuples["valueFlow"]
+        assert result.tuples["memoryAlias"] >= {(1, 1), (2, 2), (3, 3)}

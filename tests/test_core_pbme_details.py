@@ -1,0 +1,159 @@
+"""Deeper PBME tests: cost attribution, chunking, and shape matching."""
+
+import numpy as np
+import pytest
+
+from repro import PbmeMode, RecStep, RecStepConfig
+from repro.core.bitmatrix import (
+    PackedBitMatrix,
+    _match_sg_shape,
+    _match_tc_shape,
+    _zero_coordination_schedule,
+)
+from repro.datalog.analyzer import analyze_program
+from repro.datalog.parser import parse_program
+from repro.programs import get_program
+
+
+def analyzed_stratum(source: str):
+    analyzed = analyze_program(parse_program(source))
+    return analyzed, analyzed.strata[-1]
+
+
+class TestShapeMatching:
+    def test_csda_is_tc_shaped_with_distinct_base(self):
+        analyzed, stratum = analyzed_stratum(
+            "null(x,y) :- nullEdge(x,y). null(x,y) :- null(x,w), arc(w,y)."
+        )
+        decision = _match_tc_shape(analyzed, stratum)
+        assert decision is not None
+        assert decision.base_relation == "nullEdge"
+        assert decision.edge_relation == "arc"
+
+    def test_swapped_rule_order_still_matches(self):
+        analyzed, stratum = analyzed_stratum(
+            "tc(x,y) :- tc(x,z), arc(z,y). tc(x,y) :- arc(x,y)."
+        )
+        assert _match_tc_shape(analyzed, stratum) is not None
+
+    def test_reversed_head_not_tc(self):
+        analyzed, stratum = analyzed_stratum(
+            "r(x,y) :- e(x,y). r(y,x) :- r(x,z), e(z,y)."
+        )
+        assert _match_tc_shape(analyzed, stratum) is None
+
+    def test_left_recursion_variant_not_matched(self):
+        # arc on the left, tc on the right: valid Datalog, different shape.
+        analyzed, stratum = analyzed_stratum(
+            "r(x,y) :- e(x,y). r(x,y) :- e(x,z), r(z,y)."
+        )
+        assert _match_tc_shape(analyzed, stratum) is None
+
+    def test_sg_requires_inequality(self):
+        analyzed, stratum = analyzed_stratum(
+            "sg(x,y) :- arc(p,x), arc(p,y). "
+            "sg(x,y) :- arc(a,x), sg(a,b), arc(b,y)."
+        )
+        assert _match_sg_shape(analyzed, stratum) is None
+
+    def test_sg_canonical_matches(self):
+        analyzed, stratum = analyzed_stratum(get_program("SG").source)
+        decision = _match_sg_shape(analyzed, stratum)
+        assert decision is not None and decision.shape == "SG"
+
+    def test_constants_break_shape(self):
+        analyzed, stratum = analyzed_stratum(
+            "r(x,y) :- e(x,y). r(x,y) :- r(x,z), e(z, 5), e(z, y)."
+        )
+        assert _match_tc_shape(analyzed, stratum) is None
+
+
+class TestZeroCoordinationSchedule:
+    def test_makespan_is_max_thread_cost(self):
+        makespan, _ = _zero_coordination_schedule(np.array([1.0, 4.0, 2.0]))
+        assert makespan == 4.0
+
+    def test_utilization_reflects_skew(self):
+        _, balanced = _zero_coordination_schedule(np.array([2.0, 2.0, 2.0]))
+        _, skewed = _zero_coordination_schedule(np.array([6.0, 0.0, 0.0]))
+        assert balanced == pytest.approx(1.0)
+        assert skewed == pytest.approx(1.0 / 3.0)
+
+    def test_empty_costs(self):
+        makespan, utilization = _zero_coordination_schedule(np.zeros(0))
+        assert makespan == 0.0 and utilization == 1.0
+
+
+class TestSgChunking:
+    def test_high_degree_graph_correct_through_chunks(self):
+        """A star of 400 children forces the output-bounded chunker while
+        staying brute-force checkable (one generation only)."""
+        children = np.arange(1, 401, dtype=np.int64)
+        arc = np.column_stack([np.zeros(400, dtype=np.int64), children])
+        result = RecStep(RecStepConfig(enforce_budgets=False, pbme=PbmeMode.ON)).evaluate(
+            get_program("SG"), {"arc": arc}, "star"
+        )
+        expected = {(int(a), int(b)) for a in children for b in children if a != b}
+        assert result.tuples["sg"] == expected
+
+    def test_two_generation_cascade(self):
+        # Root -> two children -> each has two children: the grandchildren
+        # of different parents are same-generation via the recursive rule.
+        arc = np.array(
+            [[0, 1], [0, 2], [1, 3], [1, 4], [2, 5], [2, 6]], dtype=np.int64
+        )
+        result = RecStep(RecStepConfig(enforce_budgets=False, pbme=PbmeMode.ON)).evaluate(
+            get_program("SG"), {"arc": arc}, "tree"
+        )
+        generation_two = {3, 4, 5, 6}
+        expected = {(1, 2), (2, 1)} | {
+            (a, b) for a in generation_two for b in generation_two if a != b
+        }
+        assert result.tuples["sg"] == expected
+
+
+class TestExtraction:
+    def test_large_matrix_extraction_roundtrip(self):
+        matrix = PackedBitMatrix(300)
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, 300, size=5000)
+        cols = rng.integers(0, 300, size=5000)
+        matrix.set_pairs(rows, cols)
+        pairs = matrix.extract_pairs()
+        assert {tuple(p) for p in pairs.tolist()} == set(
+            zip(rows.tolist(), cols.tolist())
+        )
+        assert matrix.count() == pairs.shape[0]
+
+
+class TestPbmeComposesWithSqlStrata:
+    def test_gtc_aggregates_over_pbme_materialized_tc(self):
+        """A PBME stratum's result must be readable by later SQL strata."""
+        from collections import Counter
+
+        dense = np.array(
+            [[i, j] for i in range(25) for j in range(25) if i != j],
+            dtype=np.int64,
+        )
+        result = RecStep(
+            RecStepConfig(enforce_budgets=False, pbme=PbmeMode.AUTO)
+        ).evaluate(get_program("GTC"), {"arc": dense}, "t")
+        assert result.detail["pbme_strata"] == 1.0
+        from tests.conftest import reference_closure
+
+        counts = Counter(a for a, _ in reference_closure(dense))
+        assert result.tuples["gtc"] == set(counts.items())
+
+    def test_ntc_negates_pbme_materialized_tc(self):
+        dense = np.array(
+            [[i, j] for i in range(20) for j in range(20) if (i + j) % 3], dtype=np.int64
+        )
+        result = RecStep(
+            RecStepConfig(enforce_budgets=False, pbme=PbmeMode.AUTO)
+        ).evaluate(get_program("NTC"), {"arc": dense}, "t")
+        from tests.conftest import reference_closure
+
+        closure = reference_closure(dense)
+        nodes = {int(v) for edge in dense for v in edge}
+        expected = {(a, b) for a in nodes for b in nodes if (a, b) not in closure}
+        assert result.tuples["ntc"] == expected

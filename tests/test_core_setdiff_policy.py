@@ -1,0 +1,87 @@
+"""Tests for the DSD cost model (Appendix A)."""
+
+import pytest
+
+from repro.core.setdiff_policy import (
+    DsdPolicy,
+    calibrate_alpha,
+    cost_opsd,
+    cost_tpsd,
+)
+
+
+class TestCostFormulas:
+    def test_opsd_cost_linear_in_r(self):
+        assert cost_opsd(2000, 10, cb=2.0, cp=1.0) > cost_opsd(1000, 10, cb=2.0, cp=1.0)
+
+    def test_tpsd_cost_equation(self):
+        # Cb*(min+|r|) + Cp*(max+|Rdelta|), Appendix Eq. 1.
+        cost = cost_tpsd(100, 10, 5, cb=2.0, cp=1.0)
+        assert cost == pytest.approx(2.0 * (10 + 5) + 1.0 * (100 + 10))
+
+    def test_opsd_wins_when_r_smaller(self):
+        # Appendix Eq. 3: |R| <= |Rdelta| implies OPSD strictly cheaper.
+        r, delta, intersection = 10, 100, 5
+        assert cost_opsd(r, delta, 2.0, 1.0) < cost_tpsd(r, delta, intersection, 2.0, 1.0)
+
+
+class TestDecisionRegions:
+    def test_beta_at_most_one_chooses_opsd(self):
+        policy = DsdPolicy(alpha=2.0)
+        assert policy.choose(r_size=50, delta_size=100) == "OPSD"
+        assert policy.choose(r_size=100, delta_size=100) == "OPSD"
+
+    def test_beta_above_threshold_chooses_tpsd(self):
+        policy = DsdPolicy(alpha=2.0)  # threshold = 4
+        assert policy.choose(r_size=500, delta_size=100) == "TPSD"
+
+    def test_threshold_formula(self):
+        assert DsdPolicy(alpha=2.0).threshold() == pytest.approx(4.0)
+        assert DsdPolicy(alpha=3.0).threshold() == pytest.approx(3.0)
+
+    def test_alpha_at_most_one_never_tpsd_by_threshold(self):
+        policy = DsdPolicy(alpha=1.0)
+        assert policy.threshold() == float("inf")
+
+    def test_grey_zone_uses_previous_mu(self):
+        policy = DsdPolicy(alpha=2.0)
+        # beta = 3 in (1, 4): discriminant = 3*1 - (2 + 2/mu).
+        policy.prev_mu = 1.0  # 3 - 4 < 0 -> OPSD
+        assert policy.choose(r_size=300, delta_size=100) == "OPSD"
+        policy.prev_mu = 100.0  # 3 - 2.02 > 0 -> TPSD
+        assert policy.choose(r_size=300, delta_size=100) == "TPSD"
+
+    def test_disabled_policy_always_opsd(self):
+        policy = DsdPolicy(enabled=False)
+        assert policy.choose(r_size=10_000, delta_size=1) == "OPSD"
+
+    def test_empty_delta_chooses_opsd(self):
+        assert DsdPolicy().choose(r_size=100, delta_size=0) == "OPSD"
+
+    def test_observe_intersection_updates_mu(self):
+        policy = DsdPolicy()
+        policy.observe_intersection(delta_size=100, intersection_size=4)
+        assert policy.prev_mu == pytest.approx(25.0)
+
+    def test_zero_intersection_keeps_mu(self):
+        policy = DsdPolicy(prev_mu=7.0)
+        policy.observe_intersection(delta_size=100, intersection_size=0)
+        assert policy.prev_mu == 7.0
+
+    def test_decisions_logged(self):
+        policy = DsdPolicy(alpha=2.0)
+        policy.choose(10, 100)
+        policy.choose(1000, 10)
+        assert policy.decisions == ["OPSD", "TPSD"]
+
+
+class TestAlphaCalibration:
+    def test_calibrated_alpha_positive(self):
+        alpha = calibrate_alpha(num_pairs=2, runs_per_pair=1, max_rows=4000)
+        assert alpha > 0
+
+    def test_calibration_deterministic_inputs(self):
+        # Timing varies, but the procedure must at least be stable in shape:
+        # alpha is a build/probe ratio, so order-of-magnitude ~1.
+        alpha = calibrate_alpha(num_pairs=2, runs_per_pair=2, max_rows=4000)
+        assert 0.05 < alpha < 50

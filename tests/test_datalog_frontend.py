@@ -1,0 +1,194 @@
+"""Tests for the Datalog lexer, parser, and rule analyzer."""
+
+import pytest
+
+from repro.common.errors import DatalogError, StratificationError
+from repro.datalog import (
+    AggTerm,
+    Atom,
+    Comparison,
+    Constant,
+    Variable,
+    Wildcard,
+    analyze_program,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestParser:
+    def test_simple_rule(self):
+        rule = parse_rule("tc(x, y) :- arc(x, y).")
+        assert rule.head.predicate == "tc"
+        assert rule.head.terms == (Variable("x"), Variable("y"))
+        assert rule.body_atoms()[0].predicate == "arc"
+
+    def test_fact(self):
+        rule = parse_rule("edge(1, 2).")
+        assert rule.is_fact
+        assert rule.head.terms == (Constant(1), Constant(2))
+
+    def test_negated_atom_bang(self):
+        rule = parse_rule("p(x) :- q(x), !r(x).")
+        assert rule.negative_atoms()[0].predicate == "r"
+
+    def test_negated_atom_not_keyword(self):
+        rule = parse_rule("p(x) :- q(x), not r(x).")
+        assert rule.negative_atoms()[0].predicate == "r"
+
+    def test_comparison_literal(self):
+        rule = parse_rule("sg(x, y) :- arc(p, x), arc(p, y), x != y.")
+        comparison = rule.comparisons()[0]
+        assert comparison.op == "!="
+
+    def test_wildcard(self):
+        rule = parse_rule("cc(x) :- cc2(_, x).")
+        assert isinstance(rule.body_atoms()[0].terms[0], Wildcard)
+
+    def test_wildcard_in_head_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_rule("p(_) :- q(x).")
+
+    def test_aggregation_head(self):
+        rule = parse_rule("gtc(x, COUNT(y)) :- tc(x, y).")
+        term = rule.head.terms[1]
+        assert isinstance(term, AggTerm)
+        assert term.func == "COUNT"
+
+    def test_aggregation_with_arithmetic(self):
+        rule = parse_rule("sssp2(y, MIN(d1 + d2)) :- sssp2(x, d1), arc(x, y, d2).")
+        assert rule.head.terms[1].func == "MIN"
+
+    def test_aggregation_in_body_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_rule("p(x) :- q(MIN(x)).")
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_rule("!p(x) :- q(x).")
+
+    def test_constants_in_body(self):
+        rule = parse_rule("p(x) :- q(x, 5).")
+        assert rule.body_atoms()[0].terms[1] == Constant(5)
+
+    def test_negative_constant(self):
+        rule = parse_rule("p(x) :- q(x, -5).")
+        assert rule.body_atoms()[0].terms[1] == Constant(-5)
+
+    def test_comments(self):
+        program = parse_program("% comment\n tc(x,y) :- arc(x,y). // tail\n")
+        assert len(program.rules) == 1
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_rule("p(x) :- q(x)")
+
+    def test_program_str_roundtrip(self):
+        source = "tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y)."
+        program = parse_program(source)
+        reparsed = parse_program(str(program))
+        assert str(reparsed) == str(program)
+
+
+class TestAnalyzer:
+    def test_edb_idb_split(self):
+        analyzed = analyze_program(parse_program("tc(x,y) :- arc(x,y)."))
+        assert analyzed.edb == {"arc"}
+        assert analyzed.idb == {"tc"}
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(DatalogError):
+            analyze_program(parse_program("p(x) :- q(x). p(x, y) :- q(x), q(y)."))
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DatalogError):
+            analyze_program(parse_program("p(x, y) :- q(x)."))
+
+    def test_unsafe_negation_variable(self):
+        with pytest.raises(DatalogError):
+            analyze_program(parse_program("p(x) :- q(x), !r(y)."))
+
+    def test_unsafe_comparison_variable(self):
+        with pytest.raises(DatalogError):
+            analyze_program(parse_program("p(x) :- q(x), y < 3."))
+
+    def test_recursion_detected(self):
+        analyzed = analyze_program(
+            parse_program("tc(x,y) :- arc(x,y). tc(x,y) :- tc(x,z), arc(z,y).")
+        )
+        assert analyzed.features.is_recursive
+        assert analyzed.features.num_strata == 1
+        assert analyzed.strata[0].recursive
+
+    def test_mutual_recursion_single_stratum(self):
+        analyzed = analyze_program(
+            parse_program("p(x) :- e(x). p(x) :- q(x). q(x) :- p(x), e(x).")
+        )
+        assert analyzed.features.has_mutual_recursion
+        assert analyzed.strata[0].predicates == {"p", "q"}
+
+    def test_nonlinear_recursion_detected(self):
+        analyzed = analyze_program(
+            parse_program("t(x,y) :- e(x,y). t(x,y) :- t(x,z), t(z,y).")
+        )
+        assert analyzed.features.has_nonlinear_recursion
+
+    def test_strata_topologically_ordered(self):
+        analyzed = analyze_program(
+            parse_program(
+                "a(x) :- e(x). b(x) :- a(x). c(x) :- b(x), !a(x)."
+            )
+        )
+        order = {next(iter(s.predicates)): s.index for s in analyzed.strata}
+        assert order["a"] < order["b"] < order["c"]
+
+    def test_negation_through_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            analyze_program(parse_program("p(x) :- e(x), !p(x)."))
+
+    def test_stratified_negation_accepted(self):
+        analyzed = analyze_program(
+            parse_program(
+                "tc(x,y) :- arc(x,y). tc(x,y) :- tc(x,z), arc(z,y). "
+                "n(x) :- arc(x,y). ntc(x,y) :- n(x), n(y), !tc(x,y)."
+            )
+        )
+        assert analyzed.features.has_negation
+
+    def test_negated_edb_always_allowed(self):
+        analyzed = analyze_program(parse_program("p(x) :- q(x), !r(x)."))
+        assert analyzed.features.has_negation
+
+    def test_recursive_count_rejected(self):
+        with pytest.raises(StratificationError):
+            analyze_program(
+                parse_program("c(x, COUNT(y)) :- c(y, z), e(x, y).")
+            )
+
+    def test_recursive_min_allowed(self):
+        analyzed = analyze_program(
+            parse_program(
+                "d(x, MIN(0)) :- s(x). d(y, MIN(v + w)) :- d(x, v), e(x, y, w)."
+            )
+        )
+        assert analyzed.features.has_recursive_aggregation
+
+    def test_mixed_aggregate_heads_rejected(self):
+        with pytest.raises(DatalogError):
+            analyze_program(
+                parse_program("p(x, y) :- e(x, y). p(x, MIN(y)) :- e(x, y).")
+            )
+
+    def test_aggregate_not_last_rejected(self):
+        with pytest.raises(DatalogError):
+            analyze_program(parse_program("p(MIN(x), y) :- e(x, y)."))
+
+    def test_aggregate_func_lookup(self):
+        analyzed = analyze_program(parse_program("g(x, COUNT(y)) :- e(x, y)."))
+        assert analyzed.aggregate_func("g") == "COUNT"
+        assert analyzed.aggregate_func("e") is None
+
+    def test_self_negation_in_lower_stratum_ok(self):
+        source = "base(x) :- e(x). top(x) :- e(x), !base(x)."
+        analyzed = analyze_program(parse_program(source))
+        assert analyzed.features.num_strata == 2

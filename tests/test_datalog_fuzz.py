@@ -1,0 +1,97 @@
+"""Fuzz-ish robustness tests: malformed inputs must fail cleanly.
+
+Every syntactically broken program or SQL statement must raise a typed
+library error (never an unhandled TypeError/IndexError), and valid inputs
+survive a parse -> str -> parse round trip.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DatalogError, ReproError, SqlSyntaxError
+from repro.datalog.parser import parse_program
+from repro.sql.parser import parse_statement
+
+BROKEN_DATALOG = [
+    "tc(x, y)",                      # missing period
+    "tc(x, y) :- .",                 # empty body
+    "tc(x,) :- arc(x, y).",          # dangling comma
+    ":- arc(x, y).",                 # missing head
+    "tc(x, y) :- arc(x y).",         # missing comma
+    "tc((x), y) :- arc(x, y).",      # parenthesized term
+    "tc(x, y) :- !(arc(x, y)).",     # negation of parenthesized
+    "tc(x, y) :- arc(x, y) arc(y, z).",  # missing separator
+    "tc(x, MIN(y) :- arc(x, y).",    # unbalanced parens
+    "tc(x, y) :- x.",                # bare variable literal
+    "tc(x, y] :- arc(x, y).",        # stray bracket
+]
+
+BROKEN_SQL = [
+    "SELECT FROM t",
+    "SELECT a. FROM t",
+    "INSERT t VALUES (1)",
+    "CREATE TABLE (x INT)",
+    "SELECT a.x AS FROM t",
+    "SELECT a.x AS x FROM t WHERE",
+    "SELECT a.x AS x FROM t GROUP",
+    "DELETE t",
+    "SELECT a.x AS x FROM t UNION SELECT a.x AS x FROM t",  # bare UNION
+    "INSERT INTO t VALUES (1,)",
+]
+
+
+class TestBrokenInputs:
+    @pytest.mark.parametrize("source", BROKEN_DATALOG)
+    def test_broken_datalog_raises_typed_error(self, source):
+        with pytest.raises(ReproError):
+            parse_program(source)
+
+    @pytest.mark.parametrize("source", BROKEN_SQL)
+    def test_broken_sql_raises_typed_error(self, source):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(source)
+
+    @given(st.text(alphabet="():-,.!<>=+*%abcxyz123 \n", max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes_datalog_parser(self, text):
+        try:
+            parse_program(text)
+        except ReproError:
+            pass  # typed failure is the contract
+
+    @given(st.text(alphabet="SELECTFROMWHERE(),.*=<>-+; abcxyz01", max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes_sql_parser(self, text):
+        try:
+            parse_statement(text)
+        except ReproError:
+            pass
+
+
+VALID_PROGRAMS = [
+    "tc(x, y) :- arc(x, y). tc(x, y) :- tc(x, z), arc(z, y).",
+    "p(x) :- q(x), !r(x).",
+    "g(x, COUNT(y)) :- e(x, y).",
+    "d(y, MIN(v + w)) :- d(x, v), e(x, y, w). d(x, MIN(0)) :- s(x).",
+    "sg(x, y) :- arc(p, x), arc(p, y), x != y.",
+    "f(1, 2). f(3, -4).",
+    "u(x) :- e(x, _), x >= 0.",
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("source", VALID_PROGRAMS)
+    def test_datalog_parse_str_parse_fixpoint(self, source):
+        once = parse_program(source)
+        twice = parse_program(str(once))
+        assert str(once) == str(twice)
+
+    def test_sql_round_trip_with_not_exists(self):
+        text = (
+            "SELECT n1.x AS c0 FROM node n1 WHERE NOT EXISTS "
+            "(SELECT 1 FROM tc WHERE tc.x = n1.x)"
+        )
+        once = parse_statement(text)
+        twice = parse_statement(str(once.query))
+        assert str(once.query) == str(twice.query)

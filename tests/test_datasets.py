@@ -1,0 +1,216 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    andersen_dataset,
+    cspa_dataset,
+    csda_dataset,
+    gnp_graph,
+    load_dataset,
+    realworld_graph,
+    rmat_graph,
+)
+from repro.datasets.gnp import gnp_name
+from repro.datasets.graphs import clean_edges, degree_histogram, with_weights
+from repro.datasets.io import load_relation, save_relation
+from repro.datasets.rmat import rmat_name
+
+
+class TestGraphHelpers:
+    def test_clean_edges_dedups_and_drops_loops(self):
+        edges = np.array([[1, 2], [1, 2], [3, 3], [2, 1]])
+        cleaned = clean_edges(edges)
+        assert {tuple(r) for r in cleaned.tolist()} == {(1, 2), (2, 1)}
+
+    def test_clean_edges_keeps_loops_when_asked(self):
+        edges = np.array([[3, 3]])
+        assert clean_edges(edges, allow_self_loops=True).shape[0] == 1
+
+    def test_with_weights_adds_column(self):
+        rng = np.random.default_rng(0)
+        weighted = with_weights(np.array([[0, 1], [1, 2]]), rng)
+        assert weighted.shape == (2, 3)
+        assert (weighted[:, 2] >= 1).all()
+
+    def test_degree_histogram(self):
+        edges = np.array([[0, 1], [0, 2], [1, 2]])
+        assert degree_histogram(edges).tolist() == [2, 1, 0]
+
+
+class TestGnp:
+    def test_deterministic_in_seed(self):
+        a = gnp_graph(200, 0.01, seed=5)
+        b = gnp_graph(200, 0.01, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(gnp_graph(200, 0.01, seed=1), gnp_graph(200, 0.01, seed=2))
+
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.01
+        edges = gnp_graph(n, p, seed=3)
+        expected = n * (n - 1) * p
+        assert 0.8 * expected < edges.shape[0] < 1.2 * expected
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = gnp_graph(300, 0.02, seed=1)
+        assert (edges[:, 0] != edges[:, 1]).all()
+        assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_vertices_in_range(self):
+        edges = gnp_graph(100, 0.05, seed=2)
+        assert edges.min() >= 0 and edges.max() < 100
+
+    def test_degenerate_sizes(self):
+        assert gnp_graph(0).shape == (0, 2)
+        assert gnp_graph(1).shape == (0, 2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            gnp_graph(10, 1.5)
+
+    def test_names(self):
+        assert gnp_name(1000) == "G1K"
+        assert gnp_name(1000, 0.1) == "G1K-0.1"
+        assert gnp_name(500, 0.01) == "G500-0.01"
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert np.array_equal(rmat_graph(1000, seed=1), rmat_graph(1000, seed=1))
+
+    def test_skewed_degrees(self):
+        """R-MAT's defining property: heavy-tailed out-degrees."""
+        edges = rmat_graph(2000, seed=4)
+        degrees = degree_histogram(edges)
+        assert degrees.max() > 8 * max(1, int(np.median(degrees[degrees > 0])))
+
+    def test_edge_factor_scales_edges(self):
+        small = rmat_graph(1000, edge_factor=5, seed=1)
+        large = rmat_graph(1000, edge_factor=20, seed=1)
+        assert large.shape[0] > small.shape[0]
+
+    def test_vertices_in_range(self):
+        edges = rmat_graph(3000, seed=2)
+        assert edges.max() < 3000
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_graph(100, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_names(self):
+        assert rmat_name(1_000_000) == "RMAT-1M"
+        assert rmat_name(10_000) == "RMAT-10K"
+
+
+class TestRealworld:
+    def test_proxy_sizes_ordered_like_originals(self):
+        livejournal = realworld_graph("livejournal")
+        orkut = realworld_graph("orkut")
+        twitter = realworld_graph("twitter")
+        assert twitter.shape[0] > orkut.shape[0] > livejournal.shape[0]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            realworld_graph("facebook")
+
+
+class TestAndersen:
+    def test_variable_counts_double(self):
+        d1 = andersen_dataset(1)
+        d3 = andersen_dataset(3)
+        max1 = max(int(rows.max()) for rows in d1.values())
+        max3 = max(int(rows.max()) for rows in d3.values())
+        assert max3 > 2.5 * max1
+
+    def test_all_relations_present(self):
+        data = andersen_dataset(2)
+        assert set(data) == {"addressOf", "assign", "load", "store"}
+
+    def test_invalid_number(self):
+        with pytest.raises(ValueError):
+            andersen_dataset(0)
+        with pytest.raises(ValueError):
+            andersen_dataset(8)
+
+    def test_deterministic(self):
+        a = andersen_dataset(2, seed=1)
+        b = andersen_dataset(2, seed=1)
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestProgramGraphs:
+    def test_csda_has_long_chains(self):
+        """The load-bearing property: ~chain-length iterations."""
+        data = csda_dataset("httpd")
+        arc = data["arc"]
+        # Follow the pure chain from vertex 0: must be hundreds deep.
+        successors = dict(
+            (int(a), int(b)) for a, b in arc.tolist() if b == a + 1
+        )
+        depth, vertex = 0, 0
+        while vertex in successors and depth < 10_000:
+            vertex = successors[vertex]
+            depth += 1
+        assert depth >= 400
+
+    def test_csda_sizes_ordered(self):
+        assert (
+            csda_dataset("linux")["arc"].shape[0]
+            > csda_dataset("postgresql")["arc"].shape[0]
+            > csda_dataset("httpd")["arc"].shape[0]
+        )
+
+    def test_cspa_relations(self):
+        data = cspa_dataset("httpd")
+        assert set(data) == {"assign", "dereference"}
+        assert data["assign"].shape[0] > 500
+        assert data["dereference"].shape[0] > 50
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            csda_dataset("windows")
+        with pytest.raises(KeyError):
+            cspa_dataset("windows")
+
+
+class TestRegistry:
+    def test_contains_paper_suites(self):
+        assert "G1K" in DATASETS
+        assert "RMAT-10K" in DATASETS
+        assert "livejournal" in DATASETS
+        assert "andersen-7" in DATASETS
+        assert "csda-linux" in DATASETS
+        assert "cspa-httpd" in DATASETS
+
+    def test_load_graph_dataset(self):
+        data = load_dataset("G500")
+        assert set(data) == {"arc"}
+        assert data["arc"].shape[1] == 2
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("G9Z")
+
+    def test_seeded_variation(self):
+        a = load_dataset("G500", seed=1)["arc"]
+        b = load_dataset("G500", seed=2)["arc"]
+        assert not np.array_equal(a, b)
+
+
+class TestIo:
+    def test_save_load_roundtrip(self, tmp_path):
+        rows = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        path = tmp_path / "edges.tsv"
+        save_relation(path, rows)
+        loaded = load_relation(path, arity=2)
+        assert np.array_equal(loaded, rows)
+
+    def test_arity_mismatch(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        save_relation(path, np.array([[1, 2]]))
+        with pytest.raises(ValueError):
+            load_relation(path, arity=3)

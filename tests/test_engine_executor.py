@@ -1,0 +1,130 @@
+"""Tests for the simulated multicore cost model and metrics recorder."""
+
+import pytest
+
+from repro.common.errors import EvaluationTimeout, OutOfMemoryError
+from repro.engine.executor import (
+    BUILD_PHASE,
+    DEDUP_PHASE,
+    SCAN_PHASE,
+    ParallelCostModel,
+    split_tasks,
+)
+from repro.engine.metrics import MetricsRecorder
+
+
+class TestParallelCostModel:
+    def test_single_thread_runs_serially(self):
+        model = ParallelCostModel(threads=1)
+        outcome = model.run_phase(SCAN_PHASE, [1.0, 1.0, 1.0])
+        assert outcome.makespan == pytest.approx(3.0, rel=0.01)
+
+    def test_more_threads_reduce_makespan(self):
+        tasks = [0.1] * 64
+        t1 = ParallelCostModel(threads=1).run_phase(SCAN_PHASE, tasks).makespan
+        t8 = ParallelCostModel(threads=8).run_phase(SCAN_PHASE, tasks).makespan
+        t16 = ParallelCostModel(threads=16).run_phase(SCAN_PHASE, tasks).makespan
+        assert t1 > t8 > t16
+
+    def test_speedup_plateaus_past_physical_cores(self):
+        """Figure 8's shape: near-linear to 16, marginal gains past 20."""
+        tasks = [0.01] * 400
+        times = {
+            k: ParallelCostModel(threads=k).run_phase(DEDUP_PHASE, tasks).makespan
+            for k in (1, 16, 20, 40)
+        }
+        speedup_16 = times[1] / times[16]
+        speedup_40 = times[1] / times[40]
+        assert speedup_16 > 8  # scales well up to 16
+        assert speedup_40 < speedup_16 * 1.4  # small marginal gain after
+
+    def test_contention_penalizes_dedup_more_than_scan(self):
+        tasks = [0.01] * 200
+        scan = ParallelCostModel(threads=20).run_phase(SCAN_PHASE, tasks).makespan
+        dedup = ParallelCostModel(threads=20).run_phase(DEDUP_PHASE, tasks).makespan
+        assert dedup > scan
+
+    def test_makespan_bounded_by_largest_task(self):
+        model = ParallelCostModel(threads=40)
+        outcome = model.run_phase(SCAN_PHASE, [5.0] + [0.001] * 10)
+        assert outcome.makespan >= 5.0
+
+    def test_empty_phase_is_free(self):
+        outcome = ParallelCostModel(threads=4).run_phase(BUILD_PHASE, [])
+        assert outcome.makespan == 0.0
+
+    def test_efficiency_in_unit_interval(self):
+        outcome = ParallelCostModel(threads=20).run_phase(SCAN_PHASE, [0.5] * 10)
+        assert 0.0 <= outcome.efficiency <= 1.0
+
+    def test_history_recorded(self):
+        model = ParallelCostModel(threads=2)
+        model.run_phase(SCAN_PHASE, [0.1])
+        model.run_phase(BUILD_PHASE, [0.1])
+        assert [kind for kind, _ in model.history] == ["scan", "build"]
+
+    def test_split_tasks_even(self):
+        tasks = split_tasks(1.0, 4)
+        assert len(tasks) == 4
+        assert sum(tasks) == pytest.approx(1.0)
+
+    def test_hyperthread_yield_partial(self):
+        model = ParallelCostModel(threads=40, physical_cores=20, ht_yield=0.2)
+        width = model.effective_width(SCAN_PHASE)
+        assert 20 < width < 40
+
+
+class TestMetricsRecorder:
+    def test_clock_advances(self):
+        metrics = MetricsRecorder(enforce_budgets=False)
+        metrics.advance(1.5)
+        assert metrics.now() == pytest.approx(1.5)
+
+    def test_negative_advance_ignored(self):
+        metrics = MetricsRecorder(enforce_budgets=False)
+        metrics.advance(0.0)
+        assert metrics.now() == 0.0
+
+    def test_memory_peak_tracks_transients(self):
+        metrics = MetricsRecorder(enforce_budgets=False)
+        metrics.set_base_bytes(100)
+        metrics.allocate_transient(1000)
+        metrics.release_transient(1000)
+        assert metrics.peak_bytes == 1100
+        assert metrics.base_bytes + metrics.transient_bytes == 100
+
+    def test_oom_on_budget_breach(self):
+        metrics = MetricsRecorder(memory_budget=500)
+        with pytest.raises(OutOfMemoryError):
+            metrics.allocate_transient(501)
+
+    def test_timeout_on_budget_breach(self):
+        metrics = MetricsRecorder(time_budget=1.0)
+        with pytest.raises(EvaluationTimeout):
+            metrics.advance(2.0)
+
+    def test_budgets_not_enforced_when_disabled(self):
+        metrics = MetricsRecorder(memory_budget=10, time_budget=0.1, enforce_budgets=False)
+        metrics.allocate_transient(1_000_000)
+        metrics.advance(100.0)  # no raise
+
+    def test_memory_trace_records_samples(self):
+        metrics = MetricsRecorder(enforce_budgets=False)
+        metrics.set_base_bytes(10)
+        metrics.advance(1.0)
+        metrics.set_base_bytes(20)
+        trace = metrics.memory_trace.as_tuples()
+        assert trace[0][1] == 10.0
+        assert trace[-1] == (1.0, 20.0)
+
+    def test_memory_percent_trace(self):
+        metrics = MetricsRecorder(memory_budget=1000, enforce_budgets=False)
+        metrics.set_base_bytes(250)
+        assert metrics.memory_percent_trace()[-1][1] == pytest.approx(25.0)
+
+    def test_cpu_trace_spans_advance(self):
+        metrics = MetricsRecorder(enforce_budgets=False)
+        metrics.advance(2.0, utilization=0.75)
+        samples = metrics.cpu_trace.samples
+        assert samples[0].value == 0.75
+        assert samples[-1].time == pytest.approx(2.0)

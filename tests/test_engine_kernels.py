@@ -1,0 +1,204 @@
+"""Unit and property-based tests for the relational kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import kernels
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=0, max_size=60
+)
+keys_strategy = st.lists(st.integers(-100, 100), min_size=0, max_size=80)
+
+
+def as_matrix(pairs) -> np.ndarray:
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+class TestPackColumns:
+    def test_single_column_identity(self):
+        col = np.array([3, 1, 2], dtype=np.int64)
+        assert kernels.pack_columns([col]) is col
+
+    def test_pack_two_columns_injective(self):
+        a = np.array([0, 1, 0, 1], dtype=np.int64)
+        b = np.array([0, 0, 1, 1], dtype=np.int64)
+        packed = kernels.pack_columns([a, b])
+        assert len(np.unique(packed)) == 4
+
+    def test_pack_handles_negative_offsets(self):
+        a = np.array([-5, -4], dtype=np.int64)
+        b = np.array([7, 8], dtype=np.int64)
+        packed = kernels.pack_columns([a, b])
+        assert packed is not None
+        assert len(np.unique(packed)) == 2
+
+    def test_pack_too_wide_returns_none(self):
+        wide = np.array([0, 1 << 40], dtype=np.int64)
+        assert kernels.pack_columns([wide, wide]) is None
+
+    def test_pack_empty_columns(self):
+        empty = np.empty(0, dtype=np.int64)
+        packed = kernels.pack_columns([empty, empty])
+        assert packed is not None and packed.shape == (0,)
+
+    @given(rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_pack_preserves_row_equality(self, pairs):
+        matrix = as_matrix(pairs)
+        if matrix.shape[0] == 0:
+            return
+        packed = kernels.pack_columns([matrix[:, 0], matrix[:, 1]])
+        for i in range(matrix.shape[0]):
+            for j in range(matrix.shape[0]):
+                same_row = bool((matrix[i] == matrix[j]).all())
+                assert (packed[i] == packed[j]) == same_row
+
+
+class TestEquiJoin:
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        li, ri = kernels.equi_join_indices(empty, np.array([1, 2]))
+        assert li.size == ri.size == 0
+
+    def test_all_pairs_on_duplicate_keys(self):
+        left = np.array([7, 7], dtype=np.int64)
+        right = np.array([7, 7, 7], dtype=np.int64)
+        li, ri = kernels.equi_join_indices(left, right)
+        assert li.size == 6  # 2 x 3 matches
+
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_nested_loop_join(self, left_list, right_list):
+        left = np.asarray(left_list, dtype=np.int64)
+        right = np.asarray(right_list, dtype=np.int64)
+        li, ri = kernels.equi_join_indices(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left_list)
+            for j, rv in enumerate(right_list)
+            if lv == rv
+        )
+        assert got == expected
+
+
+class TestSemiAntiJoin:
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_masks_partition_rows(self, left_list, right_list):
+        left = np.asarray(left_list, dtype=np.int64)
+        right = np.asarray(right_list, dtype=np.int64)
+        semi = kernels.semi_join_mask(left, right)
+        anti = kernels.anti_join_mask(left, right)
+        assert not np.any(semi & anti)
+        if left.size:
+            assert np.all(semi | anti)
+        right_set = set(right_list)
+        for index, value in enumerate(left_list):
+            assert bool(semi[index]) == (value in right_set)
+
+
+class TestUniqueRows:
+    def test_empty(self):
+        assert kernels.unique_rows(np.empty((0, 2), dtype=np.int64)).shape == (0, 2)
+
+    def test_single_column(self):
+        rows = np.array([[3], [1], [3]], dtype=np.int64)
+        assert kernels.unique_rows(rows).shape == (2, 1)
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set(self, pairs):
+        matrix = as_matrix(pairs)
+        unique = kernels.unique_rows(matrix)
+        assert {tuple(r) for r in unique.tolist()} == set(pairs)
+        assert unique.shape[0] == len(set(pairs))
+
+    def test_wide_rows_fall_back_to_lexsort(self):
+        rows = np.array([[1 << 40, 1 << 41], [1 << 40, 1 << 41], [0, 1]], dtype=np.int64)
+        unique = kernels.unique_rows(rows)
+        assert unique.shape[0] == 2
+
+
+class TestSetOperations:
+    @given(rows_strategy, rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_difference_matches_python_sets(self, new_pairs, old_pairs):
+        delta = kernels.rows_difference(as_matrix(new_pairs), as_matrix(old_pairs))
+        assert {tuple(r) for r in delta.tolist()} == set(new_pairs) - set(old_pairs)
+
+    @given(rows_strategy, rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_matches_python_sets(self, left_pairs, right_pairs):
+        got = kernels.rows_intersection(as_matrix(left_pairs), as_matrix(right_pairs))
+        assert {tuple(r) for r in got.tolist()} == set(left_pairs) & set(right_pairs)
+
+
+class TestGroupAggregate:
+    def test_min_per_group(self):
+        keys = np.array([1, 2, 1, 2], dtype=np.int64)
+        values = np.array([10, 20, 5, 30], dtype=np.int64)
+        group_keys, (mins,) = kernels.group_aggregate([keys], [("MIN", values)])
+        result = dict(zip(group_keys[:, 0].tolist(), mins.tolist()))
+        assert result == {1: 5, 2: 20}
+
+    def test_count_and_sum(self):
+        keys = np.array([1, 1, 2], dtype=np.int64)
+        values = np.array([4, 6, 9], dtype=np.int64)
+        _, (counts, sums) = kernels.group_aggregate(
+            [keys], [("COUNT", values), ("SUM", values)]
+        )
+        assert counts.tolist() == [2, 1]
+        assert sums.tolist() == [10, 9]
+
+    def test_avg_integer_division(self):
+        keys = np.array([1, 1], dtype=np.int64)
+        values = np.array([3, 4], dtype=np.int64)
+        _, (avgs,) = kernels.group_aggregate([keys], [("AVG", values)])
+        assert avgs.tolist() == [3]  # floor(7/2)
+
+    def test_global_aggregate_no_groups(self):
+        values = np.array([5, 2, 9], dtype=np.int64)
+        keys, (minimum,) = kernels.group_aggregate([], [("MIN", values)])
+        assert keys.shape == (1, 0)
+        assert minimum.tolist() == [2]
+
+    def test_empty_grouped_input(self):
+        empty = np.empty(0, dtype=np.int64)
+        keys, (mins,) = kernels.group_aggregate([empty], [("MIN", empty)])
+        assert keys.shape[0] == 0
+        assert mins.shape[0] == 0
+
+    def test_multi_column_group_keys(self):
+        a = np.array([1, 1, 2], dtype=np.int64)
+        b = np.array([1, 1, 1], dtype=np.int64)
+        values = np.array([7, 3, 5], dtype=np.int64)
+        keys, (mins,) = kernels.group_aggregate([a, b], [("MIN", values)])
+        assert keys.shape == (2, 2)
+        assert sorted(mins.tolist()) == [3, 5]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-50, 50)), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_min_matches_python(self, pairs):
+        keys = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        group_keys, (mins,) = kernels.group_aggregate([keys], [("MIN", values)])
+        got = dict(zip(group_keys[:, 0].tolist(), mins.tolist()))
+        expected: dict[int, int] = {}
+        for key, value in pairs:
+            expected[key] = min(expected.get(key, value), value)
+        assert got == expected
+
+    def test_global_min_of_empty_raises(self):
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            kernels.group_aggregate([], [("MIN", empty)])

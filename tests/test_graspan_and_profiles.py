@@ -1,0 +1,83 @@
+"""Cost-profile behaviour: widths, caps, and engine-specific shapes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BigDatalogLike, GraspanLike, NaiveEngine, SouffleLike
+from repro.baselines.base import CostProfile
+from repro.baselines.ruleeval import WorkCounters
+from repro.programs import get_program
+
+
+class TestCostProfile:
+    def test_width_cap_per_idb(self):
+        profile = CostProfile(name="x", threads=20, parallel_efficiency=1.0,
+                              width_cap_per_idb=6.0)
+        assert profile.effective_width(num_predicates=1) == 6.0
+        assert profile.effective_width(num_predicates=3) == 18.0
+        assert profile.effective_width(num_predicates=10) == 20.0  # thread bound
+
+    def test_no_cap_uses_efficiency(self):
+        profile = CostProfile(name="x", threads=20, parallel_efficiency=0.5)
+        assert profile.effective_width() == 10.0
+
+    def test_iteration_seconds_scales_with_work(self):
+        profile = CostProfile(name="x")
+        light = WorkCounters(tuples_probed=1000)
+        heavy = WorkCounters(tuples_probed=1_000_000)
+        assert profile.iteration_seconds(heavy, 0) > profile.iteration_seconds(light, 0)
+
+    def test_width_floor_is_one(self):
+        profile = CostProfile(name="x", threads=1, parallel_efficiency=0.01)
+        assert profile.effective_width() == 1.0
+
+
+class TestEngineShapes:
+    def test_souffle_single_idb_underutilizes(self):
+        souffle = SouffleLike(enforce_budgets=False)
+        single = souffle.profile.effective_width(num_predicates=1)
+        triple = souffle.profile.effective_width(num_predicates=3)
+        assert single < triple  # REACH/AA vs CSPA widths (Figure 16)
+
+    def test_graspan_low_parallelism(self):
+        graspan = GraspanLike(enforce_budgets=False)
+        naive = NaiveEngine(enforce_budgets=False)
+        assert (
+            graspan.profile.effective_width() < naive.profile.effective_width()
+        )
+
+    def test_bigdatalog_startup_dominates_small_inputs(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        result = BigDatalogLike(enforce_budgets=False).evaluate(
+            get_program("TC"), {"arc": edges}, "t"
+        )
+        # A trivial program still pays multi-second cluster startup.
+        assert result.sim_seconds > 3.0
+
+    def test_distributed_slower_on_trivial_input(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        local = BigDatalogLike(enforce_budgets=False).evaluate(
+            get_program("TC"), {"arc": edges}, "t"
+        )
+        distributed = BigDatalogLike(distributed=True, enforce_budgets=False).evaluate(
+            get_program("TC"), {"arc": edges}, "t"
+        )
+        assert distributed.sim_seconds > local.sim_seconds
+
+    def test_row_cap_produces_oom_not_crash(self):
+        # An all-equal-keys self-join explodes quadratically: the engine
+        # must surface a modeled OOM rather than materializing it.
+        hot = np.zeros((40_000, 2), dtype=np.int64)
+        hot[:, 1] = np.arange(40_000)
+        engine = SouffleLike(memory_budget=10_000_000, enforce_budgets=True)
+        result = engine.evaluate(get_program("SG"), {"arc": hot}, "t")
+        assert result.status == "oom"
+
+    def test_iterations_match_across_engines(self, random_graph):
+        """Semi-naive engines agree on the iteration count for TC."""
+        reference = None
+        for engine in (SouffleLike(enforce_budgets=False), BigDatalogLike(enforce_budgets=False)):
+            result = engine.evaluate(get_program("TC"), {"arc": random_graph}, "t")
+            if reference is None:
+                reference = result.iterations
+            assert result.iterations == reference

@@ -1,0 +1,114 @@
+"""Property-based end-to-end tests over random graphs and programs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PbmeMode, RecStep, RecStepConfig
+from repro.analysis.harness import make_engine
+from repro.programs import get_program
+from tests.conftest import reference_closure
+
+graphs = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=0, max_size=35
+).map(
+    lambda pairs: np.asarray(
+        sorted({p for p in pairs if p[0] != p[1]}), dtype=np.int64
+    ).reshape(-1, 2)
+)
+
+
+def recstep(**overrides):
+    return RecStep(RecStepConfig(enforce_budgets=False, **overrides))
+
+
+class TestClosureInvariants:
+    @given(graphs)
+    @settings(max_examples=25, deadline=None)
+    def test_tc_is_transitively_closed(self, edges):
+        result = recstep(pbme=PbmeMode.OFF).evaluate(get_program("TC"), {"arc": edges}, "p")
+        tc = result.tuples["tc"]
+        assert {(int(a), int(b)) for a, b in edges} <= tc
+        for a, b in tc:
+            for c, d in tc:
+                if b == c:
+                    assert (a, d) in tc
+
+    @given(graphs)
+    @settings(max_examples=20, deadline=None)
+    def test_tc_minimality(self, edges):
+        result = recstep(pbme=PbmeMode.OFF).evaluate(get_program("TC"), {"arc": edges}, "p")
+        assert result.tuples["tc"] == reference_closure(edges)
+
+    @given(graphs)
+    @settings(max_examples=15, deadline=None)
+    def test_ntc_partitions_node_pairs(self, edges):
+        if edges.shape[0] == 0:
+            return
+        result = recstep(pbme=PbmeMode.OFF).evaluate(get_program("NTC"), {"arc": edges}, "p")
+        nodes = {int(v) for edge in edges for v in edge}
+        tc = result.tuples["tc"]
+        ntc = result.tuples["ntc"]
+        assert tc.isdisjoint(ntc)
+        restricted_tc = {(a, b) for a, b in tc if a in nodes and b in nodes}
+        assert restricted_tc | ntc == {(a, b) for a in nodes for b in nodes}
+
+
+class TestAggregationInvariants:
+    @given(graphs)
+    @settings(max_examples=20, deadline=None)
+    def test_cc_labels_are_reachable_minima(self, edges):
+        if edges.shape[0] == 0:
+            return
+        result = recstep(pbme=PbmeMode.OFF).evaluate(get_program("CC"), {"arc": edges}, "p")
+        cc3 = result.tuples["cc3"]
+        vertices = {int(v) for edge in edges for v in edge}
+        sources = {int(a) for a, _ in edges}
+        for vertex, label in cc3:
+            # Labels are vertex ids; a vertex with an outgoing edge
+            # self-initializes, so its label can only improve below it.
+            assert label in vertices
+            if vertex in sources:
+                assert label <= vertex
+
+    @given(graphs, st.integers(0, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_sssp_triangle_inequality(self, edges, source):
+        if edges.shape[0] == 0:
+            return
+        rng = np.random.default_rng(1)
+        weights = rng.integers(1, 9, size=(edges.shape[0], 1))
+        arc = np.hstack([edges, weights])
+        result = recstep(pbme=PbmeMode.OFF).evaluate(
+            get_program("SSSP"), {"arc": arc, "id": np.array([[source]])}, "p"
+        )
+        dist = dict(result.tuples["sssp"])
+        assert dist.get(source) == 0
+        for a, b, w in arc.tolist():
+            if a in dist and b in dist:
+                assert dist[b] <= dist[a] + w  # relaxed edges
+
+    @given(graphs)
+    @settings(max_examples=15, deadline=None)
+    def test_gtc_counts_sum_to_closure_size(self, edges):
+        if edges.shape[0] == 0:
+            return
+        result = recstep(pbme=PbmeMode.OFF).evaluate(get_program("GTC"), {"arc": edges}, "p")
+        total = sum(count for _, count in result.tuples["gtc"])
+        assert total == len(result.tuples["tc"])
+
+
+class TestEngineAgreementProperty:
+    @given(graphs)
+    @settings(max_examples=10, deadline=None)
+    def test_five_engines_agree_on_csda(self, edges):
+        if edges.shape[0] < 2:
+            return
+        edb = {"nullEdge": edges[:2], "arc": edges}
+        outcomes = set()
+        for name in ("RecStep", "Souffle", "BigDatalog", "Graspan", "Naive"):
+            engine = make_engine(name, enforce_budgets=False)
+            result = engine.evaluate(get_program("CSDA"), edb, "p")
+            assert result.status == "ok", name
+            outcomes.add(frozenset(result.tuples["null"]))
+        assert len(outcomes) == 1

@@ -1,0 +1,66 @@
+"""RecStep failure reporting: OOM, timeout, and budget boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import PbmeMode, RecStep, RecStepConfig
+from repro.programs import get_program
+
+
+class TestFailureStatuses:
+    def test_oom_reported_not_raised(self):
+        dense = np.array(
+            [[i, j] for i in range(60) for j in range(60) if i != j], dtype=np.int64
+        )
+        config = RecStepConfig(memory_budget=50_000, pbme=PbmeMode.OFF)
+        result = RecStep(config).evaluate(get_program("TC"), {"arc": dense}, "t")
+        assert result.status == "oom"
+        assert result.tuples == {}            # no partial fixpoint exposed
+        assert result.peak_memory_bytes > 0   # partial telemetry kept
+        assert result.memory_trace is not None
+
+    def test_timeout_reported_not_raised(self):
+        chain = np.array([[i, i + 1] for i in range(400)], dtype=np.int64)
+        config = RecStepConfig(time_budget=0.05, pbme=PbmeMode.OFF)
+        result = RecStep(config).evaluate(get_program("TC"), {"arc": chain}, "t")
+        assert result.status == "timeout"
+        assert result.sim_seconds >= 0.05
+
+    def test_generous_budgets_succeed(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        result = RecStep(RecStepConfig()).evaluate(get_program("TC"), {"arc": edges}, "t")
+        assert result.status == "ok"
+
+    def test_missing_edb_raises_datalog_error(self):
+        from repro.common.errors import DatalogError
+
+        with pytest.raises(DatalogError):
+            RecStep(RecStepConfig()).evaluate(get_program("TC"), {}, "t")
+
+    def test_pbme_respects_memory_budget(self):
+        """PBME's fit check refuses the matrix when it cannot fit, and the
+        relational fallback then OOMs — no silent overshoot."""
+        dense = np.array(
+            [[i, j] for i in range(120) for j in range(120) if i != j], dtype=np.int64
+        )
+        config = RecStepConfig(memory_budget=8_000, pbme=PbmeMode.AUTO)
+        result = RecStep(config).evaluate(get_program("TC"), {"arc": dense}, "t")
+        assert result.status == "oom"
+
+
+class TestConfigSurface:
+    def test_without_unknown_optimization(self):
+        with pytest.raises(ValueError):
+            RecStepConfig().without("turbo")
+
+    def test_without_is_pure(self):
+        base = RecStepConfig()
+        ablated = base.without("uie")
+        assert base.uie and not ablated.uie
+
+    def test_no_op_disables_everything(self):
+        config = RecStepConfig.no_op()
+        assert not config.uie and not config.dsd and not config.eost
+        assert not config.fast_dedup
+        assert config.oof.value == "na"
+        assert config.pbme.value == "off"

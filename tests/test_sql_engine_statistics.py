@@ -1,0 +1,81 @@
+"""Statistics plumbing: ANALYZE modes through the SQL surface and OOF."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.stats import StatsMode
+
+
+@pytest.fixture
+def db():
+    database = Database(enforce_budgets=False)
+    database.execute("CREATE TABLE t (a INT, b INT)")
+    database.execute("INSERT INTO t VALUES (1, 10), (2, 20), (2, 30)")
+    return database
+
+
+class TestAnalyzeStatement:
+    def test_analyze_updates_row_count(self, db):
+        assert db.catalog.get_stats("t").num_rows == 0
+        db.execute("ANALYZE t")
+        assert db.catalog.get_stats("t").num_rows == 3
+
+    def test_analyze_full_collects_columns(self, db):
+        db.execute("ANALYZE t FULL")
+        stats = db.catalog.get_stats("t")
+        assert stats.analyzed_full
+        assert stats.columns["a"].minimum == 1
+        assert stats.columns["b"].maximum == 30
+
+    def test_size_only_skips_columns(self, db):
+        db.execute("ANALYZE t")
+        assert not db.catalog.get_stats("t").analyzed_full
+
+    def test_analyze_costs_time(self, db):
+        before = db.sim_seconds
+        db.execute("ANALYZE t FULL")
+        assert db.sim_seconds > before
+
+    def test_full_costlier_than_size_only(self):
+        big = Database(enforce_budgets=False)
+        big.load_table("x", ["a"], np.arange(200_000).reshape(-1, 1))
+        before = big.sim_seconds
+        big.analyze("x", full=False)
+        size_cost = big.sim_seconds - before
+        before = big.sim_seconds
+        big.analyze("x", full=True)
+        full_cost = big.sim_seconds - before
+        assert full_cost > size_cost
+
+
+class TestDedupUsesEstimates:
+    def test_underestimated_buckets_slow_dedup(self):
+        """Stale statistics (OOF-NA's failure mode): the dedup hash table
+        is pre-allocated too small and pays collision chains."""
+        def run(stale: bool) -> float:
+            db = Database(enforce_budgets=False)
+            db.create_table("m", ["a", "b"])
+            db.append_rows("m", np.array([[1, 1]], dtype=np.int64))
+            db.analyze("m")  # stats say: 1 row
+            rows = np.arange(100_000, dtype=np.int64).reshape(-1, 2)
+            db.append_rows("m", rows)
+            if not stale:
+                db.analyze("m")  # refresh: 50_001 rows
+            before = db.sim_seconds
+            db.dedup_table("m")
+            return db.sim_seconds - before
+
+        assert run(stale=True) > run(stale=False)
+
+    def test_estimates_do_not_change_results(self):
+        db = Database(enforce_budgets=False)
+        db.create_table("m", ["a"])
+        db.append_rows("m", np.array([[1], [1], [2]], dtype=np.int64))
+        outcome = db.dedup_table("m")  # stats stale at 0 rows
+        assert outcome.output_rows == 2
+
+
+class TestStatsModeEnum:
+    def test_modes_distinct(self):
+        assert len({StatsMode.NONE, StatsMode.SIZE_ONLY, StatsMode.FULL}) == 3

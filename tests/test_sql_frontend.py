@@ -1,0 +1,172 @@
+"""Unit tests for the mini-SQL lexer and parser."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql import ast, parse_script, parse_statement, tokenize
+from repro.sql.tokens import TokenType
+from repro.storage.column import ColumnType
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.ttype is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("pointsTo_mDelta")
+        assert tokens[0].text == "pointsTo_mDelta"
+        assert tokens[0].ttype is TokenType.IDENT
+
+    def test_numbers(self):
+        tokens = tokenize("123 45")
+        assert [t.text for t in tokens[:-1]] == ["123", "45"]
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("a <> b <= c >= d != e")
+        symbols = [t.text for t in tokens if t.ttype is TokenType.SYMBOL]
+        assert symbols == ["<>", "<=", ">=", "!="]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_ends_with_end_token(self):
+        assert tokenize("")[-1].ttype is TokenType.END
+
+
+class TestParserStatements:
+    def test_create_table(self):
+        stmt = parse_statement("CREATE TABLE arc (x INT, y BIGINT)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.table == "arc"
+        assert stmt.columns == (("x", ColumnType.INT), ("y", ColumnType.BIGINT))
+
+    def test_create_table_default_type(self):
+        stmt = parse_statement("CREATE TABLE t (a, b)")
+        assert stmt.columns == (("a", ColumnType.INT), ("b", ColumnType.INT))
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE t;")
+        assert isinstance(stmt, ast.DropTable)
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 2), (-3, 4)")
+        assert isinstance(stmt, ast.InsertValues)
+        assert stmt.rows == ((1, 2), (-3, 4))
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a.x AS x FROM arc a")
+        assert isinstance(stmt, ast.InsertSelect)
+        assert isinstance(stmt.query, ast.Select)
+
+    def test_delete_from(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert isinstance(stmt, ast.DeleteAll)
+
+    def test_analyze(self):
+        assert parse_statement("ANALYZE t").full is False
+        assert parse_statement("ANALYZE t FULL").full is True
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("DROP TABLE t nonsense")
+
+    def test_script_multiple_statements(self):
+        script = parse_script("CREATE TABLE a (x); CREATE TABLE b (y);")
+        assert len(script.statements) == 2
+
+
+class TestParserQueries:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a.x AS x, a.y AS y FROM arc a")
+        select = stmt.query
+        assert len(select.items) == 2
+        assert select.items[0].alias == "x"
+        assert select.tables == (ast.TableRef("arc", "a"),)
+
+    def test_join_predicates(self):
+        stmt = parse_statement(
+            "SELECT t.x AS x FROM tc t, arc a WHERE t.y = a.x AND a.y <> 3"
+        )
+        select = stmt.query
+        assert len(select.where) == 2
+        assert select.where[0].op == "="
+        assert select.where[1].op == "<>"
+
+    def test_bang_equals_normalized(self):
+        stmt = parse_statement("SELECT a.x AS x FROM arc a WHERE a.x != a.y")
+        assert stmt.query.where[0].op == "<>"
+
+    def test_union_all(self):
+        stmt = parse_statement(
+            "SELECT a.x AS x FROM arc a UNION ALL SELECT a.y AS x FROM arc a"
+        )
+        assert isinstance(stmt.query, ast.UnionAll)
+        assert len(stmt.query.selects) == 2
+
+    def test_plain_union_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a.x AS x FROM arc a UNION SELECT a.y AS x FROM arc a")
+
+    def test_group_by_aggregate(self):
+        stmt = parse_statement(
+            "SELECT t.x AS x, MIN(t.d) AS d FROM t GROUP BY t.x"
+        )
+        select = stmt.query
+        assert isinstance(select.items[1].expr, ast.AggregateCall)
+        assert select.items[1].expr.func == "MIN"
+        assert len(select.group_by) == 1
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) AS c FROM t")
+        agg = stmt.query.items[0].expr
+        assert agg.func == "COUNT"
+        assert isinstance(agg.argument, ast.Literal)
+
+    def test_arithmetic_expressions(self):
+        stmt = parse_statement("SELECT t.a + t.b * 2 AS s FROM t")
+        expr = stmt.query.items[0].expr
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_not_exists(self):
+        stmt = parse_statement(
+            "SELECT n.x AS x FROM node n WHERE NOT EXISTS "
+            "(SELECT 1 FROM tc WHERE tc.x = n.x)"
+        )
+        predicate = stmt.query.where[0]
+        assert isinstance(predicate, ast.NotExists)
+        assert predicate.subquery.tables[0].table == "tc"
+
+    def test_table_alias_optional(self):
+        stmt = parse_statement("SELECT arc.x AS x FROM arc")
+        assert stmt.query.tables[0].alias == "arc"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a.x AS x FROM arc a").query.distinct
+
+    def test_query_roundtrips_through_str(self):
+        text = (
+            "SELECT t.x AS c0, a.y AS c1 FROM tc t, arc a "
+            "WHERE t.y = a.x UNION ALL SELECT a.x AS c0, a.y AS c1 FROM arc a"
+        )
+        query = parse_statement(text).query
+        reparsed = parse_statement(str(query)).query
+        assert str(reparsed) == str(query)
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT 1")
+
+    def test_negative_literal(self):
+        stmt = parse_statement("SELECT a.x AS x FROM arc a WHERE a.x > -5")
+        comparison = stmt.query.where[0]
+        assert comparison.right.value == -5

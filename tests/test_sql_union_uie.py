@@ -1,0 +1,55 @@
+"""UIE at the SQL layer: UNION ALL queries vs per-arm statements."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+
+
+def make_db() -> Database:
+    db = Database(enforce_budgets=False)
+    db.load_table("e", ["x", "y"], np.array([[1, 2], [2, 3], [3, 4]]))
+    db.create_table("out", ["x", "y"])
+    return db
+
+ARMS = [
+    "SELECT a.x AS x, a.y AS y FROM e a",
+    "SELECT a.y AS x, a.x AS y FROM e a",
+    "SELECT a.x AS x, b.y AS y FROM e a, e b WHERE a.y = b.x",
+]
+
+
+class TestUnionAllSemantics:
+    def test_union_equals_sum_of_arms(self):
+        db = make_db()
+        union_rows = db.execute(" UNION ALL ".join(ARMS))
+        arm_rows = [db.execute(arm) for arm in ARMS]
+        assert union_rows.shape[0] == sum(a.shape[0] for a in arm_rows)
+        union_bag = sorted(map(tuple, union_rows))
+        arms_bag = sorted(tuple(r) for rows in arm_rows for r in rows)
+        assert union_bag == arms_bag
+
+    def test_single_union_query_cheaper_than_three(self):
+        """The UIE effect at the engine level: one dispatch, not three."""
+        db_union = make_db()
+        before = db_union.sim_seconds
+        db_union.execute("INSERT INTO out " + " UNION ALL ".join(ARMS))
+        union_cost = db_union.sim_seconds - before
+
+        db_split = make_db()
+        before = db_split.sim_seconds
+        for arm in ARMS:
+            db_split.execute(f"INSERT INTO out {arm}")
+        split_cost = db_split.sim_seconds - before
+
+        assert union_cost < split_cost
+        assert db_union.table_size("out") == db_split.table_size("out")
+
+    def test_union_arms_can_have_different_shapes(self):
+        db = make_db()
+        rows = db.execute(
+            "SELECT a.x AS x, 0 AS y FROM e a UNION ALL "
+            "SELECT a.x AS x, COUNT(a.y) AS y FROM e a GROUP BY a.x"
+        )
+        assert rows.shape[1] == 2
+        assert rows.shape[0] == 6  # 3 plain + 3 groups

@@ -1,0 +1,234 @@
+"""Unit tests for the storage substrate (tables, catalog, stats, EOST)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.storage import (
+    BLOCK_ROWS,
+    Catalog,
+    ColumnSchema,
+    ColumnType,
+    StatsMode,
+    StorageManager,
+    Table,
+    collect_stats,
+)
+from repro.storage.block import block_count, iter_blocks
+from repro.storage.table import make_table
+
+
+class TestColumnType:
+    def test_parse_known_types(self):
+        assert ColumnType.parse("int") is ColumnType.INT
+        assert ColumnType.parse(" BIGINT ") is ColumnType.BIGINT
+
+    def test_parse_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            ColumnType.parse("VARCHAR")
+
+    def test_logical_widths(self):
+        assert ColumnType.INT.logical_bytes == 4
+        assert ColumnType.BIGINT.logical_bytes == 8
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSchema("bad name")
+
+
+class TestTable:
+    def test_empty_table(self):
+        table = make_table("t", ["a", "b"])
+        assert len(table) == 0
+        assert table.arity == 2
+        assert table.data().shape == (0, 2)
+
+    def test_requires_columns(self):
+        with pytest.raises(CatalogError):
+            Table("t", [])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(CatalogError):
+            make_table("t", ["a", "a"])
+
+    def test_append_and_read_back(self):
+        table = make_table("t", ["a", "b"])
+        table.append_tuples([(1, 2), (3, 4)])
+        assert table.to_set() == {(1, 2), (3, 4)}
+
+    def test_append_array_grows_capacity(self):
+        table = make_table("t", ["a"])
+        rows = np.arange(10_000, dtype=np.int64).reshape(-1, 1)
+        table.append_array(rows)
+        assert len(table) == 10_000
+        assert int(table.data()[-1, 0]) == 9_999
+
+    def test_append_wrong_arity_rejected(self):
+        table = make_table("t", ["a", "b"])
+        with pytest.raises(CatalogError):
+            table.append_array(np.zeros((3, 3), dtype=np.int64))
+
+    def test_bag_semantics_keeps_duplicates(self):
+        table = make_table("t", ["a"])
+        table.append_tuples([(1,), (1,), (1,)])
+        assert len(table) == 3
+
+    def test_data_view_is_readonly(self):
+        table = make_table("t", ["a"])
+        table.append_tuples([(1,)])
+        view = table.data()
+        with pytest.raises(ValueError):
+            view[0, 0] = 9
+
+    def test_replace_contents(self):
+        table = make_table("t", ["a", "b"])
+        table.append_tuples([(1, 2)])
+        table.replace_contents(np.array([[5, 6], [7, 8]], dtype=np.int64))
+        assert table.to_set() == {(5, 6), (7, 8)}
+
+    def test_truncate(self):
+        table = make_table("t", ["a"])
+        table.append_tuples([(1,), (2,)])
+        table.truncate()
+        assert len(table) == 0
+
+    def test_column_index_lookup(self):
+        table = make_table("t", ["x", "y"])
+        assert table.column_index("y") == 1
+        with pytest.raises(CatalogError):
+            table.column_index("z")
+
+    def test_memory_bytes_uses_logical_width(self):
+        table = make_table("t", ["a", "b"])  # INT columns: 4 bytes each
+        table.append_tuples([(1, 2)] * 10)
+        assert table.memory_bytes() == 10 * 8
+
+
+class TestBlocks:
+    def test_block_count_minimum_one(self):
+        assert block_count(0) == 1
+        assert block_count(1) == 1
+
+    def test_block_count_rounds_up(self):
+        assert block_count(BLOCK_ROWS + 1) == 2
+
+    def test_iter_blocks_covers_all_rows(self):
+        rows = np.arange(200, dtype=np.int64).reshape(-1, 2)
+        blocks = list(iter_blocks(rows, block_rows=16))
+        assert sum(b.shape[0] for b in blocks) == 100
+        assert all(b.shape[0] <= 16 for b in blocks)
+
+    def test_iter_blocks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(np.zeros((4, 1)), block_rows=0))
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSchema("a")])
+        assert "t" in catalog
+        assert catalog.get_table("t").arity == 1
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSchema("a")])
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", [ColumnSchema("a")])
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSchema("a")])
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.get_table("nope")
+
+    def test_stats_stale_until_analyze(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", [ColumnSchema("a")])
+        table.append_tuples([(1,)] * 50)
+        assert catalog.get_stats("t").num_rows == 0  # stale
+        catalog.analyze("t", StatsMode.SIZE_ONLY)
+        assert catalog.get_stats("t").num_rows == 50
+
+    def test_total_memory_counts_all_tables(self):
+        catalog = Catalog()
+        t1 = catalog.create_table("a", [ColumnSchema("x")])
+        t2 = catalog.create_table("b", [ColumnSchema("x")])
+        t1.append_tuples([(1,)] * 3)
+        t2.append_tuples([(1,)] * 5)
+        assert catalog.total_memory_bytes() == (3 + 5) * 4
+
+
+class TestStats:
+    def test_full_stats_collects_column_info(self):
+        table = make_table("t", ["a", "b"])
+        table.append_tuples([(1, 10), (2, 20), (3, 30)])
+        stats, cost = collect_stats(table, StatsMode.FULL)
+        assert stats.columns["a"].minimum == 1
+        assert stats.columns["b"].maximum == 30
+        assert stats.columns["a"].distinct_estimate == 3
+        assert cost > 0
+
+    def test_size_only_is_cheaper_than_full(self):
+        table = make_table("t", ["a"])
+        table.append_array(np.arange(100_000, dtype=np.int64).reshape(-1, 1))
+        _, size_cost = collect_stats(table, StatsMode.SIZE_ONLY)
+        _, full_cost = collect_stats(table, StatsMode.FULL)
+        assert size_cost < full_cost
+
+    def test_none_mode_keeps_previous(self):
+        table = make_table("t", ["a"])
+        table.append_tuples([(1,)] * 10)
+        old, _ = collect_stats(table, StatsMode.SIZE_ONLY)
+        table.append_tuples([(1,)] * 10)
+        stats, cost = collect_stats(table, StatsMode.NONE, previous=old)
+        assert stats.num_rows == 10  # frozen
+        assert cost == 0.0
+
+    def test_distinct_estimate_on_large_column(self):
+        table = make_table("t", ["a"])
+        values = np.arange(50_000, dtype=np.int64) % 100
+        table.append_array(values.reshape(-1, 1))
+        stats, _ = collect_stats(table, StatsMode.FULL)
+        estimate = stats.columns["a"].distinct_estimate
+        assert 50 <= estimate <= 3000  # sampled scale-up, order of magnitude
+
+
+class TestStorageManager:
+    def test_eost_defers_io(self):
+        manager = StorageManager(eost=True)
+        cost = manager.mark_dirty("t", 1_000_000)
+        assert cost == 0.0
+        assert manager.pending_bytes == 1_000_000
+        commit_cost = manager.commit()
+        assert commit_cost > 0
+        assert manager.pending_bytes == 0
+
+    def test_non_eost_pays_per_query(self):
+        manager = StorageManager(eost=False)
+        cost = manager.mark_dirty("t", 1_000_000)
+        assert cost > 0
+        assert manager.pending_bytes == 0
+
+    def test_per_query_io_costs_more_than_deferred(self):
+        deferred = StorageManager(eost=True)
+        eager = StorageManager(eost=False)
+        eager_total = sum(eager.mark_dirty("t", 100_000) for _ in range(100))
+        for _ in range(100):
+            deferred.mark_dirty("t", 100_000)
+        assert deferred.commit() < eager_total
+
+    def test_negative_bytes_rejected(self):
+        manager = StorageManager()
+        with pytest.raises(ValueError):
+            manager.mark_dirty("t", -1)
+
+    def test_commit_empty_is_free(self):
+        assert StorageManager().commit() == 0.0

@@ -1,0 +1,61 @@
+"""EOST end-to-end: the I/O cost difference the optimization removes."""
+
+import numpy as np
+import pytest
+
+from repro import PbmeMode, RecStep, RecStepConfig
+from repro.programs import get_program
+from repro.storage.manager import (
+    COMMIT_WRITE_BANDWIDTH,
+    PER_QUERY_WRITE_BANDWIDTH,
+    StorageManager,
+)
+
+
+class TestBandwidthModel:
+    def test_commit_bandwidth_exceeds_per_query(self):
+        # Sequential flush at commit must beat scattered per-query writes.
+        assert COMMIT_WRITE_BANDWIDTH > PER_QUERY_WRITE_BANDWIDTH
+
+    def test_io_seconds_accumulate(self):
+        manager = StorageManager(eost=False)
+        manager.mark_dirty("t", 10_000_000)
+        manager.mark_dirty("t", 10_000_000)
+        assert manager.io_seconds > 0
+        first = manager.io_seconds
+        manager.mark_dirty("t", 10_000_000)
+        assert manager.io_seconds > first
+
+    def test_dirty_tables_tracked_and_cleared(self):
+        manager = StorageManager(eost=True)
+        manager.mark_dirty("a", 10)
+        manager.mark_dirty("b", 10)
+        assert manager.dirty_tables() == {"a", "b"}
+        manager.commit()
+        assert manager.dirty_tables() == set()
+
+
+class TestEostEndToEnd:
+    @pytest.fixture
+    def edges(self):
+        rng = np.random.default_rng(3)
+        edges = np.unique(rng.integers(0, 120, size=(900, 2)), axis=0)
+        return edges[edges[:, 0] != edges[:, 1]]
+
+    def test_eost_saves_time_on_iterative_workloads(self, edges):
+        base = dict(enforce_budgets=False, pbme=PbmeMode.OFF)
+        with_eost = RecStep(RecStepConfig(**base)).evaluate(
+            get_program("TC"), {"arc": edges}, "t"
+        )
+        without = RecStep(RecStepConfig(**base, eost=False)).evaluate(
+            get_program("TC"), {"arc": edges}, "t"
+        )
+        assert without.sim_seconds > with_eost.sim_seconds
+        assert with_eost.tuples == without.tuples
+
+    def test_commit_cost_proportional_to_state(self):
+        small = StorageManager(eost=True)
+        large = StorageManager(eost=True)
+        small.mark_dirty("t", 1_000)
+        large.mark_dirty("t", 1_000_000_000)
+        assert large.commit() > small.commit()

@@ -1,0 +1,74 @@
+"""Edge coverage: 64-bit values through the engine, and registry smoke."""
+
+import numpy as np
+import pytest
+
+from repro import PbmeMode, RecStep, RecStepConfig
+from repro.datasets import DATASETS, load_dataset
+from repro.engine.database import Database
+from repro.programs import get_program
+
+BIG = 1 << 40  # beyond the 32-bit logical INT width
+
+
+class TestWideValues:
+    def test_join_on_wide_keys_falls_back_to_factorization(self):
+        db = Database(enforce_budgets=False)
+        rows = np.array([[BIG, 1], [BIG + 1, 2]], dtype=np.int64)
+        db.load_table("a", ["k", "v"], rows)
+        db.load_table("b", ["k", "v"], rows)
+        out = db.execute("SELECT a.v AS x, b.v AS y FROM a, b WHERE a.k = b.k")
+        assert sorted(map(tuple, out)) == [(1, 1), (2, 2)]
+
+    def test_dedup_wide_rows(self):
+        db = Database(enforce_budgets=False)
+        rows = np.array([[BIG, BIG], [BIG, BIG], [0, 0]], dtype=np.int64)
+        db.load_table("t", ["a", "b"], rows)
+        outcome = db.dedup_table("t")
+        assert outcome.output_rows == 2
+        assert not outcome.used_compact_key  # too wide for the CCK
+
+    def test_recstep_on_wide_domain(self):
+        edges = np.array([[BIG, BIG + 1], [BIG + 1, BIG + 2]], dtype=np.int64)
+        result = RecStep(
+            RecStepConfig(enforce_budgets=False, pbme=PbmeMode.OFF)
+        ).evaluate(get_program("TC"), {"arc": edges}, "wide")
+        assert result.tuples["tc"] == {
+            (BIG, BIG + 1), (BIG + 1, BIG + 2), (BIG, BIG + 2),
+        }
+
+    def test_pbme_rejects_wide_domain(self):
+        """PBME needs a small dense active domain; a 2^40 id cannot fit a
+        bit matrix and AUTO must fall back to the relational path."""
+        edges = np.array([[BIG, BIG + 1]], dtype=np.int64)
+        result = RecStep(
+            RecStepConfig(enforce_budgets=False, pbme=PbmeMode.AUTO)
+        ).evaluate(get_program("TC"), {"arc": edges}, "wide")
+        assert result.status == "ok"
+        assert result.detail["pbme_strata"] == 0.0
+
+    def test_negative_values_in_relational_path(self):
+        edges = np.array([[-5, -4], [-4, -3]], dtype=np.int64)
+        result = RecStep(
+            RecStepConfig(enforce_budgets=False, pbme=PbmeMode.OFF)
+        ).evaluate(get_program("TC"), {"arc": edges}, "neg")
+        assert (-5, -3) in result.tuples["tc"]
+
+
+class TestRegistrySmoke:
+    @pytest.mark.parametrize(
+        "name",
+        ["G500", "G1K-0.1", "RMAT-10K", "livejournal", "andersen-1",
+         "csda-httpd", "cspa-httpd"],
+    )
+    def test_every_family_loads_and_is_wellformed(self, name):
+        data = load_dataset(name)
+        assert data
+        for relation, rows in data.items():
+            assert rows.dtype == np.int64
+            assert rows.ndim == 2
+            assert rows.min(initial=0) >= 0
+
+    def test_registry_names_unique_and_nonempty(self):
+        assert len(DATASETS) >= 20
+        assert all(isinstance(k, str) and k for k in DATASETS)
