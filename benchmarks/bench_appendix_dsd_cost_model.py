@@ -95,7 +95,20 @@ def test_appendix_dsd_cost_model(benchmark):
         lines.append(
             f"  {label:<24} OPSD {times['OPSD']:.4f}s   TPSD {times['TPSD']:.4f}s"
         )
-    write_result("appendix_dsd_cost_model", "\n".join(lines))
+    write_result(
+        "appendix_dsd_cost_model",
+        "\n".join(lines),
+        config={
+            "calibrated_alpha": round(alpha, 4),
+            "model_alpha": round(model_alpha, 4),
+            "tpsd_threshold": round(threshold, 4),
+            "decision_regions": [[round(beta, 4), choice] for beta, choice in regions],
+            "empirical_seconds": {
+                label: {k: round(v, 6) for k, v in times.items()}
+                for label, times in empirical.items()
+            },
+        },
+    )
 
     # The analytic model agrees with the charged costs in both decisive
     # regions: OPSD wins when R is small, TPSD when R dominates.

@@ -16,6 +16,7 @@ from benchmarks.common import (
     cell,
     engine_budget,
     grid_table,
+    records_from,
     write_result,
 )
 
@@ -65,7 +66,18 @@ def test_fig10_tc_sg(benchmark):
                 cells,
             )
         )
-    write_result("fig10_tc_sg", "\n\n".join(tables))
+    write_result(
+        "fig10_tc_sg",
+        "\n\n".join(tables),
+        runs=records_from(results, ("program", "dataset", "engine")),
+        config={
+            "tc_datasets": TC_DATASETS,
+            "sg_datasets": SG_DATASETS,
+            "engines": ENGINES,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # RecStep completes every graph for both programs (the headline).
     for (program, dataset, engine), result in results.items():

@@ -7,7 +7,7 @@ much larger over the run.
 """
 
 from benchmarks.bench_fig10_tc_sg import tc_sg_results
-from benchmarks.common import MEMORY_BUDGET, write_result
+from benchmarks.common import MEMORY_BUDGET, records_from, write_result
 
 ENGINES = ["RecStep", "Souffle", "BigDatalog"]
 
@@ -31,7 +31,22 @@ def test_fig11_memory_tc_sg(benchmark):
                 f"{engine:<14}{peak:>7.2f}%{final:>8.2f}%{result.status:>10}"
             )
         lines.append("")
-    write_result("fig11_memory_tc_sg", "\n".join(lines))
+    figure_cells = {
+        key: result
+        for key, result in results.items()
+        if key[1] == "G1K" and key[2] in ENGINES
+    }
+    write_result(
+        "fig11_memory_tc_sg",
+        "\n".join(lines),
+        runs=records_from(figure_cells, ("program", "dataset", "engine")),
+        config={
+            "dataset": "G1K",
+            "engines": ENGINES,
+            "memory_budget": MEMORY_BUDGET,
+            "shares_runs_with": "fig10_tc_sg",
+        },
+    )
 
     for program in ("TC", "SG"):
         # RecStep (PBME) uses the least memory of the three.

@@ -14,6 +14,7 @@ from benchmarks.common import (
     cached_run,
     cell,
     grid_table,
+    records_from,
     write_result,
 )
 
@@ -48,7 +49,18 @@ def test_fig12_rmat(benchmark):
         tables.append(
             grid_table(f"Figure 12: {program} on RMAT graphs", RMAT_SWEEP, ENGINES, cells)
         )
-    write_result("fig12_rmat_graphs", "\n\n".join(tables))
+    write_result(
+        "fig12_rmat_graphs",
+        "\n\n".join(tables),
+        runs=records_from(results, ("program", "dataset", "engine")),
+        config={
+            "programs": PROGRAMS,
+            "datasets": RMAT_SWEEP,
+            "engines": ENGINES,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # RecStep completes everything, near-proportional growth.
     for program in PROGRAMS:

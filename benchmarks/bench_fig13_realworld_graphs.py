@@ -14,6 +14,7 @@ from benchmarks.common import (
     cached_run,
     cell,
     grid_table,
+    records_from,
     write_result,
 )
 
@@ -53,7 +54,18 @@ def test_fig13_realworld(benchmark):
                 cells,
             )
         )
-    write_result("fig13_realworld_graphs", "\n\n".join(tables))
+    write_result(
+        "fig13_realworld_graphs",
+        "\n\n".join(tables),
+        runs=records_from(results, ("program", "dataset", "engine")),
+        config={
+            "programs": PROGRAMS,
+            "datasets": GRAPHS,
+            "engines": ENGINES,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # RecStep completes every graph on every program.
     for program in PROGRAMS:

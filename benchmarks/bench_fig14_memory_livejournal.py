@@ -6,7 +6,7 @@ Souffle (where it can run) in between.
 """
 
 from benchmarks.bench_fig13_realworld_graphs import realworld_results
-from benchmarks.common import MEMORY_BUDGET, write_result
+from benchmarks.common import MEMORY_BUDGET, records_from, write_result
 
 PROGRAMS = ["REACH", "CC", "SSSP"]
 ENGINES = ["RecStep", "Souffle", "BigDatalog"]
@@ -29,7 +29,22 @@ def test_fig14_memory_livejournal(benchmark):
             else:
                 row.append(f"{result.status:>14}")
         lines.append("".join(row))
-    write_result("fig14_memory_livejournal", "\n".join(lines))
+    figure_cells = {
+        key: result
+        for key, result in results.items()
+        if key[1] == "livejournal" and key[2] in ENGINES
+    }
+    write_result(
+        "fig14_memory_livejournal",
+        "\n".join(lines),
+        runs=records_from(figure_cells, ("program", "dataset", "engine")),
+        config={
+            "dataset": "livejournal",
+            "engines": ENGINES,
+            "memory_budget": MEMORY_BUDGET,
+            "shares_runs_with": "fig13_realworld_graphs",
+        },
+    )
 
     for program in PROGRAMS:
         recstep = peaks[(program, "RecStep")]

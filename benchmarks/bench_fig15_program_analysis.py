@@ -21,6 +21,7 @@ from benchmarks.common import (
     cell,
     engine_budget,
     grid_table,
+    records_from,
     write_result,
 )
 
@@ -80,7 +81,18 @@ def test_fig15_program_analysis(benchmark):
             if (program, dataset, engine) in results
         }
         tables.append(grid_table(title, datasets, engines, cells))
-    write_result("fig15_program_analysis", "\n\n".join(tables))
+    write_result(
+        "fig15_program_analysis",
+        "\n\n".join(tables),
+        runs=records_from(results, ("program", "dataset", "engine")),
+        config={
+            "aa_datasets": AA_DATASETS,
+            "csda_datasets": CSDA_DATASETS,
+            "cspa_datasets": CSPA_DATASETS,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # (a) AA: RecStep fastest among the scale-up engines everywhere.
     # bddbddb is "comparable ... when the number of variables is small"

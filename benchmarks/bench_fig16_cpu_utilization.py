@@ -11,7 +11,7 @@ curve go".
 """
 
 from benchmarks.bench_fig15_program_analysis import program_analysis_results
-from benchmarks.common import write_result
+from benchmarks.common import records_from, write_result
 
 
 def time_weighted_mean(result) -> float:
@@ -55,7 +55,20 @@ def test_fig16_cpu_utilization(benchmark):
                 f"  {engine:<12} mean {100 * means[(program, dataset, engine)]:5.1f}%   "
                 f"peak {100 * peaks[(program, dataset, engine)]:5.1f}%  ({result.status})"
             )
-    write_result("fig16_cpu_utilization", "\n".join(lines))
+    figure_cells = {
+        (program, dataset, engine): results[(program, dataset, engine)]
+        for program, dataset, engines in WORKLOADS
+        for engine in engines
+    }
+    write_result(
+        "fig16_cpu_utilization",
+        "\n".join(lines),
+        runs=records_from(figure_cells, ("program", "dataset", "engine")),
+        config={
+            "workloads": [[p, d, e] for p, d, e in WORKLOADS],
+            "shares_runs_with": "fig15_program_analysis",
+        },
+    )
 
     # RecStep's heavy phases drive utilization above Souffle's contention
     # ceiling on every workload (the paper's headline contrast).

@@ -13,7 +13,7 @@ from repro import RecStep, RecStepConfig
 from repro.analysis.harness import prepare_edb
 from repro.programs import get_program
 
-from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, write_result
+from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, records_from, write_result
 
 #: bar label -> ablation key (None = all optimizations on).
 ABLATIONS: list[tuple[str, str | None]] = [
@@ -32,12 +32,19 @@ def ablation_results():
     """label -> EvaluationResult for every Figure 2/3 bar."""
     program = get_program("CSPA")
     edb_arrays = prepare_edb(program, "cspa-httpd")
-    base = RecStepConfig(memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET)
+    # profile=True populates the counters field of the JSON records; it
+    # records spans against the simulated clock without charging it, so
+    # the reported sim_seconds are identical to an unprofiled run.
+    base = RecStepConfig(
+        memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET, profile=True
+    )
     results = {}
     for label, ablation in ABLATIONS:
         config = base if ablation is None else base.without(ablation)
         results[label] = RecStep(config).evaluate(program, edb_arrays, dataset="httpd")
-    no_op = RecStepConfig.no_op(memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET)
+    no_op = RecStepConfig.no_op(
+        memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET, profile=True
+    )
     results["RecStep-NO-OP"] = RecStep(no_op).evaluate(program, edb_arrays, dataset="httpd")
     return results
 
@@ -55,7 +62,18 @@ def test_fig2_optimizations(benchmark):
              f"{'configuration':<16}{'time %':>8}  (of RecStep-NO-OP)"]
     for label, value in sorted(percent.items(), key=lambda kv: kv[1]):
         lines.append(f"{label:<16}{value:7.1f}%  {'#' * int(value / 2)}")
-    write_result("fig2_optimizations", "\n".join(lines))
+    write_result(
+        "fig2_optimizations",
+        "\n".join(lines),
+        runs=records_from(results, ("configuration",)),
+        config={
+            "program": "CSPA",
+            "dataset": "cspa-httpd",
+            "ablations": [label for label, _ in ABLATIONS],
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # Every configuration computes the same fixpoint...
     sizes = {frozenset(result.sizes().items()) for result in results.values()}

@@ -7,7 +7,7 @@ and NO-OP's footprint exceeds fully-optimized RecStep's.
 """
 
 from benchmarks.bench_fig2_optimizations import ablation_results
-from benchmarks.common import MEMORY_BUDGET, write_result
+from benchmarks.common import MEMORY_BUDGET, records_from, write_result
 
 
 def test_fig3_memory_effects(benchmark):
@@ -22,7 +22,17 @@ def test_fig3_memory_effects(benchmark):
         mean = 100.0 * trace.mean() / MEMORY_BUDGET
         stats[label] = (peak, mean)
         lines.append(f"{label:<16}{peak:7.2f}%{mean:7.2f}%{len(trace.samples):9d}")
-    write_result("fig3_memory_opt", "\n".join(lines))
+    write_result(
+        "fig3_memory_opt",
+        "\n".join(lines),
+        runs=records_from(results, ("configuration",)),
+        config={
+            "program": "CSPA",
+            "dataset": "cspa-httpd",
+            "memory_budget": MEMORY_BUDGET,
+            "shares_runs_with": "fig2_optimizations",
+        },
+    )
 
     # Turning FAST-DEDUP off costs memory (generic <key,value> entries).
     assert stats["FAST-DEDUP"][0] > stats["RecStep"][0]

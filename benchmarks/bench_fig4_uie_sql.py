@@ -28,6 +28,7 @@ def test_fig4_uie_sql(benchmark):
     write_result(
         "fig4_uie_sql",
         "Unified IDB Evaluation:\n" + uie_sql + "\n\nIndividual IDB Evaluation:\n" + iie_sql,
+        config={"program": "AA", "predicate": "pointsTo"},
     )
 
     # UIE: single statement, one INSERT, arms joined by UNION ALL.

@@ -13,7 +13,14 @@ from repro import PbmeMode, RecStep, RecStepConfig
 from repro.analysis.harness import prepare_edb
 from repro.programs import get_program
 
-from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, cell, grid_table, write_result
+from benchmarks.common import (
+    MEMORY_BUDGET,
+    TIME_BUDGET,
+    cell,
+    grid_table,
+    records_from,
+    write_result,
+)
 
 TC_DATASETS = ["G500", "G1K", "G1K-0.1"]
 SG_DATASETS = ["G500", "G700", "G1K"]
@@ -58,7 +65,18 @@ def test_fig6_pbme_memory(benchmark):
                 cells,
             )
         )
-    write_result("fig6_pbme_memory", "\n\n".join(tables))
+    write_result(
+        "fig6_pbme_memory",
+        "\n\n".join(tables),
+        runs=records_from(results, ("program", "dataset", "variant")),
+        config={
+            "tc_datasets": TC_DATASETS,
+            "sg_datasets": SG_DATASETS,
+            "variants": ["PBME", "NON-PBME"],
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # PBME completes every graph (the paper's headline claim)...
     for (program_name, dataset, label), result in results.items():

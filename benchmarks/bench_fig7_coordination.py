@@ -14,7 +14,7 @@ from repro import PbmeMode, RecStep, RecStepConfig
 from repro.common.rng import make_rng
 from repro.programs import get_program
 
-from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, write_result
+from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, records_from, write_result
 
 
 def skewed_graph(branching: int = 4, depth: int = 6, tail: int = 300) -> np.ndarray:
@@ -83,7 +83,18 @@ def test_fig7_coordination(benchmark):
             f"{100 * mean_utilization(result):9.1f}%"
             f"{result.peak_memory_bytes / 1e6:9.1f}"
         )
-    write_result("fig7_coordination", "\n".join(lines))
+    write_result(
+        "fig7_coordination",
+        "\n".join(lines),
+        runs=records_from(results, ("variant",)),
+        config={
+            "program": "SG",
+            "dataset": "skewed",
+            "threads": 20,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     assert no_coord.status == coord.status == "ok"
     # Same fixpoint, less wall-clock with coordination (Figure 7a)...

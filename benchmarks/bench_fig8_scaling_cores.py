@@ -8,7 +8,13 @@ cores / 40 hyperthreads).
 
 import functools
 
-from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, cached_run, write_result
+from benchmarks.common import (
+    MEMORY_BUDGET,
+    TIME_BUDGET,
+    cached_run,
+    records_from,
+    write_result,
+)
 
 THREAD_COUNTS = [1, 2, 4, 8, 16, 20, 32, 40]
 
@@ -50,7 +56,17 @@ def test_fig8_scaling_cores(benchmark):
             speedups[(program, threads)] = speedup
             lines.append(f"{threads:>8}{seconds:>11.2f}s{speedup:>8.2f}x")
         sections.append("\n".join(lines))
-    write_result("fig8_scaling_cores", "\n\n".join(sections))
+    write_result(
+        "fig8_scaling_cores",
+        "\n\n".join(sections),
+        runs=records_from(results, ("program", "dataset", "threads")),
+        config={
+            "workloads": WORKLOADS,
+            "thread_counts": THREAD_COUNTS,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     for program, _ in WORKLOADS:
         # Monotone gains up to 16 threads, meaningful speedup at 16...

@@ -7,7 +7,13 @@ underutilized on small inputs) and then grows with datasets 4..7.
 
 import functools
 
-from benchmarks.common import MEMORY_BUDGET, TIME_BUDGET, cached_run, write_result
+from benchmarks.common import (
+    MEMORY_BUDGET,
+    TIME_BUDGET,
+    cached_run,
+    records_from,
+    write_result,
+)
 
 RMAT_SWEEP = ["RMAT-10K", "RMAT-20K", "RMAT-40K", "RMAT-80K", "RMAT-160K", "RMAT-320K"]
 ANDERSEN_SWEEP = [f"andersen-{k}" for k in range(1, 8)]
@@ -54,7 +60,17 @@ def test_fig9_scaling_data(benchmark):
             f"{dataset:<12}{result.sim_seconds:>9.2f}s"
             f"{len(result.tuples['pointsTo']):>14,}"
         )
-    write_result("fig9_scaling_data", "\n".join(lines))
+    write_result(
+        "fig9_scaling_data",
+        "\n".join(lines),
+        runs=records_from(results, ("program", "dataset")),
+        config={
+            "rmat_sweep": RMAT_SWEEP,
+            "andersen_sweep": ANDERSEN_SWEEP,
+            "memory_budget": MEMORY_BUDGET,
+            "time_budget": TIME_BUDGET,
+        },
+    )
 
     # (a) monotone growth, flat-ish at the small end (per-iteration
     # overheads dominate, cores idle) and near-proportional at the large

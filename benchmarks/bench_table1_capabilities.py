@@ -11,7 +11,11 @@ from benchmarks.common import write_result
 
 def test_table1_capabilities(benchmark):
     matrix = benchmark.pedantic(capability_matrix, rounds=1, iterations=1)
-    write_result("table1_capabilities", format_capability_table(matrix))
+    write_result(
+        "table1_capabilities",
+        format_capability_table(matrix),
+        config={"matrix": {row: dict(cells) for row, cells in matrix.items()}},
+    )
 
     # The paper's Table 1 rows, verified against our implementations.
     assert matrix["Mutual Recursion"]["RecStep"] == "yes"

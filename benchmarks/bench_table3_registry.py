@@ -36,7 +36,15 @@ def build_table() -> str:
 
 def test_table3_registry(benchmark):
     table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    write_result("table3_registry", table)
+    write_result(
+        "table3_registry",
+        table,
+        config={
+            "program_datasets": PROGRAM_DATASETS,
+            "registered_datasets": len(DATASETS),
+            "rmat_sizes": sorted(RMAT_SIZES),
+        },
+    )
 
     # Every dataset the table references must be loadable from the registry.
     for datasets in PROGRAM_DATASETS.values():

@@ -15,6 +15,7 @@ from benchmarks.common import (
     cached_run,
     engine_budget,
     grid_table,
+    records_from,
     write_result,
 )
 
@@ -60,7 +61,17 @@ def test_table4_cpu_efficiency(benchmark):
         ENGINES,
         cells,
     )
-    write_result("table4_cpu_efficiency", table)
+    write_result(
+        "table4_cpu_efficiency",
+        table,
+        runs=records_from(results, ("workload", "engine")),
+        config={
+            "workloads": [[label, program, dataset] for label, program, dataset in WORKLOADS],
+            "engines": ENGINES,
+            "cores_used": dict(CORES_USED),
+            "memory_budget": MEMORY_BUDGET,
+        },
+    )
 
     # RecStep posts the best efficiency on the graph workloads...
     for label in ("TC (G1K)", "SG (G500)", "CC (orkut)", "AA (dataset 7)"):

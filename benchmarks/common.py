@@ -17,12 +17,17 @@ EXPERIMENTS.md for the paper-vs-measured record.
 from __future__ import annotations
 
 import functools
+import json
 from pathlib import Path
 
 from repro.analysis.harness import run_workload
 from repro.common.records import EvaluationResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Version of the machine-readable result schema written next to every
+#: figure's text table. Bump when the record shape changes.
+RESULT_SCHEMA_VERSION = 1
 
 #: Modeled server memory: the paper's 160 GB scaled by the ~1/100 dataset
 #: scale (DESIGN.md, Substitutions).
@@ -62,13 +67,68 @@ def engine_budget(engine: str) -> float:
     return BDD_TIME_BUDGET if engine == "bddbddb" else TIME_BUDGET
 
 
-def write_result(name: str, text: str) -> Path:
-    """Persist a figure's rendered table and echo it for ``-s`` runs."""
+def write_result(
+    name: str,
+    text: str,
+    runs: list[dict] | None = None,
+    config: dict | None = None,
+) -> Path:
+    """Persist a figure's rendered table and echo it for ``-s`` runs.
+
+    Alongside the human-readable ``<name>.txt``, a machine-readable
+    ``<name>.json`` is always written: figure id, the bench's config,
+    and one record per run (see :func:`run_record`). Benches whose
+    output is not built from evaluation runs (capability matrices,
+    registries) emit an empty ``runs`` list.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
-    print(f"\n{text}\n[written to {path}]")
+    payload = {
+        "figure": name,
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "config": config or {},
+        "runs": runs or [],
+    }
+    json_path = RESULTS_DIR / f"{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n{text}\n[written to {path} and {json_path}]")
     return path
+
+
+def run_record(result: EvaluationResult, **labels) -> dict:
+    """One run as a JSON-able record (the ``runs`` entry schema).
+
+    ``labels`` carries the bench's grid coordinates (threads, scale,
+    variant...) on top of the engine/program/dataset identity the result
+    already knows.
+    """
+    record = {
+        **labels,
+        "engine": result.engine,
+        "program": result.program,
+        "dataset": result.dataset,
+        "status": result.status,
+        "sim_seconds": result.sim_seconds,
+        "wall_seconds": result.wall_seconds,
+        "iterations": result.iterations,
+        "peak_memory_bytes": result.peak_memory_bytes,
+        "sizes": result.sizes(),
+        "detail": dict(result.detail),
+        "counters": dict(result.profile.counters) if result.profile is not None else {},
+    }
+    if result.status == "unsupported":
+        record["unsupported_reason"] = result.unsupported_reason
+    return record
+
+
+def records_from(results: dict, key_names: tuple[str, ...]) -> list[dict]:
+    """Records for a bench's ``{grid key tuple: result}`` dict."""
+    records = []
+    for key, result in sorted(results.items(), key=lambda kv: str(kv[0])):
+        key_tuple = key if isinstance(key, tuple) else (key,)
+        records.append(run_record(result, **dict(zip(key_names, key_tuple))))
+    return records
 
 
 def cell(result: EvaluationResult) -> str:

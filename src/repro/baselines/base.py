@@ -12,6 +12,7 @@ array-based rule evaluator, while each concrete engine supplies:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -110,6 +111,7 @@ class BaselineEngine:
             time_budget=self.time_budget,
             enforce_budgets=self.enforce_budgets,
         )
+        wall_start = time.perf_counter()
         try:
             self.check_supported(analyzed)
             relations = self._init_relations(analyzed, edb_data)
@@ -128,6 +130,7 @@ class BaselineEngine:
             result.status = "oom"
         except EvaluationTimeout:
             result.status = "timeout"
+        result.wall_seconds = time.perf_counter() - wall_start
         result.sim_seconds = metrics.now()
         result.peak_memory_bytes = metrics.peak_bytes
         result.memory_trace = metrics.memory_trace

@@ -72,6 +72,7 @@ def run_datalog_file(
     engine_name: str = "RecStep",
     threads: int = 20,
     enforce_budgets: bool = False,
+    profile: bool = False,
 ):
     """Parse, load, evaluate, and write outputs; returns the result."""
     datalog_file = parse_datalog_file(path)
@@ -101,7 +102,14 @@ def run_datalog_file(
         source=datalog_file.source,
         outputs=tuple(sorted(datalog_file.outputs)),
     )
-    engine = make_engine(engine_name, threads=threads, enforce_budgets=enforce_budgets)
+    extra = {}
+    if profile:
+        if engine_name != "RecStep":
+            raise DatalogError("--profile is only supported by the RecStep engine")
+        extra["profile"] = True
+    engine = make_engine(
+        engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
+    )
     result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
 
     if result.status == "ok":
@@ -128,6 +136,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fail with OOM/timeout at the modeled server limits",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the evaluation and print a hotspot table (RecStep only)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto); "
+        "implies --profile",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows in the hotspot table (default 15)",
+    )
     args = parser.parse_args(argv)
 
     result = run_datalog_file(
@@ -135,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         engine_name=args.engine,
         threads=args.threads,
         enforce_budgets=args.enforce_budgets,
+        profile=args.profile or args.trace_out is not None,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")
@@ -142,6 +170,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"sim seconds:  {result.sim_seconds:.4f}")
     for name, size in sorted(result.sizes().items()):
         print(f"|{name}| = {size}")
+    if result.profile is not None:
+        print()
+        print(result.profile.render_hotspots(args.profile_top))
+        rules = result.profile.render_rules()
+        if rules.count("\n") > 1:  # more than just the header/separator
+            print()
+            print(rules)
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            trace_path = write_chrome_trace(result.profile, args.trace_out)
+            print()
+            print(f"trace written to {trace_path} (load in chrome://tracing or Perfetto)")
     return 0 if result.status == "ok" else 1
 
 

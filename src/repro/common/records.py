@@ -73,6 +73,12 @@ class EvaluationResult:
     status: str = "ok"
     unsupported_reason: str = ""
     detail: dict[str, float] = field(default_factory=dict)
+    #: Populated when the engine ran with profiling enabled; holds a
+    #: repro.obs.report.ProfileReport (typed loosely to keep this module
+    #: dependency-free).
+    profile: object | None = None
+    #: Host wall-clock seconds the evaluation took (None when not measured).
+    wall_seconds: float | None = None
 
     @property
     def ok(self) -> bool:

@@ -279,33 +279,52 @@ def run_pbme_stratum(
     report,
 ) -> None:
     """Evaluate a TC/SG stratum with the bit matrix and record metrics."""
+    from repro.obs import CATEGORY_ITERATION
+
     n = decision.domain_size
-    edge_rows = database.table_array(decision.edge_relation)
-    base_rows = database.table_array(decision.base_relation)
+    profiler = database.profiler
+    with profiler.span(
+        f"pbme {decision.shape}",
+        CATEGORY_ITERATION,
+        shape=decision.shape,
+        idb=decision.idb,
+        domain_size=n,
+    ) as span:
+        edge_rows = database.table_array(decision.edge_relation)
+        base_rows = database.table_array(decision.base_relation)
 
-    if decision.shape == "TC":
-        matrix, per_thread_cost, depth = _run_tc(
-            base_rows, edge_rows, n, config.threads, database
-        )
-        makespan, utilization = _zero_coordination_schedule(per_thread_cost)
-        iterations = depth
-    else:
-        matrix, per_thread_cost, iterations, rebalances = _run_sg(
-            edge_rows, n, config.threads, config.sg_coordination, database
-        )
-        if config.sg_coordination:
-            total = float(per_thread_cost.sum())
-            width = max(1.0, config.threads * 0.95)
-            makespan = total / width + rebalances * COORD_ORDER_OVERHEAD
-            utilization = min(1.0, total / (config.threads * makespan)) if makespan else 1.0
-        else:
+        if decision.shape == "TC":
+            matrix, per_thread_cost, depth = _run_tc(
+                base_rows, edge_rows, n, config.threads, database
+            )
             makespan, utilization = _zero_coordination_schedule(per_thread_cost)
+            iterations = depth
+        else:
+            matrix, per_thread_cost, iterations, rebalances = _run_sg(
+                edge_rows, n, config.threads, config.sg_coordination, database
+            )
+            if config.sg_coordination:
+                total = float(per_thread_cost.sum())
+                width = max(1.0, config.threads * 0.95)
+                makespan = total / width + rebalances * COORD_ORDER_OVERHEAD
+                utilization = min(1.0, total / (config.threads * makespan)) if makespan else 1.0
+            else:
+                makespan, utilization = _zero_coordination_schedule(per_thread_cost)
 
-    database.metrics.advance(makespan, utilization)
-    pairs = matrix.extract_pairs()
-    database.replace_rows(compiler.full_table(decision.idb), pairs)
-    database.analyze(compiler.full_table(decision.idb))
-    report.iterations += iterations
+        database.metrics.advance(makespan, utilization)
+        bit_ops = int(round(float(per_thread_cost.sum()) / COST_PER_BIT_VISIT))
+        profiler.counters.inc("pbme_strata")
+        profiler.counters.inc("pbme_bit_ops", bit_ops)
+        pairs = matrix.extract_pairs()
+        database.replace_rows(compiler.full_table(decision.idb), pairs)
+        database.analyze(compiler.full_table(decision.idb))
+        span.set(
+            rows_out=int(pairs.shape[0]),
+            depth=iterations,
+            bit_ops=bit_ops,
+            utilization=round(utilization, 4),
+        )
+        report.iterations += iterations
 
 
 def _zero_coordination_schedule(per_thread_cost: np.ndarray) -> tuple[float, float]:

@@ -37,6 +37,8 @@ class RecStepConfig:
     time_budget: float = DEFAULT_TIME_BUDGET
     enforce_budgets: bool = True
 
+    profile: bool = False            # span tracer + counters (repro.obs)
+
     uie: bool = True                 # unified IDB evaluation
     oof: OofMode = OofMode.ON        # optimization on the fly
     dsd: bool = True                 # dynamic set difference

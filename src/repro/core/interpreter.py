@@ -21,6 +21,7 @@ from repro.core.config import OofMode, RecStepConfig
 from repro.core.setdiff_policy import DsdPolicy
 from repro.datalog.analyzer import AnalyzedProgram
 from repro.engine.database import Database
+from repro.obs import CATEGORY_ITERATION, CATEGORY_STRATUM
 from repro.sql import ast as sast
 
 
@@ -84,9 +85,18 @@ class SemiNaiveInterpreter:
     def run(self) -> InterpreterReport:
         """Evaluate all strata to fixpoint (Algorithm 1)."""
         for compiled_stratum in self._generator.compile():
-            if self._maybe_run_pbme(compiled_stratum):
-                continue
-            self._run_stratum(compiled_stratum)
+            stratum = compiled_stratum.stratum
+            with self._db.profiler.span(
+                f"stratum {stratum.index}",
+                CATEGORY_STRATUM,
+                predicates=sorted(stratum.predicates),
+                recursive=stratum.recursive,
+            ) as span:
+                if self._maybe_run_pbme(compiled_stratum):
+                    span.set(engine="pbme")
+                    continue
+                span.set(engine="relational")
+                self._run_stratum(compiled_stratum)
         self._db.commit()
         return self.report
 
@@ -111,13 +121,15 @@ class SemiNaiveInterpreter:
 
         # Iteration 0: all rules over full relations.
         record = IterationRecord(stratum=stratum.index, iteration=0)
-        for predicate in predicates:
-            if predicate.facts:
-                self._db.append_rows(
-                    compiler.full_table(predicate.predicate),
-                    np.asarray(predicate.facts, dtype=np.int64),
-                )
-            self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)
+        with self._db.profiler.span("iteration 0", CATEGORY_ITERATION) as span:
+            for predicate in predicates:
+                if predicate.facts:
+                    self._db.append_rows(
+                        compiler.full_table(predicate.predicate),
+                        np.asarray(predicate.facts, dtype=np.int64),
+                    )
+                self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)
+            span.set(delta_sizes=dict(record.delta_sizes))
         self.report.records.append(record)
         self.report.iterations += 1
 
@@ -129,8 +141,14 @@ class SemiNaiveInterpreter:
         while True:
             iteration += 1
             record = IterationRecord(stratum=stratum.index, iteration=iteration)
-            for predicate in predicates:
-                self._evaluate_predicate(predicate, predicate.delta_query(), record, init=False)
+            with self._db.profiler.span(
+                f"iteration {iteration}", CATEGORY_ITERATION
+            ) as span:
+                for predicate in predicates:
+                    self._evaluate_predicate(
+                        predicate, predicate.delta_query(), record, init=False
+                    )
+                span.set(delta_sizes=dict(record.delta_sizes))
             self.report.records.append(record)
             self.report.iterations += 1
             if all(size == 0 for size in record.delta_sizes.values()):

@@ -18,6 +18,8 @@ Example::
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.common.errors import EvaluationTimeout, OutOfMemoryError
@@ -27,6 +29,7 @@ from repro.core.interpreter import SemiNaiveInterpreter
 from repro.datalog.analyzer import AnalyzedProgram, analyze_program
 from repro.datalog.parser import parse_program
 from repro.engine.database import Database
+from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
 
 
@@ -66,6 +69,7 @@ class RecStep:
             eost=self.config.eost,
             fast_dedup=self.config.fast_dedup,
             enforce_budgets=self.config.enforce_budgets,
+            profile=self.config.profile,
         )
         self.last_database = database
         interpreter = SemiNaiveInterpreter(
@@ -74,10 +78,20 @@ class RecStep:
         result = EvaluationResult(
             engine=self.name, program=program_name, dataset=dataset
         )
+        wall_start = time.perf_counter()
         try:
-            interpreter.load_edb(edb_data)
-            interpreter.create_idb_tables()
-            report = interpreter.run()
+            # The program span wraps *everything* — EDB load, table setup,
+            # and the fixpoint — so the span forest accounts for all
+            # simulated time (attributed_fraction ≈ 1).
+            with database.profiler.span(
+                f"program {program_name}",
+                CATEGORY_PROGRAM,
+                program=program_name,
+                dataset=dataset,
+            ):
+                interpreter.load_edb(edb_data)
+                interpreter.create_idb_tables()
+                report = interpreter.run()
         except OutOfMemoryError:
             result.status = "oom"
         except EvaluationTimeout:
@@ -88,10 +102,15 @@ class RecStep:
             for name in sorted(analyzed.idb):
                 result.tuples[name] = database.catalog.get_table(name).to_set()
             self.last_report = report
+        result.wall_seconds = time.perf_counter() - wall_start
         result.sim_seconds = database.sim_seconds
         result.peak_memory_bytes = database.peak_memory_bytes
         result.memory_trace = database.metrics.memory_trace
         result.cpu_trace = database.metrics.cpu_trace
+        if database.profiler.enabled:
+            result.profile = ProfileReport.from_profiler(
+                database.profiler, database.sim_seconds
+            )
         return result
 
 

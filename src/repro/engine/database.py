@@ -24,6 +24,7 @@ from repro.engine.setops import (
     one_phase_set_difference,
     two_phase_set_difference,
 )
+from repro.obs import CATEGORY_STATEMENT, NULL_PROFILER, Profiler
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog
@@ -44,6 +45,8 @@ class Database:
             state-changing query pays a write-back (Section 5.2).
         fast_dedup: use the CCK-GSCHT dedup path (Section 5.2).
         enforce_budgets: disable to let tests run without OOM/timeout.
+        profile: enable the span tracer + counter registry (repro.obs);
+            off by default, at zero instrumentation cost.
     """
 
     def __init__(
@@ -54,6 +57,7 @@ class Database:
         eost: bool = True,
         fast_dedup: bool = True,
         enforce_budgets: bool = True,
+        profile: bool = False,
     ) -> None:
         self.catalog = Catalog()
         self.storage = StorageManager(eost=eost)
@@ -65,13 +69,32 @@ class Database:
         )
         self.fast_dedup = fast_dedup
         self.queries_executed = 0
+        self.profiler = NULL_PROFILER
+        if profile:
+            self.enable_profiling()
 
     # -- internals -----------------------------------------------------------
 
+    def enable_profiling(self) -> Profiler:
+        """Attach a live profiler to the clock, cost model, and metrics."""
+        if not self.profiler.enabled:
+            self.profiler = Profiler(self.metrics.clock)
+            self.cost_model.profiler = self.profiler
+            self.metrics.counters = self.profiler.counters
+        return self.profiler
+
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
-            catalog=self.catalog, metrics=self.metrics, cost_model=self.cost_model
+            catalog=self.catalog,
+            metrics=self.metrics,
+            cost_model=self.cost_model,
+            profiler=self.profiler,
         )
+
+    def _statement_span(self, name: str, table: str | None = None, **attrs):
+        if table is not None:
+            attrs["table"] = table
+        return self.profiler.span(name, CATEGORY_STATEMENT, **attrs)
 
     #: Catalog-only DDL (CREATE/DROP) costs far less than a full query
     #: compile+dispatch cycle.
@@ -79,10 +102,12 @@ class Database:
 
     def _charge_dispatch(self) -> None:
         self.queries_executed += 1
+        self.profiler.counters.inc("queries_dispatched")
         self.metrics.advance(QUERY_DISPATCH_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
 
     def _charge_ddl(self) -> None:
         self.queries_executed += 1
+        self.profiler.counters.inc("ddl_statements")
         self.metrics.advance(self.DDL_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
 
     def _after_mutation(self, table: Table, new_bytes: int) -> None:
@@ -101,8 +126,29 @@ class Database:
         """
         return self.execute_ast(parse_statement(sql_text))
 
+    #: Span names for statement kinds (EXPLAIN ANALYZE groups by these).
+    _STATEMENT_NAMES = {
+        ast.CreateTable: "CREATE TABLE",
+        ast.DropTable: "DROP TABLE",
+        ast.InsertValues: "INSERT VALUES",
+        ast.InsertSelect: "INSERT..SELECT",
+        ast.DeleteAll: "DELETE",
+        ast.Analyze: "ANALYZE",
+        ast.SelectStatement: "SELECT",
+    }
+
     def execute_ast(self, statement: ast.Statement) -> np.ndarray | None:
         """Execute an already parsed statement (used by the compiler)."""
+        name = self._STATEMENT_NAMES.get(type(statement), type(statement).__name__)
+        target = getattr(statement, "table", None)
+        with self._statement_span(name, table=target) as span:
+            result = self._execute_ast_inner(statement)
+            if result is not None:
+                span.set(rows_out=int(result.shape[0]))
+            self.profiler.counters.inc("statements_executed")
+        return result
+
+    def _execute_ast_inner(self, statement: ast.Statement) -> np.ndarray | None:
         if isinstance(statement, (ast.CreateTable, ast.DropTable)):
             self._charge_ddl()
         else:
@@ -128,6 +174,7 @@ class Database:
             table = self.catalog.get_table(statement.table)
             table.append_array(rows)
             self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+            self.profiler.annotate(rows_out=int(rows.shape[0]))
             return None
         if isinstance(statement, ast.DeleteAll):
             table = self.catalog.get_table(statement.table)
@@ -153,19 +200,22 @@ class Database:
     # -- programmatic surface ------------------------------------------------------
 
     def create_table(self, name: str, columns: Sequence[str]) -> Table:
-        self._charge_ddl()
-        table = self.catalog.create_table(
-            name, [ColumnSchema(column, ColumnType.INT) for column in columns]
-        )
-        self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+        with self._statement_span("CREATE TABLE", table=name):
+            self._charge_ddl()
+            table = self.catalog.create_table(
+                name, [ColumnSchema(column, ColumnType.INT) for column in columns]
+            )
+            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
         return table
 
     def load_table(self, name: str, columns: Sequence[str], rows: np.ndarray) -> Table:
         """Create a table and bulk-load rows (dataset ingest path)."""
-        table = self.create_table(name, columns)
-        table.append_array(np.asarray(rows, dtype=np.int64).reshape(-1, len(columns)))
-        self._after_mutation(table, table.memory_bytes())
-        self.catalog.analyze(name, StatsMode.SIZE_ONLY)
+        with self._statement_span("LOAD", table=name) as span:
+            table = self.create_table(name, columns)
+            table.append_array(np.asarray(rows, dtype=np.int64).reshape(-1, len(columns)))
+            self._after_mutation(table, table.memory_bytes())
+            self.catalog.analyze(name, StatsMode.SIZE_ONLY)
+            span.set(rows_out=table.num_rows)
         return table
 
     def table_array(self, name: str) -> np.ndarray:
@@ -176,9 +226,10 @@ class Database:
 
     def analyze(self, name: str, full: bool = False) -> None:
         """Refresh optimizer statistics (Algorithm 1's ``analyze``)."""
-        mode = StatsMode.FULL if full else StatsMode.SIZE_ONLY
-        cost = self.catalog.analyze(name, mode)
-        self.metrics.advance(cost, utilization=0.5)
+        with self._statement_span("ANALYZE", table=name, full=full):
+            mode = StatsMode.FULL if full else StatsMode.SIZE_ONLY
+            cost = self.catalog.analyze(name, mode)
+            self.metrics.advance(cost, utilization=0.5)
 
     def dedup_table(self, name: str) -> DedupOutcome:
         """Deduplicate a table in place (Algorithm 1's ``dedup``).
@@ -188,17 +239,24 @@ class Database:
         the statistics are stale — OOF disabled — the hash table is
         mis-sized and dedup pays collision chains or wasted memory.
         """
-        self._charge_dispatch()
-        table = self.catalog.get_table(name)
-        estimated_rows = self.catalog.get_stats(name).num_rows
-        outcome = deduplicate(
-            table.to_array(),
-            self._context(),
-            fast=self.fast_dedup,
-            estimated_rows=estimated_rows,
-        )
-        table.replace_contents(outcome.rows)
-        self._after_mutation(table, 0)
+        with self._statement_span("DEDUP", table=name) as span:
+            self._charge_dispatch()
+            table = self.catalog.get_table(name)
+            estimated_rows = self.catalog.get_stats(name).num_rows
+            outcome = deduplicate(
+                table.to_array(),
+                self._context(),
+                fast=self.fast_dedup,
+                estimated_rows=estimated_rows,
+            )
+            table.replace_contents(outcome.rows)
+            self._after_mutation(table, 0)
+            span.set(
+                rows_in=outcome.input_rows,
+                rows_out=outcome.output_rows,
+                duplicates=outcome.input_rows - outcome.output_rows,
+                compact_key=outcome.used_compact_key,
+            )
         return outcome
 
     def set_difference(
@@ -208,13 +266,19 @@ class Database:
         new_rows = self.catalog.get_table(new_table).data()
         base_rows = self.catalog.get_table(base_table).data()
         ctx = self._context()
-        if strategy == "OPSD":
+        if strategy not in ("OPSD", "TPSD"):
+            raise PlanError(f"unknown set-difference strategy {strategy!r}")
+        with self._statement_span(
+            "SET_DIFFERENCE", table=new_table, strategy=strategy, base=base_table
+        ) as span:
             self._charge_dispatch()
-            return one_phase_set_difference(new_rows, base_rows, ctx)
-        if strategy == "TPSD":
-            self._charge_dispatch()
-            return two_phase_set_difference(new_rows, base_rows, ctx)
-        raise PlanError(f"unknown set-difference strategy {strategy!r}")
+            self.profiler.counters.inc(f"dsd_{strategy.lower()}_choices")
+            if strategy == "OPSD":
+                outcome = one_phase_set_difference(new_rows, base_rows, ctx)
+            else:
+                outcome = two_phase_set_difference(new_rows, base_rows, ctx)
+            span.set(rows_in=int(new_rows.shape[0]), rows_out=int(outcome.delta.shape[0]))
+        return outcome
 
     def aggregate_merge(
         self, name: str, candidates: np.ndarray, func: str
@@ -227,11 +291,19 @@ class Database:
         it. Returns ``(merged_rows, improved_rows)`` — the improved rows
         are the iteration's ∆.
         """
+        if func not in ("MIN", "MAX"):
+            raise PlanError(f"aggregate_merge supports MIN/MAX, not {func!r}")
+        with self._statement_span("AGGREGATE_MERGE", table=name, func=func) as span:
+            merged, improved = self._aggregate_merge_inner(name, candidates, func)
+            span.set(rows_in=int(np.asarray(candidates).shape[0]), rows_out=int(improved.shape[0]))
+        return merged, improved
+
+    def _aggregate_merge_inner(
+        self, name: str, candidates: np.ndarray, func: str
+    ) -> tuple[np.ndarray, np.ndarray]:
         from repro.engine import kernels
         from repro.engine.executor import AGGREGATE_PHASE, COST_AGGREGATE
 
-        if func not in ("MIN", "MAX"):
-            raise PlanError(f"aggregate_merge supports MIN/MAX, not {func!r}")
         self._charge_dispatch()
         table = self.catalog.get_table(name)
         existing = table.data()
@@ -255,29 +327,52 @@ class Database:
 
     def append_rows(self, name: str, rows: np.ndarray) -> None:
         """Append rows to a table (the ``R <- R ⊎ ΔR`` step)."""
-        self._charge_dispatch()
-        table = self.catalog.get_table(name)
-        table.append_array(rows)
-        self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+        with self._statement_span("APPEND", table=name, rows_out=int(rows.shape[0])):
+            self._charge_dispatch()
+            table = self.catalog.get_table(name)
+            table.append_array(rows)
+            self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
 
     def replace_rows(self, name: str, rows: np.ndarray) -> None:
         """Swap a table's contents (the ∆-table update each iteration)."""
-        self._charge_dispatch()
-        table = self.catalog.get_table(name)
-        table.replace_contents(np.asarray(rows, dtype=np.int64))
-        self._after_mutation(table, table.memory_bytes())
+        rows = np.asarray(rows, dtype=np.int64)
+        with self._statement_span("REPLACE", table=name, rows_out=int(rows.shape[0])):
+            self._charge_dispatch()
+            table = self.catalog.get_table(name)
+            table.replace_contents(rows)
+            self._after_mutation(table, table.memory_bytes())
 
     def commit(self) -> None:
         """Flush pending writes (end of the EOST transaction)."""
-        cost = self.storage.commit()
-        if cost:
-            self.metrics.advance(cost, utilization=0.02)
+        with self._statement_span("COMMIT"):
+            cost = self.storage.commit()
+            if cost:
+                self.metrics.advance(cost, utilization=0.02)
 
     def explain(self, sql_text: str) -> str:
         """EXPLAIN a SELECT / INSERT..SELECT against current statistics."""
         from repro.engine.explain import explain_sql
 
         return explain_sql(sql_text, self.catalog)
+
+    def explain_analyze(self, sql_text: str) -> str:
+        """EXPLAIN ANALYZE: execute the statement, render the plan with
+        actual per-operator row counts and simulated times.
+
+        Runs under a temporary profiler (restored afterwards), so it works
+        whether or not the database was opened with ``profile=True``.
+        """
+        from repro.engine.explain import explain_analyze_sql
+
+        saved = (self.profiler, self.cost_model.profiler, self.metrics.counters)
+        probe = Profiler(self.metrics.clock)
+        self.profiler = probe
+        self.cost_model.profiler = probe
+        self.metrics.counters = probe.counters
+        try:
+            return explain_analyze_sql(sql_text, self)
+        finally:
+            self.profiler, self.cost_model.profiler, self.metrics.counters = saved
 
     # -- reporting ----------------------------------------------------------------
 

@@ -81,6 +81,13 @@ def deduplicate(
     ctx.charge_parallel(DEDUP_PHASE, cost, n)
     unique = kernels.unique_rows(rows)
     ctx.metrics.release_transient(transient)
+    counters = ctx.profiler.counters
+    counters.inc("dedup_calls")
+    counters.inc("dedup_input_rows", n)
+    counters.inc("dedup_output_rows", unique.shape[0])
+    counters.inc("tuples_deduped", n - unique.shape[0])
+    counters.inc("dedup_fast_path" if use_compact else "dedup_generic_path")
+    ctx.profiler.annotate(transient_bytes=transient, chain_factor=round(chain_factor, 3))
     return DedupOutcome(
         rows=unique, input_rows=n, output_rows=unique.shape[0], used_compact_key=use_compact
     )

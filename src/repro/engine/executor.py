@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.obs.profiler import NULL_PROFILER
+
 #: Per-tuple cost constants (simulated seconds). Tuned so the scaled-down
 #: datasets land in the paper's runtime ballpark; only ratios matter for
 #: the reproduced shapes. The build/probe ratio is the DSD alpha.
@@ -79,6 +81,9 @@ class ParallelCostModel:
     physical_cores: int = 20
     ht_yield: float = 0.20
     history: list[tuple[str, PhaseOutcome]] = field(default_factory=list)
+    #: Observability sink: phase runs/busy-time land in its counters and
+    #: on the innermost open span. The default is the inert profiler.
+    profiler: object = field(default=NULL_PROFILER, repr=False)
 
     def effective_width(self, kind: PhaseKind) -> float:
         """Usable parallelism for a phase of the given contention class."""
@@ -92,6 +97,7 @@ class ParallelCostModel:
         if not task_costs:
             outcome = PhaseOutcome(0.0, 0.0, 1.0)
             self.history.append((kind.name, outcome))
+            self.profiler.counters.inc(f"phase_{kind.name}_runs")
             return outcome
         total = float(sum(task_costs))
         width = self.effective_width(kind)
@@ -107,6 +113,8 @@ class ParallelCostModel:
         busy = total / (self.threads * makespan) if makespan > 0 else 1.0
         outcome = PhaseOutcome(makespan, total, min(1.0, busy))
         self.history.append((kind.name, outcome))
+        self.profiler.counters.inc(f"phase_{kind.name}_runs")
+        self.profiler.add_phase_time(kind.name, outcome.makespan)
         return outcome
 
     def serial_time(self, cost: float) -> float:

@@ -1,15 +1,24 @@
-"""EXPLAIN: render the plan the optimizer would choose for a query.
+"""EXPLAIN and EXPLAIN ANALYZE: render chosen plans, optionally with actuals.
 
 The interpreter's behaviour (join order, build sides, anti-joins) is
 driven by catalog statistics; ``explain`` makes those decisions visible
 without executing anything, which is how the OOF ablation was debugged
 and is generally useful when authoring Datalog programs.
+
+``explain_analyze_sql`` additionally *executes* the statement under a
+live profiler and annotates each plan line with the actual row count and
+simulated time of the operator span that carried it out. Plan lines and
+executed spans are paired by a shared key (``scan:{alias}``,
+``join:{alias}``, ``filter:{i}``, ``anti:{i}``, ``aggregate``,
+``project``) rather than by position, so the pairing survives the
+executor picking a different join order than the plan listing.
 """
 
 from __future__ import annotations
 
 from repro.engine.expressions import expr_aliases
 from repro.engine.optimizer import choose_build_side, order_tables_by_estimate
+from repro.obs.tracer import Span
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog
@@ -38,6 +47,13 @@ def explain_sql(sql_text: str, catalog: Catalog) -> str:
 
 
 def _explain_select(select: ast.Select, catalog: Catalog) -> str:
+    return "\n".join(line for _, line in _explain_select_keyed(select, catalog))
+
+
+def _explain_select_keyed(
+    select: ast.Select, catalog: Catalog
+) -> list[tuple[str | None, str]]:
+    """Plan lines paired with the operator-span key each one maps to."""
     schemas = {
         ref.alias: catalog.get_table(ref.table).column_names for ref in select.tables
     }
@@ -61,10 +77,13 @@ def _explain_select(select: ast.Select, catalog: Catalog) -> str:
             filters.append(predicate)
 
     ordered = order_tables_by_estimate(estimates)
-    lines = []
+    lines: list[tuple[str | None, str]] = []
     current = ordered[0]
     lines.append(
-        f"scan {table_of[current]} AS {current} (est. {estimates[current]} rows)"
+        (
+            f"scan:{current}",
+            f"scan {table_of[current]} AS {current} (est. {estimates[current]} rows)",
+        )
     )
     bound = {current}
     frame_estimate = estimates[current]
@@ -81,25 +100,125 @@ def _explain_select(select: ast.Select, catalog: Catalog) -> str:
         kind = "hash join" if edges else "cross join"
         condition = " AND ".join(str(p) for p in edges) if edges else "true"
         lines.append(
-            f"{kind} {table_of[alias]} AS {alias} "
-            f"(est. {estimates[alias]} rows) ON {condition} [build: {side}]"
+            (
+                f"join:{alias}",
+                f"{kind} {table_of[alias]} AS {alias} "
+                f"(est. {estimates[alias]} rows) ON {condition} [build: {side}]",
+            )
         )
         bound.add(alias)
         frame_estimate = max(frame_estimate, estimates[alias])
-    for predicate in filters:
-        lines.append(f"filter {predicate}")
-    for anti in anti_joins:
+    for index, predicate in enumerate(filters):
+        lines.append((f"filter:{index}", f"filter {predicate}"))
+    for index, anti in enumerate(anti_joins):
         inner = ", ".join(ref.table for ref in anti.subquery.tables)
-        lines.append(f"anti join (NOT EXISTS over {inner})")
+        lines.append((f"anti:{index}", f"anti join (NOT EXISTS over {inner})"))
     if select.group_by or any(
         isinstance(item.expr, ast.AggregateCall) for item in select.items
     ):
         keys = ", ".join(str(e) for e in select.group_by) or "<global>"
-        lines.append(f"aggregate GROUP BY {keys}")
+        lines.append(("aggregate", f"aggregate GROUP BY {keys}"))
     items = ", ".join(str(item) for item in select.items)
-    lines.append(f"project {items}")
-    return "\n".join(lines)
+    lines.append(("project", f"project {items}"))
+    return lines
 
 
 def _indent(text: str, prefix: str = "  ") -> str:
     return "\n".join(prefix + line for line in text.splitlines())
+
+
+# --------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# --------------------------------------------------------------------------
+
+
+def explain_analyze_sql(sql_text: str, database) -> str:
+    """Execute a SELECT / INSERT..SELECT and render the plan with actuals.
+
+    ``database`` must carry a live profiler (``Database.explain_analyze``
+    installs a temporary one). Each plan line gains an
+    ``(actual: N rows, T s)`` suffix taken from the operator span whose
+    key matches the line.
+    """
+    statement = parse_statement(sql_text)
+    if isinstance(statement, ast.SelectStatement):
+        query = statement.query
+        prefix = None
+    elif isinstance(statement, ast.InsertSelect):
+        query = statement.query
+        prefix = f"INSERT INTO {statement.table}"
+    else:
+        raise ValueError(f"cannot explain statement {type(statement).__name__}")
+
+    catalog = database.catalog
+    # Snapshot the plan *before* executing: INSERT..SELECT mutates tables,
+    # and the point is to show the plan the optimizer chose going in.
+    if isinstance(query, ast.UnionAll):
+        arm_plans = [_explain_select_keyed(select, catalog) for select in query.selects]
+    else:
+        arm_plans = None
+        plan = _explain_select_keyed(query, catalog)
+
+    result = database.execute_ast(statement)
+    stmt_span = database.profiler.tracer.roots[-1]
+
+    if arm_plans is not None:
+        lines: list[str] = []
+        for index, keyed in enumerate(arm_plans):
+            arm_span = _find_key(stmt_span, f"arm:{index}") or stmt_span
+            lines.append(
+                f"UNION ALL arm {index}:"
+                f"  (actual: {_rows_text(arm_span)}, {arm_span.duration:.6f}s)"
+            )
+            lines.extend("  " + line for line in _annotate(keyed, arm_span))
+        body = "\n".join(lines)
+    else:
+        body = "\n".join(_annotate(plan, stmt_span))
+
+    if prefix is not None:
+        body = f"{prefix}\n{_indent(body)}"
+    total_rows = (
+        int(result.shape[0]) if result is not None else stmt_span.attrs.get("rows_out")
+    )
+    footer = (
+        f"actual: {total_rows if total_rows is not None else '?'} rows "
+        f"in {stmt_span.duration:.6f} simulated seconds"
+    )
+    return f"{body}\n{footer}"
+
+
+def _find_key(scope: Span, key: str) -> Span | None:
+    for span in scope.walk():
+        if span.attrs.get("key") == key:
+            return span
+    return None
+
+
+def _annotate(keyed: list[tuple[str | None, str]], scope: Span) -> list[str]:
+    """Suffix each plan line with actuals from the matching span.
+
+    First match wins on duplicate keys: pre-order traversal guarantees the
+    outer query's spans precede any identically-aliased spans inside a
+    NOT EXISTS subquery (anti-joins run after the outer join pipeline).
+    """
+    by_key: dict[str, Span] = {}
+    for span in scope.walk():
+        key = span.attrs.get("key")
+        if key is not None and key not in by_key:
+            by_key[key] = span
+    out = []
+    for key, line in keyed:
+        span = by_key.get(key) if key is not None else None
+        if span is None and key == "project":
+            # Aggregation performs the projection in one pass.
+            span = by_key.get("aggregate")
+        if span is None:
+            out.append(f"{line}  (actual: not executed)")
+        else:
+            out.append(f"{line}  (actual: {_rows_text(span)}, {span.duration:.6f}s)")
+    return out
+
+
+def _rows_text(span: Span) -> str:
+    rows = span.attrs.get("rows_out")
+    return f"{int(rows):,} rows" if rows is not None else "rows n/a"

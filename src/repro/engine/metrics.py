@@ -11,11 +11,15 @@ system would have died.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.common.errors import EvaluationTimeout, OutOfMemoryError
 from repro.common.records import Trace
 from repro.common.timing import SimClock
+from repro.obs.counters import NULL_COUNTERS, CounterRegistry
+
+logger = logging.getLogger(__name__)
 
 #: Default modeled server memory. The paper's server has 160 GB; our
 #: datasets are roughly two orders of magnitude smaller, so the default
@@ -36,7 +40,10 @@ class MetricsRecorder:
     base_bytes: int = 0
     transient_bytes: int = 0
     peak_bytes: int = 0
+    peak_transient_bytes: int = 0
+    transient_underflows: int = 0
     enforce_budgets: bool = True
+    counters: CounterRegistry = field(default=NULL_COUNTERS)
 
     def now(self) -> float:
         return self.clock.now()
@@ -69,12 +76,31 @@ class MetricsRecorder:
         self._sample_memory()
 
     def release_transient(self, size: int) -> None:
-        self.transient_bytes = max(0, self.transient_bytes - size)
+        """Release a transient allocation.
+
+        A release that drives the balance negative means an operator
+        released bytes it never allocated (double release, or a
+        mismatched size). That bug used to be silently clamped away,
+        corrupting the memory trace; now it is logged and counted so it
+        shows up in profiles as ``transient_underflows``.
+        """
+        self.transient_bytes -= size
+        if self.transient_bytes < 0:
+            self.transient_underflows += 1
+            self.counters.inc("transient_underflows")
+            logger.warning(
+                "transient memory underflow: released %d bytes with only %d "
+                "outstanding (double release?)",
+                size,
+                size + self.transient_bytes,
+            )
+            self.transient_bytes = 0
         self._sample_memory()
 
     def _sample_memory(self) -> None:
         total = self.base_bytes + self.transient_bytes
         self.peak_bytes = max(self.peak_bytes, total)
+        self.peak_transient_bytes = max(self.peak_transient_bytes, self.transient_bytes)
         self.memory_trace.record(self.clock.now(), float(total))
         if self.enforce_budgets and total > self.memory_budget:
             raise OutOfMemoryError(
@@ -83,7 +109,14 @@ class MetricsRecorder:
             )
 
     def memory_percent_trace(self) -> list[tuple[float, float]]:
-        """Memory trace as a percentage of the budget (paper's y-axis)."""
+        """Memory trace as a percentage of the budget (paper's y-axis).
+
+        A non-positive budget (budget enforcement off, or an unlimited
+        probe run) has no meaningful percentage axis; report 0% rather
+        than dividing by zero.
+        """
+        if self.memory_budget <= 0:
+            return [(sample.time, 0.0) for sample in self.memory_trace.samples]
         return [
             (sample.time, 100.0 * sample.value / self.memory_budget)
             for sample in self.memory_trace.samples

@@ -9,7 +9,7 @@ model and declares its transient allocations to the metrics recorder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,8 @@ from repro.engine.expressions import (
 )
 from repro.engine.metrics import MetricsRecorder
 from repro.engine.optimizer import choose_build_side, order_tables_by_estimate
+from repro.obs.profiler import NULL_PROFILER
+from repro.obs.tracer import CATEGORY_OPERATOR
 from repro.sql import ast
 from repro.storage.block import block_count
 from repro.storage.catalog import Catalog
@@ -58,12 +60,24 @@ class ExecutionContext:
     catalog: Catalog
     metrics: MetricsRecorder
     cost_model: ParallelCostModel
+    #: Observability sink; the inert default keeps hot paths branch-free.
+    profiler: object = field(default=NULL_PROFILER, repr=False)
 
     def charge_parallel(self, kind: PhaseKind, total_cost: float, rows_hint: int) -> None:
         """Run a data-parallel phase through the scheduler and the clock."""
         tasks = split_tasks(total_cost, block_count(rows_hint))
         outcome = self.cost_model.run_phase(kind, tasks)
         self.metrics.advance(outcome.makespan, outcome.efficiency)
+
+    def op_span(self, name: str, key: str, **attrs):
+        """Open an operator-category span carrying a plan-matching key.
+
+        The ``key`` (``scan:{alias}``, ``join:{alias}``, ``filter:{i}``,
+        ``anti:{i}``, ``aggregate``, ``project``, ``arm:{i}``) is what
+        EXPLAIN ANALYZE uses to pair executed spans with plan lines —
+        alias-based so it survives join-order differences.
+        """
+        return self.profiler.span(name, CATEGORY_OPERATOR, key=key, **attrs)
 
     def estimated_rows(self, table_name: str) -> int:
         return self.catalog.get_stats(table_name).num_rows
@@ -134,8 +148,10 @@ def _classify_predicates(
 
 def _scan_table(alias: str, table_name: str, ctx: ExecutionContext) -> Frame:
     table = ctx.catalog.get_table(table_name)
-    data = table.data()
-    ctx.charge_parallel(SCAN_PHASE, table.num_rows * COST_SCAN, table.num_rows)
+    with ctx.op_span(f"scan {table_name}", key=f"scan:{alias}", table=table_name) as span:
+        data = table.data()
+        ctx.charge_parallel(SCAN_PHASE, table.num_rows * COST_SCAN, table.num_rows)
+        span.set(rows_out=table.num_rows)
     return Frame.from_table(alias, data, table.column_names)
 
 
@@ -149,9 +165,13 @@ def _apply_ready_filters(
     for index, (aliases, predicate) in enumerate(classified.filters):
         if index in applied or not aliases <= bound:
             continue
-        mask = evaluate_comparison(predicate, frame)
-        ctx.charge_parallel(SCAN_PHASE, len(frame) * COST_SCAN, len(frame))
-        frame = frame.select(mask)
+        with ctx.op_span(
+            f"filter {predicate}", key=f"filter:{index}", rows_in=len(frame)
+        ) as span:
+            mask = evaluate_comparison(predicate, frame)
+            ctx.charge_parallel(SCAN_PHASE, len(frame) * COST_SCAN, len(frame))
+            frame = frame.select(mask)
+            span.set(rows_out=len(frame))
         applied.add(index)
     return frame
 
@@ -165,6 +185,29 @@ def _join_frame_with_alias(
     ctx: ExecutionContext,
 ) -> Frame:
     """Hash-join the running frame with a new base table."""
+    kind = "hash join" if edges else "cross join"
+    with ctx.op_span(
+        f"{kind} {table_name} AS {alias}",
+        key=f"join:{alias}",
+        table=table_name,
+        rows_in=len(frame),
+    ) as span:
+        result = _join_frame_with_alias_inner(
+            frame, frame_estimate, alias, table_name, edges, ctx, span
+        )
+        span.set(rows_out=len(result))
+    return result
+
+
+def _join_frame_with_alias_inner(
+    frame: Frame,
+    frame_estimate: int,
+    alias: str,
+    table_name: str,
+    edges: list[_JoinEdge],
+    ctx: ExecutionContext,
+    span,
+) -> Frame:
     new_frame = _scan_table(alias, table_name, ctx)
     right_estimate = ctx.estimated_rows(table_name)
 
@@ -203,10 +246,20 @@ def _join_frame_with_alias(
     ctx.metrics.allocate_transient(hash_bytes)
     ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
     ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    ctx.profiler.counters.inc("hash_tables_built")
+    ctx.profiler.counters.inc("hash_build_rows", build_rows)
+    ctx.profiler.counters.inc("hash_probe_rows", probe_rows)
+    span.set(
+        build_rows=build_rows,
+        probe_rows=probe_rows,
+        build_side="left(frame)" if decision.build_left else f"right({alias})",
+        transient_bytes=hash_bytes,
+    )
 
     # Reserve the join output before it exists: an intermediate too big
     # for the modeled budget must OOM here, not in the host allocator.
     out_rows = kernels.equi_join_count(left_key, right_key)
+    ctx.profiler.counters.inc("join_output_rows", out_rows)
     if out_rows > HARD_JOIN_ROWS:
         from repro.common.errors import OutOfMemoryError
 
@@ -288,8 +341,8 @@ def _build_join_frame(select: ast.Select, ctx: ExecutionContext) -> Frame:
     if len(applied_filters) != len(classified.filters):
         raise PlanError("some WHERE predicates reference unknown aliases")
 
-    for anti in classified.anti_joins:
-        frame = _apply_anti_join(frame, anti, ctx)
+    for index, anti in enumerate(classified.anti_joins):
+        frame = _apply_anti_join(frame, anti, ctx, index)
     return frame
 
 
@@ -298,7 +351,23 @@ def _build_join_frame(select: ast.Select, ctx: ExecutionContext) -> Frame:
 # --------------------------------------------------------------------------
 
 
-def _apply_anti_join(frame: Frame, anti: ast.NotExists, ctx: ExecutionContext) -> Frame:
+def _apply_anti_join(
+    frame: Frame, anti: ast.NotExists, ctx: ExecutionContext, index: int = 0
+) -> Frame:
+    inner_tables = ", ".join(ref.table for ref in anti.subquery.tables)
+    with ctx.op_span(
+        f"anti join (NOT EXISTS over {inner_tables})",
+        key=f"anti:{index}",
+        rows_in=len(frame),
+    ) as span:
+        result = _apply_anti_join_inner(frame, anti, ctx)
+        span.set(rows_out=len(result))
+    return result
+
+
+def _apply_anti_join_inner(
+    frame: Frame, anti: ast.NotExists, ctx: ExecutionContext
+) -> Frame:
     sub = anti.subquery
     inner_schemas: dict[str, tuple[str, ...]] = {}
     for ref in sub.tables:
@@ -342,6 +411,9 @@ def _apply_anti_join(frame: Frame, anti: ast.NotExists, ctx: ExecutionContext) -
     ctx.metrics.allocate_transient(hash_bytes)
     ctx.charge_parallel(BUILD_PHASE, len(inner_frame) * COST_BUILD, len(inner_frame))
     ctx.charge_parallel(PROBE_PHASE, len(frame) * COST_PROBE, len(frame))
+    ctx.profiler.counters.inc("hash_tables_built")
+    ctx.profiler.counters.inc("hash_build_rows", len(inner_frame))
+    ctx.profiler.counters.inc("hash_probe_rows", len(frame))
     mask = kernels.anti_join_mask(left_key, right_key)
     ctx.metrics.release_transient(hash_bytes)
     return frame.select(mask)
@@ -388,19 +460,28 @@ def _has_aggregates(select: ast.Select) -> bool:
 
 
 def _project(select: ast.Select, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
-    columns = [evaluate(item.expr, frame) for item in select.items]
-    rows = len(frame)
-    ctx.charge_parallel(SCAN_PHASE, rows * COST_MATERIALIZE * len(columns), rows)
-    if not columns:
-        raise PlanError("SELECT list is empty")
-    result = np.column_stack(columns) if rows else np.empty((0, len(columns)), np.int64)
-    if select.distinct:
-        ctx.charge_parallel(AGGREGATE_PHASE, rows * COST_AGGREGATE, rows)
-        result = kernels.unique_rows(result)
+    with ctx.op_span("project", key="project", rows_in=len(frame)) as span:
+        columns = [evaluate(item.expr, frame) for item in select.items]
+        rows = len(frame)
+        ctx.charge_parallel(SCAN_PHASE, rows * COST_MATERIALIZE * len(columns), rows)
+        if not columns:
+            raise PlanError("SELECT list is empty")
+        result = np.column_stack(columns) if rows else np.empty((0, len(columns)), np.int64)
+        if select.distinct:
+            ctx.charge_parallel(AGGREGATE_PHASE, rows * COST_AGGREGATE, rows)
+            result = kernels.unique_rows(result)
+        span.set(rows_out=int(result.shape[0]))
     return result
 
 
 def _aggregate(select: ast.Select, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
+    with ctx.op_span("aggregate", key="aggregate", rows_in=len(frame)) as span:
+        result = _aggregate_inner(select, frame, ctx)
+        span.set(rows_out=int(result.shape[0]))
+    return result
+
+
+def _aggregate_inner(select: ast.Select, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
     group_exprs = list(select.group_by)
     item_plan: list[tuple[str, int]] = []  # ("group", idx) or ("agg", idx)
     agg_specs: list[tuple[str, np.ndarray]] = []
@@ -454,7 +535,12 @@ def run_query(query: ast.Query, ctx: ExecutionContext) -> np.ndarray:
     """Execute a SELECT or UNION ALL of SELECTs (bag semantics)."""
     if isinstance(query, ast.Select):
         return run_select(query, ctx)
-    parts = [run_select(select, ctx) for select in query.selects]
+    parts = []
+    for index, select in enumerate(query.selects):
+        with ctx.op_span(f"union arm {index}", key=f"arm:{index}") as span:
+            part = run_select(select, ctx)
+            span.set(rows_out=int(part.shape[0]))
+        parts.append(part)
     widths = {part.shape[1] for part in parts}
     if len(widths) != 1:
         raise PlanError(f"UNION ALL arms have differing widths {sorted(widths)}")

@@ -1,0 +1,54 @@
+"""Observability: span tracing, counters, profiles, and trace export.
+
+The package every perf PR justifies itself with. Usage::
+
+    from repro.obs import Profiler, ProfileReport
+
+    profiler = Profiler(clock)              # share the engine's SimClock
+    with profiler.span("program", "program", name="TC"):
+        ...                                 # engine work, nested spans
+    report = ProfileReport.from_profiler(profiler, clock.now())
+    print(report.render_hotspots())
+
+Disabled mode is the default everywhere: components hold
+:data:`NULL_PROFILER`, whose spans and counters are inert singletons.
+"""
+
+from repro.obs.counters import KNOWN_COUNTERS, NULL_COUNTERS, CounterRegistry
+from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.profiler import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.report import ProfileReport, SpanRollup, predicate_of_table
+from repro.obs.tracer import (
+    CATEGORY_ITERATION,
+    CATEGORY_OPERATOR,
+    CATEGORY_ORDER,
+    CATEGORY_PROGRAM,
+    CATEGORY_STATEMENT,
+    CATEGORY_STRATUM,
+    NULL_TRACER,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "CATEGORY_ITERATION",
+    "CATEGORY_OPERATOR",
+    "CATEGORY_ORDER",
+    "CATEGORY_PROGRAM",
+    "CATEGORY_STATEMENT",
+    "CATEGORY_STRATUM",
+    "CounterRegistry",
+    "KNOWN_COUNTERS",
+    "NULL_COUNTERS",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "NullProfiler",
+    "ProfileReport",
+    "Profiler",
+    "Span",
+    "SpanRollup",
+    "SpanTracer",
+    "predicate_of_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,68 @@
+"""Monotonic event counters for engine internals.
+
+Counters complement spans: where a span answers "where did the time
+go", a counter answers "how often did X happen" — queries dispatched,
+tuples deduplicated, hash tables built, DSD strategy choices, PBME bit
+operations, transient-accounting underflows. Counter names are plain
+strings; the well-known ones are listed in :data:`KNOWN_COUNTERS` so
+docs and tests have a single source of truth.
+"""
+
+from __future__ import annotations
+
+#: name -> description of every counter the engine increments. New sites
+#: should register here; the registry itself accepts any name.
+KNOWN_COUNTERS = {
+    "queries_dispatched": "SQL statements paying full dispatch overhead",
+    "ddl_statements": "CREATE/DROP statements (catalog-only cost)",
+    "statements_executed": "all statements routed through Database.execute_ast",
+    "hash_tables_built": "join/anti-join/set-difference hash-table builds",
+    "hash_build_rows": "tuples inserted into join hash tables",
+    "hash_probe_rows": "tuples probed against join hash tables",
+    "join_output_rows": "tuples produced by equi-join operators",
+    "dedup_calls": "dedup_table invocations",
+    "dedup_input_rows": "tuples fed to deduplication",
+    "dedup_output_rows": "distinct tuples surviving deduplication",
+    "tuples_deduped": "duplicates removed (input - output)",
+    "dedup_fast_path": "dedups taking the CCK-GSCHT compact-key path",
+    "dedup_generic_path": "dedups taking the generic hash-table path",
+    "dsd_opsd_choices": "set-differences executed with OPSD",
+    "dsd_tpsd_choices": "set-differences executed with TPSD",
+    "pbme_strata": "strata evaluated by the bit-matrix engine",
+    "pbme_bit_ops": "bit-pair visits during PBME expansion",
+    "transient_underflows": "release_transient calls driving the balance negative",
+}
+
+
+class CounterRegistry:
+    """A named bag of integer counters."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A sorted copy of every non-zero counter."""
+        return dict(sorted(self._counts.items()))
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+class NullCounterRegistry(CounterRegistry):
+    """Disabled path: increments vanish, reads return zero."""
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+
+NULL_COUNTERS = NullCounterRegistry()

@@ -1,0 +1,62 @@
+"""The Profiler: one handle bundling a span tracer and a counter registry.
+
+Everything the engine instruments goes through a ``Profiler`` so call
+sites need exactly one attribute. The disabled singleton
+(:data:`NULL_PROFILER`) is what every component holds by default; its
+``span`` returns a shared inert context manager and its counters discard
+increments, making instrumentation effectively free when profiling is
+off.
+"""
+
+from __future__ import annotations
+
+from repro.common.timing import SimClock
+from repro.obs.counters import NULL_COUNTERS, CounterRegistry
+from repro.obs.tracer import NULL_TRACER, SpanTracer
+
+
+class Profiler:
+    """An enabled profiler: real tracer, real counters."""
+
+    enabled = True
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.tracer = SpanTracer(clock)
+        self.counters = CounterRegistry()
+
+    def span(self, name: str, category: str = "operator", **attrs):
+        return self.tracer.span(name, category, **attrs)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span, if any."""
+        current = self.tracer.current
+        if current is not None:
+            current.set(**attrs)
+
+    def add_phase_time(self, phase_name: str, seconds: float) -> None:
+        """Accumulate per-contention-class time onto the current span."""
+        current = self.tracer.current
+        if current is None:
+            return
+        phases = current.attrs.setdefault("phases", {})
+        phases[phase_name] = phases.get(phase_name, 0.0) + seconds
+
+
+class NullProfiler:
+    """Disabled profiler: every operation is a no-op."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    counters = NULL_COUNTERS
+
+    def span(self, name: str, category: str = "operator", **attrs):
+        return NULL_TRACER.span(name, category)
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def add_phase_time(self, phase_name: str, seconds: float) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()

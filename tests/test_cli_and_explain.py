@@ -145,6 +145,99 @@ class TestExplain:
             explain_sql("DROP TABLE arc", db.catalog)
 
 
+class TestExplainAnalyze:
+    @pytest.fixture
+    def db(self):
+        database = Database(enforce_budgets=False)
+        database.execute("CREATE TABLE arc (x INT, y INT)")
+        database.execute("INSERT INTO arc VALUES (1,2),(2,3),(3,4)")
+        database.execute("CREATE TABLE tc_delta (x INT, y INT)")
+        database.execute("INSERT INTO tc_delta VALUES (1,2),(2,3)")
+        database.execute("CREATE TABLE tc_mdelta (x INT, y INT)")
+        database.analyze("arc")
+        database.analyze("tc_delta")
+        return database
+
+    def test_select_reports_actual_rows(self, db):
+        text = db.explain_analyze(
+            "SELECT d.x AS x, a.y AS y FROM tc_delta d, arc a WHERE d.y = a.x"
+        )
+        # Scan and join lines carry the executed row counts.
+        assert "scan tc_delta AS d (est. 2 rows)  (actual: 2 rows" in text
+        assert "hash join arc AS a" in text and "(actual: 2 rows" in text
+        assert text.splitlines()[-1].startswith("actual: 2 rows in ")
+        assert "simulated seconds" in text
+
+    def test_union_all_uie_golden(self, db):
+        """Golden test: the UIE-shaped INSERT .. UNION ALL statement."""
+        text = db.explain_analyze(
+            "INSERT INTO tc_mdelta "
+            "SELECT d.x AS x, a.y AS y FROM tc_delta d, arc a WHERE d.y = a.x "
+            "UNION ALL SELECT a.x AS x, a.y AS y FROM arc a"
+        )
+        lines = [line.strip() for line in text.splitlines()]
+        assert lines[0] == "INSERT INTO tc_mdelta"
+        arm_headers = [line for line in lines if line.startswith("UNION ALL arm")]
+        assert len(arm_headers) == 2
+        # Arm 0: the delta join produces 2 rows; arm 1: the full scan, 3.
+        assert arm_headers[0].startswith("UNION ALL arm 0:  (actual: 2 rows")
+        assert arm_headers[1].startswith("UNION ALL arm 1:  (actual: 3 rows")
+        assert any(
+            line.startswith("scan tc_delta AS d") and "(actual: 2 rows" in line
+            for line in lines
+        )
+        assert any(
+            line.startswith("scan arc AS a") and "(actual: 3 rows" in line
+            for line in lines
+        )
+        # Footer reports the 5 rows actually inserted...
+        assert lines[-1].startswith("actual: 5 rows in ")
+        # ...matching the executed result in the table.
+        assert db.table_size("tc_mdelta") == 5
+
+    def test_profiler_restored_after_analyze(self, db):
+        assert not db.profiler.enabled
+        db.explain_analyze("SELECT a.x AS x FROM arc a")
+        assert not db.profiler.enabled
+        # A second call starts from a clean trace (no stale spans).
+        text = db.explain_analyze("SELECT a.x AS x FROM arc a")
+        assert text.splitlines()[-1].startswith("actual: 3 rows")
+
+    def test_unmatched_lines_marked_not_executed(self, db):
+        # An impossible filter empties the frame before the join runs:
+        # whichever operators still execute report actuals; the plan
+        # renders regardless.
+        text = db.explain_analyze(
+            "SELECT a.x AS x FROM arc a WHERE a.x > 100"
+        )
+        assert "filter" in text
+        assert text.splitlines()[-1].startswith("actual: 0 rows")
+
+
+class TestCliProfiling:
+    def test_profile_flag_prints_hotspots(self, datalog_project, capsys):
+        code = main([str(datalog_project), "--profile"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "% attributed to spans" in output
+        assert "counters:" in output
+
+    def test_trace_out_writes_valid_chrome_trace(self, datalog_project, capsys):
+        import json
+
+        trace_path = datalog_project.parent / "trace.json"
+        code = main([str(datalog_project), "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert any(e.get("cat") == "program" for e in payload["traceEvents"])
+
+    def test_profile_rejected_for_baselines(self, datalog_project):
+        with pytest.raises(DatalogError):
+            run_datalog_file(datalog_project, engine_name="Souffle", profile=True)
+
+
 class TestExplainProgram:
     def test_explain_program_covers_all_strata(self):
         from repro.core.recstep import explain_program
