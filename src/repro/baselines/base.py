@@ -126,10 +126,12 @@ class BaselineEngine:
         except UnsupportedFeatureError as error:
             result.status = "unsupported"
             result.unsupported_reason = str(error)
-        except OutOfMemoryError:
+        except OutOfMemoryError as error:
             result.status = "oom"
-        except EvaluationTimeout:
+            result.failure = error.to_dict()
+        except EvaluationTimeout as error:
             result.status = "timeout"
+            result.failure = error.to_dict()
         result.wall_seconds = time.perf_counter() - wall_start
         result.sim_seconds = metrics.now()
         result.peak_memory_bytes = metrics.peak_bytes

@@ -107,10 +107,12 @@ class BddbddbLike:
         except UnsupportedFeatureError as error:
             result.status = "unsupported"
             result.unsupported_reason = str(error)
-        except OutOfMemoryError:
+        except OutOfMemoryError as error:
             result.status = "oom"
-        except EvaluationTimeout:
+            result.failure = error.to_dict()
+        except EvaluationTimeout as error:
             result.status = "timeout"
+            result.failure = error.to_dict()
         result.sim_seconds = metrics.now()
         result.peak_memory_bytes = metrics.peak_bytes
         result.memory_trace = metrics.memory_trace

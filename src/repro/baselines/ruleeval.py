@@ -158,7 +158,9 @@ def _check_row_limit(expected_rows: int, counters: WorkCounters) -> None:
 
         raise OutOfMemoryError(
             f"join intermediate of {expected_rows} rows exceeds the engine's "
-            f"modeled memory budget ({counters.row_limit} rows)"
+            f"modeled memory budget ({counters.row_limit} rows)",
+            rows=expected_rows,
+            limit_rows=counters.row_limit,
         )
 
 

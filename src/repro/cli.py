@@ -71,10 +71,22 @@ def run_datalog_file(
     path: str | Path,
     engine_name: str = "RecStep",
     threads: int = 20,
-    enforce_budgets: bool = False,
+    enforce_budgets: bool = True,
     profile: bool = False,
+    fault_seed: int | None = None,
+    fault_rate: float | None = None,
+    degrade: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume_from: str | None = None,
+    deadline: float | None = None,
 ):
-    """Parse, load, evaluate, and write outputs; returns the result."""
+    """Parse, load, evaluate, and write outputs; returns the result.
+
+    ``enforce_budgets`` defaults to True everywhere (CLI, ``Database``,
+    ``RecStepConfig``): evaluations fail with OOM/timeout at the modeled
+    server limits unless explicitly disabled (``--no-enforce-budgets``).
+    """
     datalog_file = parse_datalog_file(path)
     analyzed = analyze_program(parse_program(datalog_file.source, name=str(path)))
 
@@ -107,6 +119,27 @@ def run_datalog_file(
         if engine_name != "RecStep":
             raise DatalogError("--profile is only supported by the RecStep engine")
         extra["profile"] = True
+    resilience_options = {
+        "fault_seed": fault_seed,
+        "degradation": degrade or None,
+        "checkpoint_dir": checkpoint_dir,
+        "resume_from": resume_from,
+        "deadline": deadline,
+    }
+    wanted = {k: v for k, v in resilience_options.items() if v is not None}
+    if wanted:
+        if engine_name != "RecStep":
+            raise DatalogError(
+                "resilience options are only supported by the RecStep engine: "
+                + ", ".join(sorted(wanted))
+            )
+        if degrade:
+            wanted["degradation"] = True
+        if fault_rate is not None:
+            wanted["fault_rate"] = fault_rate
+        if checkpoint_every is not None:
+            wanted["checkpoint_every"] = checkpoint_every
+        extra.update(wanted)
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
@@ -132,9 +165,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--threads", type=int, default=20, help="simulated workers")
     parser.add_argument(
-        "--enforce-budgets",
+        "--no-enforce-budgets",
         action="store_true",
-        help="fail with OOM/timeout at the modeled server limits",
+        help="disable the modeled memory/time budgets (budgets are enforced "
+        "by default: runs fail with OOM/timeout at the modeled server limits)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        type=int,
+        metavar="SEED",
+        default=None,
+        help="arm the deterministic fault-injection harness with this seed "
+        "(RecStep only); injected faults are retried with backoff and the "
+        "run reaches the same fixpoint as a fault-free one",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-visit fault probability for --inject-faults (default 0.02)",
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help="enable the memory-pressure degradation ladder (lean dedup -> "
+        "forced TPSD -> PBME fallback) instead of failing at the OOM line",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N iterations (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write evaluation checkpoints into DIR (resumable with "
+        "--resume-from)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        default=None,
+        help="resume from a checkpoint file, or the latest checkpoint in a "
+        "directory",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cooperative deadline in simulated seconds; the run stops at "
+        "the next iteration boundary with a structured partial report",
     )
     parser.add_argument(
         "--profile",
@@ -161,8 +246,15 @@ def main(argv: list[str] | None = None) -> int:
         args.file,
         engine_name=args.engine,
         threads=args.threads,
-        enforce_budgets=args.enforce_budgets,
+        enforce_budgets=not args.no_enforce_budgets,
         profile=args.profile or args.trace_out is not None,
+        fault_seed=args.inject_faults,
+        fault_rate=args.fault_rate,
+        degrade=args.degrade,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume_from,
+        deadline=args.deadline,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")
@@ -170,6 +262,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"sim seconds:  {result.sim_seconds:.4f}")
     for name, size in sorted(result.sizes().items()):
         print(f"|{name}| = {size}")
+    if result.failure:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in result.failure.items() if k not in ("error", "message")
+        )
+        print(f"failure:      {result.failure['error']}: {result.failure['message']}")
+        if detail:
+            print(f"              [{detail}]")
+    if result.resilience:
+        for key, value in sorted(result.resilience.items()):
+            print(f"resilience:   {key} = {value}")
     if result.profile is not None:
         print()
         print(result.profile.render_hotspots(args.profile_top))

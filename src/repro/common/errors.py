@@ -1,8 +1,14 @@
 """Exception hierarchy for the repro package.
 
 Every error raised by the library derives from :class:`ReproError`, so
-callers can catch a single base class at API boundaries.
+callers can catch a single base class at API boundaries. Errors raised
+*during evaluation* additionally derive from :class:`RecStepError`, which
+carries structured context (stratum, iteration, offending table, modeled
+bytes) so failure reports can say exactly where a run died instead of
+re-parsing a message string.
 """
+
+from __future__ import annotations
 
 
 class ReproError(Exception):
@@ -31,7 +37,41 @@ class EngineError(ReproError):
     """A physical operator failed during execution."""
 
 
-class OutOfMemoryError(EngineError):
+class RecStepError(EngineError):
+    """An evaluation-time failure with structured context.
+
+    ``context`` holds whatever the raise site knows: ``stratum``,
+    ``iteration``, ``table``, ``modeled_bytes``, ``budget``, ``site`` —
+    keys are optional and accumulate as the error unwinds (outer layers
+    call :meth:`add_context` to attach the position the interpreter was
+    at). ``to_dict`` renders the whole thing machine-readable for run
+    reports.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context: dict = {k: v for k, v in context.items() if v is not None}
+
+    def add_context(self, **context) -> "RecStepError":
+        """Attach additional context keys (existing keys win)."""
+        for key, value in context.items():
+            if value is not None and key not in self.context:
+                self.context[key] = value
+        return self
+
+    def to_dict(self) -> dict:
+        """Machine-readable form for run reports."""
+        return {"error": type(self).__name__, "message": self.message, **self.context}
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        return f"{self.message} [{detail}]"
+
+
+class OutOfMemoryError(RecStepError):
     """The (modeled) memory budget was exceeded during execution.
 
     Mirrors the OOM failures the paper reports for baseline systems on the
@@ -39,8 +79,40 @@ class OutOfMemoryError(EngineError):
     """
 
 
-class EvaluationTimeout(EngineError):
+class EvaluationTimeout(RecStepError):
     """The (modeled) evaluation exceeded its time budget (paper: >10h runs)."""
+
+
+class EvaluationCancelled(RecStepError):
+    """A cooperative cancellation/deadline token fired at a phase boundary.
+
+    Unlike :class:`EvaluationTimeout` (the hard budget tripping mid-
+    operation), this is raised only at stratum/iteration boundaries, so
+    the interpreter state is consistent and a structured partial-result
+    report can be assembled.
+    """
+
+
+class TransientFaultError(RecStepError):
+    """An injected, retryable fault (fault-injection harness only).
+
+    Never raised in production paths: only the deterministic fault
+    injector produces these, and the retry layer is expected to absorb
+    them. One escaping to a caller means retries were disabled or
+    exhausted (see :class:`FaultRetriesExhausted`).
+    """
+
+
+class TransientWorkerError(TransientFaultError):
+    """A simulated per-task worker failure inside a parallel phase."""
+
+
+class TransientStorageError(TransientFaultError):
+    """A simulated transient storage/allocation error in a Database op."""
+
+
+class FaultRetriesExhausted(RecStepError):
+    """The retry policy gave up on a repeatedly faulting operation."""
 
 
 class DatalogError(ReproError):

@@ -57,8 +57,15 @@ class EvaluationResult:
         peak_memory_bytes: peak of the modeled memory footprint.
         memory_trace: memory footprint over simulated time.
         cpu_trace: CPU utilization (0..1) over simulated time.
-        status: "ok", "oom", "timeout", or "unsupported".
+        status: "ok", "oom", "timeout", "cancelled", "deadline",
+            "fault", or "unsupported".
         unsupported_reason: set when status is "unsupported".
+        failure: structured context of the error that ended a non-ok run
+            (``RecStepError.to_dict()``: error class, message, stratum,
+            iteration, modeled bytes...). None for ok runs.
+        resilience: recap of resilience activity (faults injected per
+            site, degradations taken, checkpoints written). None when no
+            resilience feature was engaged.
     """
 
     engine: str
@@ -79,6 +86,10 @@ class EvaluationResult:
     profile: object | None = None
     #: Host wall-clock seconds the evaluation took (None when not measured).
     wall_seconds: float | None = None
+    #: Structured failure context for non-ok runs (RecStepError.to_dict()).
+    failure: dict | None = None
+    #: Resilience recap: fault ledger, degradations, checkpoint activity.
+    resilience: dict | None = None
 
     @property
     def ok(self) -> bool:

@@ -256,6 +256,16 @@ def pbme_applicability(
                 reason=f"bit matrix ({(matrix_bytes + index_bytes) / 1e6:.0f} MB) "
                 "does not fit the memory budget",
             )
+        # Degradation ladder, last rung: under critical memory pressure an
+        # eligible stratum takes the matrix path even when the density
+        # heuristic would keep it relational — the packed matrix is the
+        # lowest-footprint representation available.
+        degradation = database.resilience.degradation
+        if degradation.prefer_pbme():
+            degradation.note("prefer-pbme")
+            database.profiler.counters.inc("degradation_pbme_fallback")
+            decision.reason += " (pbme preferred under memory pressure)"
+            return decision
         # PBME pays off on *dense* graphs (Section 5.3); sparse inputs such
         # as the CSDA program graphs stay on the relational path.
         edge_count = database.table_size(decision.edge_relation)

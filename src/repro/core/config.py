@@ -7,9 +7,23 @@ The Figure 2/3 ablation turns each of these off one at a time; the
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET
+
+
+def _env_chaos_seed() -> int | None:
+    """Default fault seed from ``REPRO_CHAOS_SEED`` (chaos CI hook).
+
+    When set, every RecStep evaluation in the process runs under
+    deterministic fault injection with this seed — the CI chaos smoke
+    job exercises the whole tier-1 suite this way. Unset (the normal
+    case) means no injection. Raw :class:`~repro.engine.database.
+    Database` use is unaffected either way.
+    """
+    raw = os.environ.get("REPRO_CHAOS_SEED", "").strip()
+    return int(raw) if raw else None
 
 
 class OofMode(enum.Enum):
@@ -46,6 +60,18 @@ class RecStepConfig:
     fast_dedup: bool = True          # CCK-GSCHT deduplication
     pbme: PbmeMode = PbmeMode.AUTO   # bit-matrix evaluation
     sg_coordination: bool = False    # Figure 7's SG-PBME-COORD variant
+
+    # -- resilience (repro.resilience) ------------------------------------
+    fault_seed: int | None = field(default_factory=_env_chaos_seed)
+    # ^ arm deterministic fault injection (default: REPRO_CHAOS_SEED env)
+    fault_rate: float = 0.02         # per-visit fault probability
+    retries: int = 4                 # retry attempts per faulting operation
+    retry_backoff: float = 0.05      # base backoff (simulated seconds)
+    degradation: bool = False        # memory-pressure degradation ladder
+    checkpoint_dir: str | None = None  # write checkpoints here
+    checkpoint_every: int = 1        # iteration checkpoint interval
+    resume_from: str | None = None   # checkpoint file/dir to resume from
+    deadline: float | None = None    # cooperative deadline (simulated s)
 
     def without(self, optimization: str) -> "RecStepConfig":
         """A copy with one optimization disabled (ablation helper).

@@ -22,6 +22,7 @@ from repro.core.setdiff_policy import DsdPolicy
 from repro.datalog.analyzer import AnalyzedProgram
 from repro.engine.database import Database
 from repro.obs import CATEGORY_ITERATION, CATEGORY_STRATUM
+from repro.resilience.checkpoint import CheckpointManager, CheckpointState
 from repro.sql import ast as sast
 
 
@@ -51,6 +52,8 @@ class SemiNaiveInterpreter:
         analyzed: AnalyzedProgram,
         config: RecStepConfig,
         edb_schemas: dict[str, tuple[str, ...]] | None = None,
+        checkpoints: CheckpointManager | None = None,
+        resume_from: CheckpointState | None = None,
     ) -> None:
         self._db = database
         self._analyzed = analyzed
@@ -59,6 +62,11 @@ class SemiNaiveInterpreter:
         self._generator = QueryGenerator(analyzed)
         self._policies: dict[str, DsdPolicy] = {}
         self.report = InterpreterReport()
+        self._checkpoints = checkpoints
+        self._resume = resume_from
+        #: Where the evaluation currently is, for failure-report context.
+        self.current_stratum = -1
+        self.current_iteration = -1
 
     # -- setup -----------------------------------------------------------------
 
@@ -84,19 +92,41 @@ class SemiNaiveInterpreter:
 
     def run(self) -> InterpreterReport:
         """Evaluate all strata to fixpoint (Algorithm 1)."""
+        resume = self._resume
+        if resume is not None:
+            self._restore(resume)
         for compiled_stratum in self._generator.compile():
             stratum = compiled_stratum.stratum
+            if resume is not None and (
+                stratum.index < resume.stratum
+                or (stratum.index == resume.stratum and resume.stratum_complete)
+            ):
+                # Evaluated before the snapshot: the restored full tables
+                # already hold this stratum's fixpoint.
+                self._drop_working_tables(compiled_stratum.predicates)
+                continue
+            self.current_stratum = stratum.index
+            self.current_iteration = -1
+            self._db.resilience.check_cancelled(stratum=stratum.index)
             with self._db.profiler.span(
                 f"stratum {stratum.index}",
                 CATEGORY_STRATUM,
                 predicates=sorted(stratum.predicates),
                 recursive=stratum.recursive,
             ) as span:
-                if self._maybe_run_pbme(compiled_stratum):
+                resuming_here = resume is not None and stratum.index == resume.stratum
+                # A mid-stratum snapshot was taken on the relational path,
+                # so the resumed stratum must stay relational too.
+                if not resuming_here and self._maybe_run_pbme(compiled_stratum):
                     span.set(engine="pbme")
+                    self._maybe_checkpoint(stratum.index, -1, [])
                     continue
                 span.set(engine="relational")
-                self._run_stratum(compiled_stratum)
+                self._run_stratum(
+                    compiled_stratum,
+                    resume_iteration=resume.iteration if resuming_here else None,
+                )
+            self._maybe_checkpoint(stratum.index, -1, [])
         self._db.commit()
         return self.report
 
@@ -113,33 +143,59 @@ class SemiNaiveInterpreter:
         self.report.pbme_strata.append(compiled_stratum.stratum.index)
         return True
 
-    def _run_stratum(self, compiled_stratum: CompiledStratum) -> None:
+    def _run_stratum(
+        self,
+        compiled_stratum: CompiledStratum,
+        resume_iteration: int | None = None,
+    ) -> None:
         stratum = compiled_stratum.stratum
         predicates = compiled_stratum.predicates
         for predicate in predicates:
             self._policies[predicate.predicate] = DsdPolicy(enabled=self._config.dsd)
 
-        # Iteration 0: all rules over full relations.
-        record = IterationRecord(stratum=stratum.index, iteration=0)
-        with self._db.profiler.span("iteration 0", CATEGORY_ITERATION) as span:
+        if resume_iteration is None:
+            # Iteration 0: all rules over full relations.
+            self.current_iteration = 0
+            record = IterationRecord(stratum=stratum.index, iteration=0)
+            with self._db.profiler.span("iteration 0", CATEGORY_ITERATION) as span:
+                for predicate in predicates:
+                    if predicate.facts:
+                        self._db.append_rows(
+                            compiler.full_table(predicate.predicate),
+                            np.asarray(predicate.facts, dtype=np.int64),
+                        )
+                    self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)
+                span.set(delta_sizes=dict(record.delta_sizes))
+            self.report.records.append(record)
+            self.report.iterations += 1
+            self._db.resilience.check_cancelled(stratum=stratum.index, iteration=0)
+            self._maybe_checkpoint(stratum.index, 0, predicates)
+            iteration = 0
+        else:
+            # Mid-stratum resume: full/Δ tables and the DSD mu were
+            # restored by ``_restore``; continue after the snapshot's
+            # last completed iteration.
             for predicate in predicates:
-                if predicate.facts:
-                    self._db.append_rows(
-                        compiler.full_table(predicate.predicate),
-                        np.asarray(predicate.facts, dtype=np.int64),
-                    )
-                self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)
-            span.set(delta_sizes=dict(record.delta_sizes))
-        self.report.records.append(record)
-        self.report.iterations += 1
+                mu = self._resume.dsd_mu.get(predicate.predicate)
+                if mu is not None:
+                    self._policies[predicate.predicate].prev_mu = mu
+            iteration = resume_iteration
 
         if not stratum.recursive:
             self._drop_working_tables(predicates)
             return
 
-        iteration = 0
+        if resume_iteration is not None and all(
+            self._db.table_size(compiler.delta_table(p.predicate)) == 0
+            for p in predicates
+        ):
+            # The snapshot caught the stratum exactly at its fixpoint.
+            self._drop_working_tables(predicates)
+            return
+
         while True:
             iteration += 1
+            self.current_iteration = iteration
             record = IterationRecord(stratum=stratum.index, iteration=iteration)
             with self._db.profiler.span(
                 f"iteration {iteration}", CATEGORY_ITERATION
@@ -153,12 +209,75 @@ class SemiNaiveInterpreter:
             self.report.iterations += 1
             if all(size == 0 for size in record.delta_sizes.values()):
                 break
+            self._db.resilience.check_cancelled(
+                stratum=stratum.index, iteration=iteration
+            )
+            self._maybe_checkpoint(stratum.index, iteration, predicates)
         self._drop_working_tables(predicates)
 
     def _drop_working_tables(self, predicates: list[CompiledPredicate]) -> None:
         for predicate in predicates:
             self._db.execute_ast(sast.DropTable(compiler.delta_table(predicate.predicate)))
             self._db.execute_ast(sast.DropTable(compiler.mdelta_table(predicate.predicate)))
+
+    # -- checkpoint/resume --------------------------------------------------------
+
+    def _maybe_checkpoint(
+        self,
+        stratum_index: int,
+        iteration: int,
+        predicates: list[CompiledPredicate],
+    ) -> None:
+        """Snapshot semi-naive state at an iteration/stratum boundary.
+
+        Taken when m∆ tables are empty and ∆ tables hold the just-
+        completed iteration's delta, so the snapshot is exactly the
+        Algorithm 1 loop state. ``iteration=-1`` marks a stratum
+        boundary (working tables already dropped; only fulls survive).
+        """
+        if self._checkpoints is None:
+            return
+        tables: dict[str, np.ndarray] = {
+            f"full:{name}": self._db.table_array(compiler.full_table(name))
+            for name in sorted(self._analyzed.idb)
+        }
+        dsd_mu: dict[str, float] = {}
+        if iteration >= 0:
+            for predicate in predicates:
+                name = predicate.predicate
+                tables[f"delta:{name}"] = self._db.table_array(
+                    compiler.delta_table(name)
+                )
+                dsd_mu[name] = self._policies[name].prev_mu
+        self._checkpoints.maybe_save(
+            CheckpointState(
+                program=self._analyzed.program.name,
+                stratum=stratum_index,
+                iteration=iteration,
+                tables=tables,
+                dsd_mu=dsd_mu,
+                iterations_total=self.report.iterations,
+                pbme_strata=list(self.report.pbme_strata),
+                sim_seconds=self._db.sim_seconds,
+            )
+        )
+
+    def _restore(self, state: CheckpointState) -> None:
+        """Load a checkpoint into freshly created IDB tables."""
+        for key, rows in sorted(state.tables.items()):
+            kind, _, name = key.partition(":")
+            table = (
+                compiler.full_table(name) if kind == "full" else compiler.delta_table(name)
+            )
+            self._db.restore_rows(table, rows)
+            self._db.analyze(table)
+        self.report.iterations = state.iterations_total
+        self.report.pbme_strata = list(state.pbme_strata)
+        # Continue the interrupted run's clock: the resumed evaluation
+        # reports total simulated time, not just the tail.
+        behind = state.sim_seconds - self._db.sim_seconds
+        if behind > 0:
+            self._db.metrics.clock.advance(behind)
 
     # -- one predicate, one iteration ------------------------------------------------
 

@@ -22,7 +22,12 @@ import time
 
 import numpy as np
 
-from repro.common.errors import EvaluationTimeout, OutOfMemoryError
+from repro.common.errors import (
+    EvaluationCancelled,
+    EvaluationTimeout,
+    FaultRetriesExhausted,
+    OutOfMemoryError,
+)
 from repro.common.records import EvaluationResult
 from repro.core.config import RecStepConfig
 from repro.core.interpreter import SemiNaiveInterpreter
@@ -31,6 +36,15 @@ from repro.datalog.parser import parse_program
 from repro.engine.database import Database
 from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
+from repro.resilience import (
+    CheckpointError,
+    CheckpointManager,
+    DeadlineToken,
+    DegradationController,
+    FaultInjector,
+    ResilienceContext,
+    RetryPolicy,
+)
 
 
 class RecStep:
@@ -57,11 +71,14 @@ class RecStep:
             dataset: label recorded in the result (for the harness).
 
         Returns:
-            EvaluationResult with status "ok", "oom", or "timeout" — the
-            paper's three outcome classes (a failed run reports its
-            partial simulated time and peak memory).
+            EvaluationResult with status "ok", "oom", "timeout",
+            "deadline"/"cancelled", or "fault" — the paper's outcome
+            classes plus the resilience layer's (a failed run reports its
+            partial simulated time, peak memory, and structured
+            ``failure`` context).
         """
         analyzed, program_name, edb_schemas = _resolve_program(program)
+        resilience = self._build_resilience()
         database = Database(
             threads=self.config.threads,
             memory_budget=self.config.memory_budget,
@@ -70,10 +87,38 @@ class RecStep:
             fast_dedup=self.config.fast_dedup,
             enforce_budgets=self.config.enforce_budgets,
             profile=self.config.profile,
+            resilience=resilience,
         )
+        if self.config.deadline is not None:
+            resilience.token = DeadlineToken(
+                database.metrics.clock, self.config.deadline
+            )
+        checkpoints = None
+        if self.config.checkpoint_dir is not None:
+            checkpoints = CheckpointManager(
+                self.config.checkpoint_dir,
+                every=self.config.checkpoint_every,
+                metrics=database.metrics,
+                profiler=database.profiler,
+            )
+        resume_state = None
+        if self.config.resume_from is not None:
+            resume_state = CheckpointManager.load(self.config.resume_from)
+            if resume_state.program != program_name:
+                raise CheckpointError(
+                    f"checkpoint is for program {resume_state.program!r}, "
+                    f"not {program_name!r}",
+                    checkpoint_program=resume_state.program,
+                    program=program_name,
+                )
         self.last_database = database
         interpreter = SemiNaiveInterpreter(
-            database, analyzed, self.config, edb_schemas=edb_schemas
+            database,
+            analyzed,
+            self.config,
+            edb_schemas=edb_schemas,
+            checkpoints=checkpoints,
+            resume_from=resume_state,
         )
         result = EvaluationResult(
             engine=self.name, program=program_name, dataset=dataset
@@ -92,10 +137,19 @@ class RecStep:
                 interpreter.load_edb(edb_data)
                 interpreter.create_idb_tables()
                 report = interpreter.run()
-        except OutOfMemoryError:
+        except OutOfMemoryError as error:
             result.status = "oom"
-        except EvaluationTimeout:
+            result.failure = self._failure(error, interpreter)
+        except EvaluationTimeout as error:
             result.status = "timeout"
+            result.failure = self._failure(error, interpreter)
+        except EvaluationCancelled as error:
+            reason = error.context.get("reason", "cancelled")
+            result.status = "deadline" if reason == "deadline" else "cancelled"
+            result.failure = self._failure(error, interpreter)
+        except FaultRetriesExhausted as error:
+            result.status = "fault"
+            result.failure = self._failure(error, interpreter)
         else:
             result.iterations = report.iterations
             result.detail["pbme_strata"] = float(len(report.pbme_strata))
@@ -107,11 +161,48 @@ class RecStep:
         result.peak_memory_bytes = database.peak_memory_bytes
         result.memory_trace = database.metrics.memory_trace
         result.cpu_trace = database.metrics.cpu_trace
+        if resilience.active or checkpoints is not None or resume_state is not None:
+            recap = resilience.summary()
+            if checkpoints is not None:
+                recap["checkpoints_written"] = checkpoints.written
+                if checkpoints.last_path is not None:
+                    recap["last_checkpoint"] = str(checkpoints.last_path)
+            if resume_state is not None:
+                recap["resumed_from"] = {
+                    "stratum": resume_state.stratum,
+                    "iteration": resume_state.iteration,
+                }
+            result.resilience = recap
         if database.profiler.enabled:
             result.profile = ProfileReport.from_profiler(
                 database.profiler, database.sim_seconds
             )
         return result
+
+    def _build_resilience(self) -> ResilienceContext:
+        """Assemble the resilience context this config asks for."""
+        injector = None
+        if self.config.fault_seed is not None:
+            injector = FaultInjector(self.config.fault_seed, rate=self.config.fault_rate)
+        return ResilienceContext(
+            injector=injector,
+            retry=RetryPolicy(
+                max_attempts=self.config.retries,
+                backoff_base=self.config.retry_backoff,
+            ),
+            degradation=DegradationController(enabled=self.config.degradation),
+        )
+
+    @staticmethod
+    def _failure(error, interpreter: SemiNaiveInterpreter) -> dict:
+        """Structured failure context, annotated with the loop position."""
+        error.add_context(
+            stratum=interpreter.current_stratum if interpreter.current_stratum >= 0 else None,
+            iteration=interpreter.current_iteration
+            if interpreter.current_iteration >= 0
+            else None,
+        )
+        return error.to_dict()
 
 
 def explain_program(program: ProgramSpec | AnalyzedProgram | str) -> str:

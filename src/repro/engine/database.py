@@ -15,7 +15,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.common.errors import PlanError
-from repro.engine.dedup import DedupOutcome, deduplicate
+from repro.engine.dedup import DedupOutcome, deduplicate, planned_transient_bytes
 from repro.engine.executor import QUERY_DISPATCH_OVERHEAD, ParallelCostModel
 from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET, MetricsRecorder
 from repro.engine.operators import ExecutionContext, run_query
@@ -25,6 +25,7 @@ from repro.engine.setops import (
     two_phase_set_difference,
 )
 from repro.obs import CATEGORY_STATEMENT, NULL_PROFILER, Profiler
+from repro.resilience.runtime import ResilienceContext
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog
@@ -47,6 +48,9 @@ class Database:
         enforce_budgets: disable to let tests run without OOM/timeout.
         profile: enable the span tracer + counter registry (repro.obs);
             off by default, at zero instrumentation cost.
+        resilience: the evaluation's resilience context (fault injector,
+            retry policy, degradation ladder, cancellation token). The
+            default context is inert: every hook is one ``is None`` test.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class Database:
         fast_dedup: bool = True,
         enforce_budgets: bool = True,
         profile: bool = False,
+        resilience: ResilienceContext | None = None,
     ) -> None:
         self.catalog = Catalog()
         self.storage = StorageManager(eost=eost)
@@ -70,6 +75,9 @@ class Database:
         self.fast_dedup = fast_dedup
         self.queries_executed = 0
         self.profiler = NULL_PROFILER
+        self.resilience = resilience if resilience is not None else ResilienceContext()
+        self.cost_model.injector = self.resilience.injector
+        self.resilience.bind(self.metrics, self.profiler.counters)
         if profile:
             self.enable_profiling()
 
@@ -81,6 +89,7 @@ class Database:
             self.profiler = Profiler(self.metrics.clock)
             self.cost_model.profiler = self.profiler
             self.metrics.counters = self.profiler.counters
+            self.resilience.bind(self.metrics, self.profiler.counters)
         return self.profiler
 
     def _context(self) -> ExecutionContext:
@@ -103,6 +112,7 @@ class Database:
     def _charge_dispatch(self) -> None:
         self.queries_executed += 1
         self.profiler.counters.inc("queries_dispatched")
+        self.resilience.maybe_spike()
         self.metrics.advance(QUERY_DISPATCH_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
 
     def _charge_ddl(self) -> None:
@@ -170,7 +180,9 @@ class Database:
             self._after_mutation(table, len(statement.rows) * table.tuple_bytes())
             return None
         if isinstance(statement, ast.InsertSelect):
-            rows = run_query(statement.query, self._context())
+            rows = self.resilience.run(
+                "insert_select", lambda: run_query(statement.query, self._context())
+            )
             table = self.catalog.get_table(statement.table)
             table.append_array(rows)
             self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
@@ -243,11 +255,24 @@ class Database:
             self._charge_dispatch()
             table = self.catalog.get_table(name)
             estimated_rows = self.catalog.get_stats(name).num_rows
-            outcome = deduplicate(
-                table.to_array(),
-                self._context(),
-                fast=self.fast_dedup,
-                estimated_rows=estimated_rows,
+            degradation = self.resilience.degradation
+            lean = False
+            if degradation.enabled:
+                planned = planned_transient_bytes(
+                    table.num_rows, table.arity, self.fast_dedup, estimated_rows
+                )
+                lean = degradation.lean_dedup(planned)
+                if lean:
+                    degradation.note("lean-dedup")
+            outcome = self.resilience.run(
+                "dedup",
+                lambda: deduplicate(
+                    table.to_array(),
+                    self._context(),
+                    fast=self.fast_dedup,
+                    estimated_rows=estimated_rows,
+                    lean=lean,
+                ),
             )
             table.replace_contents(outcome.rows)
             self._after_mutation(table, 0)
@@ -257,27 +282,50 @@ class Database:
                 duplicates=outcome.input_rows - outcome.output_rows,
                 compact_key=outcome.used_compact_key,
             )
+            if lean:
+                span.set(lean=True)
         return outcome
 
     def set_difference(
         self, new_table: str, base_table: str, strategy: str = "OPSD"
     ) -> SetDifferenceOutcome:
         """Compute ``new_table - base_table`` with the given strategy."""
+        from repro.engine.operators import HASH_ENTRY_OVERHEAD
+
         new_rows = self.catalog.get_table(new_table).data()
         base_rows = self.catalog.get_table(base_table).data()
         ctx = self._context()
         if strategy not in ("OPSD", "TPSD"):
             raise PlanError(f"unknown set-difference strategy {strategy!r}")
+        degradation = self.resilience.degradation
+        forced = False
+        if strategy == "OPSD" and degradation.enabled:
+            # OPSD's hash table covers all of R; under pressure (or when
+            # that build alone would breach the soft watermark) fall back
+            # to TPSD, which only ever builds on the smaller side.
+            planned = base_rows.shape[0] * (8 + HASH_ENTRY_OVERHEAD)
+            forced = degradation.force_tpsd(planned)
+            if forced:
+                strategy = "TPSD"
+                degradation.note("force-tpsd")
         with self._statement_span(
             "SET_DIFFERENCE", table=new_table, strategy=strategy, base=base_table
         ) as span:
             self._charge_dispatch()
             self.profiler.counters.inc(f"dsd_{strategy.lower()}_choices")
             if strategy == "OPSD":
-                outcome = one_phase_set_difference(new_rows, base_rows, ctx)
+                outcome = self.resilience.run(
+                    "set_difference",
+                    lambda: one_phase_set_difference(new_rows, base_rows, ctx),
+                )
             else:
-                outcome = two_phase_set_difference(new_rows, base_rows, ctx)
+                outcome = self.resilience.run(
+                    "set_difference",
+                    lambda: two_phase_set_difference(new_rows, base_rows, ctx),
+                )
             span.set(rows_in=int(new_rows.shape[0]), rows_out=int(outcome.delta.shape[0]))
+            if forced:
+                span.set(forced_tpsd=True)
         return outcome
 
     def aggregate_merge(
@@ -294,7 +342,9 @@ class Database:
         if func not in ("MIN", "MAX"):
             raise PlanError(f"aggregate_merge supports MIN/MAX, not {func!r}")
         with self._statement_span("AGGREGATE_MERGE", table=name, func=func) as span:
-            merged, improved = self._aggregate_merge_inner(name, candidates, func)
+            merged, improved = self.resilience.run(
+                "aggregate", lambda: self._aggregate_merge_inner(name, candidates, func)
+            )
             span.set(rows_in=int(np.asarray(candidates).shape[0]), rows_out=int(improved.shape[0]))
         return merged, improved
 
@@ -329,9 +379,13 @@ class Database:
         """Append rows to a table (the ``R <- R ⊎ ΔR`` step)."""
         with self._statement_span("APPEND", table=name, rows_out=int(rows.shape[0])):
             self._charge_dispatch()
-            table = self.catalog.get_table(name)
-            table.append_array(rows)
-            self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+
+            def _append() -> None:
+                table = self.catalog.get_table(name)
+                table.append_array(rows)
+                self._after_mutation(table, rows.shape[0] * table.tuple_bytes())
+
+            self.resilience.run("append", _append)
 
     def replace_rows(self, name: str, rows: np.ndarray) -> None:
         """Swap a table's contents (the ∆-table update each iteration)."""
@@ -345,9 +399,26 @@ class Database:
     def commit(self) -> None:
         """Flush pending writes (end of the EOST transaction)."""
         with self._statement_span("COMMIT"):
-            cost = self.storage.commit()
-            if cost:
-                self.metrics.advance(cost, utilization=0.02)
+
+            def _commit() -> None:
+                cost = self.storage.commit()
+                if cost:
+                    self.metrics.advance(cost, utilization=0.02)
+
+            self.resilience.run("commit", _commit)
+
+    def restore_rows(self, name: str, rows: np.ndarray) -> None:
+        """Overwrite a table's contents from a checkpoint snapshot.
+
+        Unlike :meth:`replace_rows` this charges no query dispatch — the
+        checkpoint manager accounts the restore I/O itself — but the
+        memory ledger is refreshed so the restored footprint is real.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        with self._statement_span("RESTORE", table=name, rows_out=int(rows.shape[0])):
+            table = self.catalog.get_table(name)
+            table.replace_contents(rows)
+            self._after_mutation(table, table.memory_bytes())
 
     def explain(self, sql_text: str) -> str:
         """EXPLAIN a SELECT / INSERT..SELECT against current statistics."""

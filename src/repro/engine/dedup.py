@@ -24,6 +24,12 @@ from repro.engine.operators import ExecutionContext
 GENERIC_ENTRY_OVERHEAD = 24
 #: CCK bucket array entry: one pointer per pre-allocated bucket.
 CCK_BUCKET_BYTES = 8
+#: Per-tuple cost of the memory-lean sort path: an in-place sort plus an
+#: adjacent-unique sweep. Slower than either hash path, but its only
+#: transient is the permutation index array (``n * 8`` bytes) — no bucket
+#: array, no entry overhead. This is the degradation ladder's first rung.
+COST_DEDUP_LEAN = 2.2e-6
+LEAN_INDEX_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -34,11 +40,28 @@ class DedupOutcome:
     used_compact_key: bool
 
 
+def planned_transient_bytes(
+    n: int, width: int, fast: bool = True, estimated_rows: int | None = None
+) -> int:
+    """Transient bytes the hash dedup paths would allocate for ``n`` rows.
+
+    The degradation controller uses this pre-flight: if the planned
+    allocation would itself breach the soft watermark, dedup switches to
+    the lean sort path before touching the clock or the memory ledger.
+    """
+    buckets = max(16, n if estimated_rows is None else estimated_rows)
+    if fast:
+        return max(n, buckets) * CCK_BUCKET_BYTES + n * 8
+    tuple_bytes = width * 8 if n else 8
+    return max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
+
+
 def deduplicate(
     rows: np.ndarray,
     ctx: ExecutionContext,
     fast: bool = True,
     estimated_rows: int | None = None,
+    lean: bool = False,
 ) -> DedupOutcome:
     """Deduplicate ``rows`` charging the configured strategy's costs.
 
@@ -52,6 +75,10 @@ def deduplicate(
     to be estimated in order to pre-allocate memory"). Underestimation
     (stale statistics) lengthens collision chains; overestimation wastes
     bucket memory.
+
+    ``lean=True`` (degradation ladder, rung 1) bypasses both hash paths
+    for an in-place sort + adjacent-unique sweep: the slowest per tuple,
+    but its only transient is the sort's index array (``n * 8`` bytes).
     """
     n = rows.shape[0]
     packable = (
@@ -59,7 +86,7 @@ def deduplicate(
         if n and rows.shape[1] > 1
         else True
     )
-    use_compact = fast and packable
+    use_compact = fast and packable and not lean
 
     if estimated_rows is None:
         estimated_rows = n
@@ -69,7 +96,10 @@ def deduplicate(
     # eventually kick in).
     chain_factor = min(4.0, max(1.0, n / buckets))
 
-    if use_compact:
+    if lean:
+        transient = n * LEAN_INDEX_BYTES
+        cost = n * COST_DEDUP_LEAN
+    elif use_compact:
         transient = max(n, buckets) * CCK_BUCKET_BYTES + n * 8
         cost = n * COST_DEDUP_FAST * chain_factor
     else:
@@ -86,7 +116,10 @@ def deduplicate(
     counters.inc("dedup_input_rows", n)
     counters.inc("dedup_output_rows", unique.shape[0])
     counters.inc("tuples_deduped", n - unique.shape[0])
-    counters.inc("dedup_fast_path" if use_compact else "dedup_generic_path")
+    if lean:
+        counters.inc("dedup_lean_path")
+    else:
+        counters.inc("dedup_fast_path" if use_compact else "dedup_generic_path")
     ctx.profiler.annotate(transient_bytes=transient, chain_factor=round(chain_factor, 3))
     return DedupOutcome(
         rows=unique, input_rows=n, output_rows=unique.shape[0], used_compact_key=use_compact

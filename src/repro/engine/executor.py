@@ -64,7 +64,19 @@ class PhaseOutcome:
 
     makespan: float
     total_work: float
-    efficiency: float  # total_work / (threads * makespan), in [0, 1]
+    efficiency: float  # total_work / (workers * makespan), in [0, 1]
+    #: Workers the phase actually occupied (min(threads, tasks)); lets
+    #: callers convert per-worker efficiency into machine utilization.
+    workers: int = 1
+    #: Injected worker failures whose tasks were re-executed (fault
+    #: harness only; the rerun time is already inside ``makespan``).
+    task_reruns: int = 0
+
+    def machine_utilization(self, threads: int) -> float:
+        """Fraction of the whole machine kept busy during the phase."""
+        if threads <= 0:
+            return self.efficiency
+        return min(1.0, self.efficiency * self.workers / threads)
 
 
 @dataclass
@@ -84,6 +96,10 @@ class ParallelCostModel:
     #: Observability sink: phase runs/busy-time land in its counters and
     #: on the innermost open span. The default is the inert profiler.
     profiler: object = field(default=NULL_PROFILER, repr=False)
+    #: Fault-injection harness: when set, phases consult it for
+    #: deterministic per-task worker failures (the failed task's work is
+    #: re-executed and lands in the makespan). None = no injection.
+    injector: object = field(default=None, repr=False)
 
     def effective_width(self, kind: PhaseKind) -> float:
         """Usable parallelism for a phase of the given contention class."""
@@ -109,9 +125,23 @@ class ParallelCostModel:
             # Contention/hyperthreading stretch: scheduled time cannot beat
             # the work/width bound.
             makespan = max(makespan, total / width)
+        reruns = 0
+        if self.injector is not None:
+            # Injected worker failure: the task's work is lost and redone
+            # at the end of the phase (a straggler everyone waits for).
+            reruns = self.injector.task_reruns(kind.name, len(task_costs))
+            if reruns:
+                rerun_cost = reruns * (total / len(task_costs))
+                total += rerun_cost
+                makespan += rerun_cost
+                self.profiler.counters.inc("faults_worker_failures", reruns)
         makespan += PHASE_BARRIER_OVERHEAD
-        busy = total / (self.threads * makespan) if makespan > 0 else 1.0
-        outcome = PhaseOutcome(makespan, total, min(1.0, busy))
+        # Efficiency of the workers this phase actually occupied — small
+        # phases that fill only a few workers are no longer penalized for
+        # the idle rest of the machine (that conversion lives in
+        # ``machine_utilization``).
+        busy = total / (worker_count * makespan) if makespan > 0 else 1.0
+        outcome = PhaseOutcome(makespan, total, min(1.0, busy), worker_count, reruns)
         self.history.append((kind.name, outcome))
         self.profiler.counters.inc(f"phase_{kind.name}_runs")
         self.profiler.add_phase_time(kind.name, outcome.makespan)

@@ -27,6 +27,12 @@ logger = logging.getLogger(__name__)
 DEFAULT_MEMORY_BUDGET = int(1.6e9)
 DEFAULT_TIME_BUDGET = 36_000.0  # paper's 10 h timeout, simulated seconds
 
+#: Soft memory watermarks, as fractions of the budget. Crossing one emits
+#: a pressure event (see ``pressure_listener``) so the degradation ladder
+#: can shed footprint before the hard OOM at 100%.
+SOFT_WATERMARK = 0.80
+CRITICAL_WATERMARK = 0.95
+
 
 @dataclass
 class MetricsRecorder:
@@ -44,6 +50,14 @@ class MetricsRecorder:
     transient_underflows: int = 0
     enforce_budgets: bool = True
     counters: CounterRegistry = field(default=NULL_COUNTERS)
+    #: Soft watermark fractions; crossings bump ``pressure_level`` and
+    #: notify ``pressure_listener(level, fraction)``. Level is sticky
+    #: (0 = normal, 1 = soft, 2 = critical) so each crossing fires once.
+    soft_watermark: float = SOFT_WATERMARK
+    critical_watermark: float = CRITICAL_WATERMARK
+    pressure_level: int = 0
+    pressure_events: int = 0
+    pressure_listener: object = field(default=None, repr=False)
 
     def now(self) -> float:
         return self.clock.now()
@@ -60,7 +74,9 @@ class MetricsRecorder:
         if self.enforce_budgets and self.clock.now() > self.time_budget:
             raise EvaluationTimeout(
                 f"simulated time {self.clock.now():.1f}s exceeded budget "
-                f"{self.time_budget:.1f}s"
+                f"{self.time_budget:.1f}s",
+                sim_seconds=round(self.clock.now(), 6),
+                time_budget=self.time_budget,
             )
 
     # -- memory ---------------------------------------------------------------
@@ -102,11 +118,40 @@ class MetricsRecorder:
         self.peak_bytes = max(self.peak_bytes, total)
         self.peak_transient_bytes = max(self.peak_transient_bytes, self.transient_bytes)
         self.memory_trace.record(self.clock.now(), float(total))
+        if self.memory_budget > 0:
+            fraction = total / self.memory_budget
+            level = (
+                2
+                if fraction >= self.critical_watermark
+                else 1 if fraction >= self.soft_watermark else 0
+            )
+            if level > self.pressure_level:
+                self.pressure_level = level
+                self.pressure_events += 1
+                self.counters.inc(
+                    "memory_pressure_critical" if level == 2 else "memory_pressure_soft"
+                )
+                if self.pressure_listener is not None:
+                    self.pressure_listener(level, fraction)
         if self.enforce_budgets and total > self.memory_budget:
             raise OutOfMemoryError(
                 f"modeled footprint {total / 1e6:.1f} MB exceeds budget "
-                f"{self.memory_budget / 1e6:.1f} MB"
+                f"{self.memory_budget / 1e6:.1f} MB",
+                modeled_bytes=total,
+                transient_bytes=self.transient_bytes,
+                memory_budget=self.memory_budget,
             )
+
+    def budget_fraction(self, extra_bytes: int = 0) -> float:
+        """Footprint (plus a planned allocation) as a budget fraction.
+
+        Degradation pre-flight checks use this: "would allocating
+        ``extra_bytes`` put us past the soft watermark?" A non-positive
+        budget reports 0.0 (no meaningful pressure axis).
+        """
+        if self.memory_budget <= 0:
+            return 0.0
+        return (self.base_bytes + self.transient_bytes + extra_bytes) / self.memory_budget
 
     def memory_percent_trace(self) -> list[tuple[float, float]]:
         """Memory trace as a percentage of the budget (paper's y-axis).

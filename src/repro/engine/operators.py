@@ -67,7 +67,11 @@ class ExecutionContext:
         """Run a data-parallel phase through the scheduler and the clock."""
         tasks = split_tasks(total_cost, block_count(rows_hint))
         outcome = self.cost_model.run_phase(kind, tasks)
-        self.metrics.advance(outcome.makespan, outcome.efficiency)
+        # The CPU trace wants whole-machine utilization, not the per-worker
+        # scheduling efficiency a narrow phase reports.
+        self.metrics.advance(
+            outcome.makespan, outcome.machine_utilization(self.cost_model.threads)
+        )
 
     def op_span(self, name: str, key: str, **attrs):
         """Open an operator-category span carrying a plan-matching key.
@@ -264,7 +268,10 @@ def _join_frame_with_alias_inner(
         from repro.common.errors import OutOfMemoryError
 
         raise OutOfMemoryError(
-            f"join intermediate of {out_rows} rows exceeds the spill limit"
+            f"join intermediate of {out_rows} rows exceeds the spill limit",
+            rows=out_rows,
+            limit_rows=HARD_JOIN_ROWS,
+            modeled_bytes=out_rows * 8 * (len(frame.indices) + 1),
         )
     out_width = len(frame.indices) + 1
     out_bytes = out_rows * 8 * out_width

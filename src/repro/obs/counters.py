@@ -26,11 +26,26 @@ KNOWN_COUNTERS = {
     "tuples_deduped": "duplicates removed (input - output)",
     "dedup_fast_path": "dedups taking the CCK-GSCHT compact-key path",
     "dedup_generic_path": "dedups taking the generic hash-table path",
+    "dedup_lean_path": "dedups taking the memory-lean sort path (degraded)",
     "dsd_opsd_choices": "set-differences executed with OPSD",
     "dsd_tpsd_choices": "set-differences executed with TPSD",
     "pbme_strata": "strata evaluated by the bit-matrix engine",
     "pbme_bit_ops": "bit-pair visits during PBME expansion",
     "transient_underflows": "release_transient calls driving the balance negative",
+    # -- resilience (repro.resilience) -------------------------------------
+    "faults_injected": "transient faults raised by the injection harness",
+    "fault_retries": "operations re-run after an injected transient fault",
+    "faults_worker_failures": "parallel-phase tasks re-executed after worker failure",
+    "faults_memory_spikes": "injected transient memory-pressure spikes",
+    "memory_pressure_soft": "soft (80%) memory watermark crossings",
+    "memory_pressure_critical": "critical (95%) memory watermark crossings",
+    "degradations_taken": "degradation-ladder steps that changed behaviour",
+    "degradation_lean_dedup": "dedups rerouted to the memory-lean sort path",
+    "degradation_force_tpsd": "OPSD set-differences overridden to TPSD",
+    "degradation_prefer_pbme": "strata steered to PBME under memory pressure",
+    "degradation_pbme_fallback": "PBME density checks bypassed under pressure",
+    "checkpoints_written": "evaluation checkpoints saved to disk",
+    "checkpoint_bytes_written": "bytes of table state written to checkpoints",
 }
 
 

@@ -1,0 +1,44 @@
+"""Resilient evaluation: fault injection, retries, checkpoints, degradation.
+
+The package that turns the paper's DNF cells into survivable events:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  at named engine sites (worker failures, transient storage errors,
+  memory-pressure spikes);
+* :mod:`repro.resilience.retry` — exponential backoff accounted on the
+  simulated clock;
+* :mod:`repro.resilience.checkpoint` — snapshot/resume of semi-naive
+  state at stratum/iteration boundaries;
+* :mod:`repro.resilience.degradation` — the memory-pressure ladder
+  (lean dedup → forced TPSD → PBME fallback) answering soft watermarks;
+* :mod:`repro.resilience.cancellation` — cooperative deadline tokens
+  checked at phase boundaries;
+* :mod:`repro.resilience.runtime` — the per-evaluation context binding
+  all of the above to a Database.
+"""
+
+from repro.resilience.cancellation import CancellationToken, DeadlineToken
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+)
+from repro.resilience.degradation import LADDER, DegradationController
+from repro.resilience.faults import DEFAULT_FAULT_RATE, FAULT_SITES, FaultInjector
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.runtime import ResilienceContext
+
+__all__ = [
+    "CancellationToken",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointState",
+    "DEFAULT_FAULT_RATE",
+    "DeadlineToken",
+    "DegradationController",
+    "FAULT_SITES",
+    "FaultInjector",
+    "LADDER",
+    "ResilienceContext",
+    "RetryPolicy",
+]

@@ -1,0 +1,215 @@
+"""Checkpoint/resume for semi-naive evaluation.
+
+Semi-naive state is small and regular: per IDB relation a full table and
+a Δ table, plus a handful of counters and the DSD policy's remembered
+``mu``. Snapshotting all of it at a stratum/iteration boundary is enough
+to resume an interrupted evaluation to the *identical* fixpoint — the
+incremental-engine property (FlowLog: "restartable by construction")
+retrofitted onto the relational path.
+
+Checkpoint format: one ``.npz`` per checkpoint. Table contents live
+under ``table:full:<name>`` / ``table:delta:<name>`` keys as int64
+matrices; everything scalar lives in a JSON document stored as a uint8
+array under ``__meta__`` (no pickling, so checkpoints are portable and
+safe to load). ``iteration`` in the metadata is the last *completed*
+iteration of the in-progress stratum; ``-1`` marks a stratum boundary
+(the stratum finished, its working tables already dropped).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import RecStepError
+from repro.obs.profiler import NULL_PROFILER
+
+#: Modeled checkpoint-write bandwidth cost (simulated seconds per byte);
+#: roughly the storage manager's sequential commit bandwidth.
+CHECKPOINT_SECONDS_PER_BYTE = 1.0 / 1.2e9
+
+#: Metadata format version, bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_NAME = re.compile(r"ckpt-s(\d+)-(?:i(\d+)|final)\.npz$")
+
+
+class CheckpointError(RecStepError):
+    """A checkpoint file is missing, corrupt, or from another program."""
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to resume an evaluation at a boundary."""
+
+    program: str
+    stratum: int
+    iteration: int  # last completed iteration; -1 = stratum finished
+    tables: dict[str, np.ndarray] = field(default_factory=dict)
+    dsd_mu: dict[str, float] = field(default_factory=dict)
+    iterations_total: int = 0
+    pbme_strata: list[int] = field(default_factory=list)
+    sim_seconds: float = 0.0
+
+    def nbytes(self) -> int:
+        return sum(array.nbytes for array in self.tables.values())
+
+    @property
+    def stratum_complete(self) -> bool:
+        return self.iteration < 0
+
+
+class CheckpointManager:
+    """Writes, prunes, and reloads evaluation checkpoints.
+
+    Args:
+        directory: where checkpoint files live (created on first save).
+        every: keep one iteration checkpoint every N iterations (stratum
+            boundaries are always checkpointed).
+        keep: how many checkpoint files to retain (oldest pruned first).
+        metrics: when given, each save charges modeled write time to the
+            simulated clock, so checkpoint overhead shows up in runtimes.
+        profiler: obs sink for checkpoint spans/counters.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        every: int = 1,
+        keep: int = 2,
+        metrics=None,
+        profiler=NULL_PROFILER,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep = max(1, keep)
+        self.metrics = metrics
+        self.profiler = profiler
+        self.written = 0
+        self.last_path: Path | None = None
+
+    # -- saving ------------------------------------------------------------------
+
+    def maybe_save(self, state: CheckpointState) -> Path | None:
+        """Save if the boundary matches the interval (always for strata)."""
+        if not state.stratum_complete and state.iteration % self.every != 0:
+            return None
+        return self.save(state)
+
+    def save(self, state: CheckpointState) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        suffix = "final" if state.stratum_complete else f"i{state.iteration:05d}"
+        path = self.directory / f"ckpt-s{state.stratum:03d}-{suffix}.npz"
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "program": state.program,
+            "stratum": state.stratum,
+            "iteration": state.iteration,
+            "dsd_mu": state.dsd_mu,
+            "iterations_total": state.iterations_total,
+            "pbme_strata": list(state.pbme_strata),
+            "sim_seconds": state.sim_seconds,
+        }
+        arrays = {f"table:{key}": value for key, value in state.tables.items()}
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        with self.profiler.span(
+            "CHECKPOINT",
+            "statement",
+            stratum=state.stratum,
+            iteration=state.iteration,
+            bytes=state.nbytes(),
+        ):
+            with open(path, "wb") as handle:
+                np.savez(handle, **arrays)
+            if self.metrics is not None:
+                self.metrics.advance(
+                    state.nbytes() * CHECKPOINT_SECONDS_PER_BYTE, utilization=0.02
+                )
+            self.profiler.counters.inc("checkpoints_written")
+            self.profiler.counters.inc("checkpoint_bytes_written", state.nbytes())
+        self.written += 1
+        self.last_path = path
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        checkpoints = sorted(
+            (p for p in self.directory.glob("ckpt-*.npz") if _CHECKPOINT_NAME.search(p.name)),
+            key=_sort_key,
+        )
+        for stale in checkpoints[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    # -- loading -----------------------------------------------------------------
+
+    @staticmethod
+    def load(path: str | Path) -> CheckpointState:
+        path = Path(path)
+        if path.is_dir():
+            latest = CheckpointManager.latest(path)
+            if latest is None:
+                raise CheckpointError(
+                    f"no checkpoint files in directory {path}", path=str(path)
+                )
+            path = latest
+        try:
+            with np.load(path, allow_pickle=False) as bundle:
+                if "__meta__" not in bundle:
+                    raise CheckpointError(
+                        f"{path} is not a checkpoint (missing metadata)",
+                        path=str(path),
+                    )
+                meta = json.loads(bytes(bundle["__meta__"].tobytes()).decode("utf-8"))
+                tables = {
+                    key[len("table:"):]: np.asarray(bundle[key], dtype=np.int64)
+                    for key in bundle.files
+                    if key.startswith("table:")
+                }
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {error}", path=str(path)
+            ) from error
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version {meta.get('version')!r}, "
+                f"expected {CHECKPOINT_VERSION}",
+                path=str(path),
+            )
+        return CheckpointState(
+            program=meta["program"],
+            stratum=int(meta["stratum"]),
+            iteration=int(meta["iteration"]),
+            tables=tables,
+            dsd_mu={k: float(v) for k, v in meta.get("dsd_mu", {}).items()},
+            iterations_total=int(meta.get("iterations_total", 0)),
+            pbme_strata=[int(i) for i in meta.get("pbme_strata", [])],
+            sim_seconds=float(meta.get("sim_seconds", 0.0)),
+        )
+
+    @staticmethod
+    def latest(directory: str | Path) -> Path | None:
+        """The most advanced checkpoint in ``directory`` (by boundary)."""
+        checkpoints = [
+            p
+            for p in Path(directory).glob("ckpt-*.npz")
+            if _CHECKPOINT_NAME.search(p.name)
+        ]
+        if not checkpoints:
+            return None
+        return max(checkpoints, key=_sort_key)
+
+
+def _sort_key(path: Path) -> tuple[int, int]:
+    match = _CHECKPOINT_NAME.search(path.name)
+    assert match is not None
+    stratum = int(match.group(1))
+    iteration = int(match.group(2)) if match.group(2) is not None else 1 << 30
+    return (stratum, iteration)

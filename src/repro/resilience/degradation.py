@@ -1,0 +1,94 @@
+"""The memory-pressure degradation ladder.
+
+When the modeled footprint crosses the :class:`MetricsRecorder` soft
+watermarks, the controller escalates through a fixed ladder of
+memory-lean fallbacks *before* the hard OOM ever fires — the same move
+VLog makes with its column-oriented materialization: trade time for
+footprint and keep the workload alive.
+
+Ladder (in escalation order):
+
+1. **lean-dedup** (soft watermark): deduplicate with the in-place
+   sort-based path — slower per tuple, but no hash-bucket array.
+2. **force-tpsd** (critical watermark): override the DSD policy to the
+   two-phase set difference, which never builds a hash table on the
+   monotonically growing full relation.
+3. **prefer-pbme** (critical watermark): let eligible TC/SG strata fall
+   back to the bit-matrix engine even when the density heuristic would
+   keep them relational — the packed matrix is the lowest-footprint
+   representation we have.
+
+Escalation is sticky (a level never drops) so a run's plan is
+deterministic and its report can list exactly which degradations were
+taken. Independently of the sticky level, each query also accepts the
+*planned* transient bytes of the operation about to run: an allocation
+that would itself breach the soft watermark degrades pre-flight, because
+waiting for the watermark event would already be too late.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import NULL_COUNTERS
+
+#: Step names, in ladder order (also the obs counter suffixes).
+LADDER = ("lean-dedup", "force-tpsd", "prefer-pbme")
+
+#: Pressure level at which each step engages.
+_STEP_LEVEL = {"lean-dedup": 1, "force-tpsd": 2, "prefer-pbme": 2}
+
+
+class DegradationController:
+    """Answers memory-pressure events with the degradation ladder."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.level = 0
+        #: Steps actually exercised, in first-use order (for run reports).
+        self.taken: list[str] = []
+        self._metrics = None
+        self._counters = NULL_COUNTERS
+
+    def bind(self, metrics, counters) -> None:
+        """Attach the evaluation's metrics recorder and obs counters."""
+        self._metrics = metrics
+        self._counters = counters
+
+    # -- pressure events (MetricsRecorder listener) -----------------------------
+
+    def on_pressure(self, level: int, fraction: float) -> None:
+        """Watermark crossing: escalate the sticky ladder level."""
+        if level > self.level:
+            self.level = level
+
+    # -- ladder queries (called by the engine at decision points) ---------------
+
+    def _would_breach_soft(self, planned_bytes: int) -> bool:
+        if self._metrics is None or planned_bytes <= 0:
+            return False
+        return self._metrics.budget_fraction(planned_bytes) >= self._metrics.soft_watermark
+
+    def _engaged(self, step: str, planned_bytes: int) -> bool:
+        if not self.enabled:
+            return False
+        return self.level >= _STEP_LEVEL[step] or self._would_breach_soft(planned_bytes)
+
+    def lean_dedup(self, planned_bytes: int = 0) -> bool:
+        """Should dedup take the memory-lean sort path?"""
+        return self._engaged("lean-dedup", planned_bytes)
+
+    def force_tpsd(self, planned_bytes: int = 0) -> bool:
+        """Should an OPSD set difference be overridden to TPSD?"""
+        return self._engaged("force-tpsd", planned_bytes)
+
+    def prefer_pbme(self) -> bool:
+        """Should eligible strata fall back to the bit-matrix engine?"""
+        return self.enabled and self.level >= _STEP_LEVEL["prefer-pbme"]
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def note(self, step: str) -> None:
+        """Record that a degradation step changed behaviour just now."""
+        self._counters.inc("degradations_taken")
+        self._counters.inc(f"degradation_{step.replace('-', '_')}")
+        if step not in self.taken:
+            self.taken.append(step)

@@ -1,0 +1,116 @@
+"""Deterministic fault injection.
+
+The harness reproduces the failure modes the paper's evaluation is full
+of — worker crashes, transient allocation errors, memory-pressure spikes
+— but deterministically: every named injection site draws from its own
+seeded stream (derived via :func:`repro.common.rng.derive_seed`), so a
+run with a fixed seed injects exactly the same faults at exactly the
+same operations every time. Faults are raised *before* an operation's
+side effects, which makes every faultable operation trivially
+retryable: the retry layer re-invokes it and the evaluation reaches the
+byte-identical fixpoint of a fault-free run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import TransientStorageError
+from repro.common.rng import derive_seed
+
+#: Default probability that a visit to a fault site raises.
+DEFAULT_FAULT_RATE = 0.02
+#: Fraction of the memory budget a pressure spike inflates usage to.
+DEFAULT_SPIKE_TO = 0.90
+
+#: name -> description of every injection site the engine consults. The
+#: injector accepts any name; these are the ones wired into the engine.
+FAULT_SITES = {
+    "dedup": "Database.dedup_table entry (transient allocation failure)",
+    "set_difference": "Database.set_difference entry",
+    "insert_select": "INSERT..SELECT dispatch (evaluation queries)",
+    "append": "Database.append_rows (the R <- R U delta step)",
+    "aggregate": "Database.aggregate_merge entry",
+    "commit": "Database.commit (EOST flush)",
+    "spike": "transient memory-pressure spike at query dispatch",
+    "phase:*": "per-task worker failure inside a parallel phase "
+    "(scan/probe/build/dedup/aggregate/bitmatrix)",
+}
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions for named sites.
+
+    Args:
+        seed: master seed; every site derives an independent stream.
+        rate: per-visit probability of a transient storage fault.
+        worker_rate: per-phase probability of a worker/task failure
+            (defaults to ``rate``).
+        spike_rate: per-dispatch probability of a memory-pressure spike
+            (defaults to ``rate / 2``).
+        spike_to: budget fraction a spike inflates the footprint to.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = DEFAULT_FAULT_RATE,
+        worker_rate: float | None = None,
+        spike_rate: float | None = None,
+        spike_to: float = DEFAULT_SPIKE_TO,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"fault rate must be in [0, 1), got {rate}")
+        self.seed = seed
+        self.rate = rate
+        self.worker_rate = rate if worker_rate is None else worker_rate
+        self.spike_rate = rate / 2.0 if spike_rate is None else spike_rate
+        self.spike_to = spike_to
+        self._streams: dict[str, np.random.Generator] = {}
+        #: site -> faults injected (the injector's own ledger; the retry
+        #: layer mirrors totals into obs counters).
+        self.injected: dict[str, int] = {}
+
+    def _stream(self, site: str) -> np.random.Generator:
+        stream = self._streams.get(site)
+        if stream is None:
+            stream = np.random.default_rng(derive_seed(self.seed, "fault", site))
+            self._streams[site] = stream
+        return stream
+
+    def _fires(self, site: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if float(self._stream(site).random()) < rate:
+            self.injected[site] = self.injected.get(site, 0) + 1
+            return True
+        return False
+
+    # -- sites ---------------------------------------------------------------
+
+    def check(self, site: str) -> None:
+        """Raise a retryable fault at a Database operation site."""
+        if self._fires(site, self.rate):
+            raise TransientStorageError(
+                f"injected transient storage fault at {site!r}", site=site
+            )
+
+    def task_reruns(self, phase_name: str, num_tasks: int) -> int:
+        """Worker failures for one parallel phase: tasks to re-execute.
+
+        A failed task's work is simply redone (the cost model adds the
+        rerun to the phase makespan); no exception escapes the phase.
+        """
+        if num_tasks <= 0:
+            return 0
+        site = f"phase:{phase_name}"
+        return 1 if self._fires(site, self.worker_rate) else 0
+
+    def spike_fraction(self) -> float | None:
+        """Budget fraction to spike the footprint to, or None (no spike)."""
+        if self._fires("spike", self.spike_rate):
+            return self.spike_to
+        return None
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())

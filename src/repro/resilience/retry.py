@@ -1,0 +1,37 @@
+"""Retry policy with exponential backoff on the simulated clock.
+
+Retried work is not free: every backoff advances the evaluation's
+:class:`~repro.common.timing.SimClock`, so retry time lands in the phase
+makespan exactly like real recovery time would — a heavily faulted run
+is *slower* than a clean one (and can even trip the time budget), but it
+reaches the identical fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry parameters for transient faults.
+
+    Attributes:
+        max_attempts: total tries per operation (first attempt included).
+        backoff_base: simulated seconds slept before the first retry.
+        backoff_multiplier: growth factor per subsequent retry.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+
+    def backoff_seconds(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (1-based)."""
+        if retry_index < 1:
+            raise ValueError(f"retry index must be >= 1, got {retry_index}")
+        return self.backoff_base * self.backoff_multiplier ** (retry_index - 1)
+
+    def total_backoff(self, retries: int) -> float:
+        """Simulated seconds spent if every one of ``retries`` fires."""
+        return sum(self.backoff_seconds(i) for i in range(1, retries + 1))

@@ -57,6 +57,31 @@ class TestParallelCostModel:
         outcome = ParallelCostModel(threads=20).run_phase(SCAN_PHASE, [0.5] * 10)
         assert 0.0 <= outcome.efficiency <= 1.0
 
+    def test_efficiency_counts_occupied_workers_only(self):
+        """A 2-task phase on a 20-thread machine occupies 2 workers; its
+        scheduling efficiency must be ~1, not ~2/20 (the old bug divided
+        busy time by all threads, punishing narrow phases)."""
+        outcome = ParallelCostModel(threads=20).run_phase(SCAN_PHASE, [0.5, 0.5])
+        assert outcome.workers == 2
+        assert outcome.efficiency > 0.9
+        # Machine utilization converts back to the whole-machine view.
+        assert outcome.machine_utilization(20) == pytest.approx(
+            outcome.efficiency * 2 / 20
+        )
+
+    def test_injector_reruns_stretch_makespan(self):
+        class AlwaysFail:
+            def task_reruns(self, phase_name, num_tasks):
+                return 1
+
+        clean = ParallelCostModel(threads=4).run_phase(SCAN_PHASE, [0.5] * 8)
+        faulty_model = ParallelCostModel(threads=4)
+        faulty_model.injector = AlwaysFail()
+        faulty = faulty_model.run_phase(SCAN_PHASE, [0.5] * 8)
+        assert faulty.task_reruns == 1
+        assert faulty.makespan > clean.makespan
+        assert faulty.total_work > clean.total_work
+
     def test_history_recorded(self):
         model = ParallelCostModel(threads=2)
         model.run_phase(SCAN_PHASE, [0.1])

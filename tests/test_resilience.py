@@ -1,0 +1,459 @@
+"""Resilient evaluation: fault injection, checkpoints, degradation, deadlines.
+
+The acceptance triangle of the resilience layer:
+
+* a fixed-seed fault-injected run, after retries, reaches a fixpoint
+  byte-identical to the fault-free run (TC, SG, AA);
+* a run killed between iterations and resumed from its checkpoint
+  matches the uninterrupted run exactly;
+* a workload that OOMs under the default configuration completes under
+  the degradation ladder, with the degradations visible in counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    EvaluationCancelled,
+    FaultRetriesExhausted,
+    OutOfMemoryError,
+    RecStepError,
+    TransientStorageError,
+)
+from repro.core import PbmeMode, RecStep, RecStepConfig
+from repro.engine.metrics import MetricsRecorder
+from repro.programs import get_program
+from repro.resilience import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+    CancellationToken,
+    DeadlineToken,
+    DegradationController,
+    FaultInjector,
+    ResilienceContext,
+    RetryPolicy,
+)
+
+RELATIONAL = dict(pbme=PbmeMode.OFF)
+
+
+def _graph(seed: int, nodes: int, edges: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, nodes, size=(edges, 2)).astype(np.int64)
+
+
+@pytest.fixture
+def tc_edb():
+    return {"arc": _graph(42, 120, 400)}
+
+
+@pytest.fixture
+def aa_edb():
+    rng = np.random.default_rng(2)
+
+    def rel(count):
+        return np.unique(rng.integers(0, 30, size=(count, 2)), axis=0)
+
+    return {
+        "addressOf": rel(20),
+        "assign": rel(18),
+        "load": rel(8),
+        "store": rel(8),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fault injector / retry units
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_same_seed_same_draws(self):
+        a = FaultInjector(11, rate=0.3)
+        b = FaultInjector(11, rate=0.3)
+        draws_a = [self._fires(a, "dedup") for _ in range(50)]
+        draws_b = [self._fires(b, "dedup") for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a)  # rate 0.3 over 50 visits fires sometimes
+
+    @staticmethod
+    def _fires(injector: FaultInjector, site: str) -> bool:
+        try:
+            injector.check(site)
+            return False
+        except TransientStorageError:
+            return True
+
+    def test_sites_draw_independent_streams(self):
+        injector = FaultInjector(11, rate=0.5)
+        a = [self._fires(injector, "dedup") for _ in range(30)]
+        b = [self._fires(injector, "append") for _ in range(30)]
+        assert a != b
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(11, rate=0.0)
+        for _ in range(100):
+            injector.check("dedup")
+        assert injector.total_injected() == 0
+
+    def test_ledger_counts_by_site(self):
+        injector = FaultInjector(3, rate=0.5)
+        for _ in range(40):
+            self._fires(injector, "commit")
+        assert injector.injected.get("commit") == injector.total_injected() > 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(1, rate=1.5)
+
+
+class TestRetry:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.1, backoff_multiplier=2.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
+    def test_context_retries_then_succeeds(self):
+        context = ResilienceContext(injector=FaultInjector(5, rate=0.9))
+        metrics = MetricsRecorder(enforce_budgets=False)
+        context.bind(metrics, metrics.counters)
+        # With rate 0.9 and 4 attempts, most calls retry but eventually
+        # either succeed or exhaust; run many and observe both behaviours.
+        succeeded = failed = 0
+        for _ in range(30):
+            try:
+                assert context.run("dedup", lambda: "ok") == "ok"
+                succeeded += 1
+            except FaultRetriesExhausted as error:
+                assert error.context["site"] == "dedup"
+                failed += 1
+        assert succeeded and failed
+        assert metrics.now() > 0  # backoff charged to the simulated clock
+
+    def test_inert_context_is_passthrough(self):
+        context = ResilienceContext()
+        assert context.run("dedup", lambda: 7) == 7
+        assert not context.active
+        assert context.summary() == {}
+
+
+# ---------------------------------------------------------------------------
+# Determinism under chaos (acceptance 1)
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismUnderChaos:
+    @pytest.mark.parametrize(
+        "program,edb_seed",
+        [("TC", None), ("SG", None), ("AA", None)],
+    )
+    def test_chaos_run_matches_fault_free(self, program, edb_seed, tc_edb, aa_edb):
+        if program == "AA":
+            edb = aa_edb
+        elif program == "SG":
+            edb = {"arc": _graph(7, 60, 150)}
+        else:
+            edb = tc_edb
+        spec = get_program(program)
+        clean = RecStep(RecStepConfig(**RELATIONAL, fault_seed=None)).evaluate(
+            spec, edb, dataset="chaos"
+        )
+        chaos = RecStep(
+            RecStepConfig(**RELATIONAL, fault_seed=1234, fault_rate=0.15)
+        ).evaluate(spec, edb, dataset="chaos")
+        assert clean.status == chaos.status == "ok"
+        assert chaos.tuples == clean.tuples
+        assert chaos.iterations == clean.iterations
+
+    def test_chaos_is_reproducible(self, tc_edb):
+        spec = get_program("TC")
+        cfg = RecStepConfig(**RELATIONAL, fault_seed=99, fault_rate=0.2)
+        a = RecStep(cfg).evaluate(spec, tc_edb, dataset="chaos")
+        b = RecStep(cfg).evaluate(spec, tc_edb, dataset="chaos")
+        assert a.tuples == b.tuples
+        assert a.sim_seconds == b.sim_seconds
+        assert a.resilience["fault_sites"] == b.resilience["fault_sites"]
+
+    def test_faults_actually_injected_and_slower(self, tc_edb):
+        spec = get_program("TC")
+        clean = RecStep(RecStepConfig(**RELATIONAL, fault_seed=None)).evaluate(
+            spec, tc_edb, dataset="chaos"
+        )
+        chaos = RecStep(
+            RecStepConfig(**RELATIONAL, fault_seed=1234, fault_rate=0.15)
+        ).evaluate(spec, tc_edb, dataset="chaos")
+        assert chaos.resilience["faults_injected"] > 0
+        assert chaos.sim_seconds > clean.sim_seconds
+
+    def test_exhausted_retries_reported_not_raised(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, fault_seed=8, fault_rate=0.97, retries=2)
+        ).evaluate(get_program("TC"), tc_edb, dataset="chaos")
+        assert result.status == "fault"
+        assert result.failure["error"] == "FaultRetriesExhausted"
+        assert result.failure["attempts"] == 2
+        assert "site" in result.failure
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume (acceptance 2)
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointResume:
+    def test_state_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1)
+        state = CheckpointState(
+            program="TC",
+            stratum=0,
+            iteration=3,
+            tables={"full:tc": np.array([[1, 2], [3, 4]], dtype=np.int64)},
+            dsd_mu={"tc": 2.5},
+            iterations_total=4,
+            sim_seconds=1.25,
+        )
+        path = manager.save(state)
+        loaded = CheckpointManager.load(path)
+        assert loaded.program == "TC"
+        assert loaded.iteration == 3
+        assert loaded.dsd_mu == {"tc": 2.5}
+        np.testing.assert_array_equal(loaded.tables["full:tc"], state.tables["full:tc"])
+
+    def test_prune_keeps_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=2)
+        for iteration in range(5):
+            manager.save(
+                CheckpointState(program="TC", stratum=0, iteration=iteration)
+            )
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == ["ckpt-s000-i00003.npz", "ckpt-s000-i00004.npz"]
+
+    def test_latest_prefers_stratum_boundary(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=10)
+        manager.save(CheckpointState(program="TC", stratum=0, iteration=7))
+        manager.save(CheckpointState(program="TC", stratum=0, iteration=-1))
+        latest = CheckpointManager.latest(tmp_path)
+        assert latest.name == "ckpt-s000-final.npz"
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "ckpt-s000-i00001.npz"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            CheckpointManager.load(path)
+
+    def test_load_empty_dir_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager.load(tmp_path)
+
+    def test_resume_matches_uninterrupted(self, tmp_path, tc_edb):
+        spec = get_program("TC")
+        # Kill the run mid-stratum with a deadline, checkpointing each
+        # iteration.
+        partial = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=1,
+                deadline=0.15,
+            )
+        ).evaluate(spec, tc_edb, dataset="ckpt")
+        assert partial.status == "deadline"
+        assert partial.resilience["checkpoints_written"] > 0
+        assert list(tmp_path.glob("ckpt-*.npz"))
+
+        resumed = RecStep(
+            RecStepConfig(**RELATIONAL, resume_from=str(tmp_path))
+        ).evaluate(spec, tc_edb, dataset="ckpt")
+        full = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            spec, tc_edb, dataset="ckpt"
+        )
+        assert resumed.status == full.status == "ok"
+        assert resumed.tuples == full.tuples
+        assert resumed.iterations == full.iterations
+        assert resumed.resilience["resumed_from"]["stratum"] == 0
+
+    def test_resume_multi_stratum_program(self, tmp_path, aa_edb):
+        spec = get_program("AA")
+        partial = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=1,
+                deadline=0.05,
+            )
+        ).evaluate(spec, aa_edb, dataset="ckpt")
+        assert partial.status == "deadline"
+        resumed = RecStep(
+            RecStepConfig(**RELATIONAL, resume_from=str(tmp_path))
+        ).evaluate(spec, aa_edb, dataset="ckpt")
+        full = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            spec, aa_edb, dataset="ckpt"
+        )
+        assert resumed.tuples == full.tuples
+        assert resumed.iterations == full.iterations
+
+    def test_resume_rejects_wrong_program(self, tmp_path, tc_edb, aa_edb):
+        RecStep(
+            RecStepConfig(**RELATIONAL, checkpoint_dir=str(tmp_path))
+        ).evaluate(get_program("TC"), tc_edb, dataset="ckpt")
+        with pytest.raises(CheckpointError):
+            RecStep(
+                RecStepConfig(**RELATIONAL, resume_from=str(tmp_path))
+            ).evaluate(get_program("AA"), aa_edb, dataset="ckpt")
+
+    def test_checkpoints_charge_simulated_time(self, tmp_path, tc_edb):
+        spec = get_program("TC")
+        plain = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            spec, tc_edb, dataset="ckpt"
+        )
+        ckpt = RecStep(
+            RecStepConfig(**RELATIONAL, checkpoint_dir=str(tmp_path))
+        ).evaluate(spec, tc_edb, dataset="ckpt")
+        assert ckpt.sim_seconds > plain.sim_seconds
+        assert ckpt.tuples == plain.tuples
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder (acceptance 3)
+# ---------------------------------------------------------------------------
+
+
+class TestDegradationLadder:
+    def test_ladder_rescues_oom_workload(self, tc_edb):
+        spec = get_program("TC")
+        free = RecStep(
+            RecStepConfig(**RELATIONAL, enforce_budgets=False)
+        ).evaluate(spec, tc_edb, dataset="oom")
+        budget = int(free.peak_memory_bytes * 0.9)
+
+        plain = RecStep(
+            RecStepConfig(**RELATIONAL, memory_budget=budget)
+        ).evaluate(spec, tc_edb, dataset="oom")
+        assert plain.status == "oom"
+        assert plain.failure["error"] == "OutOfMemoryError"
+        assert plain.failure["modeled_bytes"] > budget
+
+        rescued = RecStep(
+            RecStepConfig(
+                **RELATIONAL, memory_budget=budget, degradation=True, profile=True
+            )
+        ).evaluate(spec, tc_edb, dataset="oom")
+        assert rescued.status == "ok"
+        assert rescued.tuples == free.tuples
+        assert rescued.resilience["degradations_taken"]
+        counters = rescued.profile.counters
+        assert counters.get("degradations_taken", 0) > 0
+        assert counters.get("dedup_lean_path", 0) > 0
+        assert counters.get("memory_pressure_soft", 0) > 0
+
+    def test_degradation_off_by_default(self):
+        controller = DegradationController()
+        controller.on_pressure(2, 0.99)
+        assert not controller.lean_dedup()
+        assert not controller.force_tpsd()
+        assert not controller.prefer_pbme()
+
+    def test_ladder_escalates_sticky(self):
+        controller = DegradationController(enabled=True)
+        controller.on_pressure(1, 0.85)
+        assert controller.lean_dedup()
+        assert not controller.force_tpsd()
+        controller.on_pressure(2, 0.96)
+        assert controller.force_tpsd()
+        assert controller.prefer_pbme()
+        controller.on_pressure(1, 0.85)  # never de-escalates
+        assert controller.force_tpsd()
+
+    def test_preflight_headroom_check(self):
+        metrics = MetricsRecorder(memory_budget=1000, enforce_budgets=False)
+        metrics.set_base_bytes(500)
+        controller = DegradationController(enabled=True)
+        controller.bind(metrics, metrics.counters)
+        # 500 + 400 = 90% >= the 80% soft watermark: degrade pre-flight.
+        assert controller.lean_dedup(planned_bytes=400)
+        # 500 + 100 = 60%: no reason to degrade.
+        assert not controller.lean_dedup(planned_bytes=100)
+
+    def test_watermark_events_recorded(self):
+        metrics = MetricsRecorder(memory_budget=1000, enforce_budgets=False)
+        metrics.set_base_bytes(810)
+        assert metrics.pressure_level == 1
+        metrics.set_base_bytes(960)
+        assert metrics.pressure_level == 2
+        assert metrics.pressure_events == 2
+        metrics.set_base_bytes(100)  # sticky: level stays
+        assert metrics.pressure_level == 2
+
+
+# ---------------------------------------------------------------------------
+# Cancellation / deadline (partial results)
+# ---------------------------------------------------------------------------
+
+
+class TestCancellation:
+    def test_deadline_produces_partial_report(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, deadline=0.1)
+        ).evaluate(get_program("TC"), tc_edb, dataset="dl")
+        assert result.status == "deadline"
+        assert result.failure["reason"] == "deadline"
+        assert result.failure["stratum"] == 0
+        assert result.failure["iteration"] >= 0
+        assert result.sim_seconds >= 0.1
+        assert result.resilience["cancelled"] is True
+
+    def test_generous_deadline_does_not_fire(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, deadline=1e6)
+        ).evaluate(get_program("TC"), tc_edb, dataset="dl")
+        assert result.status == "ok"
+
+    def test_manual_token(self):
+        token = CancellationToken()
+        token.check()  # not cancelled: no raise
+        token.cancel("user abort")
+        with pytest.raises(EvaluationCancelled) as info:
+            token.check(stratum=3)
+        assert info.value.context["reason"] == "user abort"
+        assert info.value.context["stratum"] == 3
+
+    def test_deadline_token_unit(self):
+        from repro.common.timing import SimClock
+
+        clock = SimClock()
+        token = DeadlineToken(clock, 1.0)
+        token.check()
+        clock.advance(2.0)
+        with pytest.raises(EvaluationCancelled):
+            token.check()
+        assert token.cancelled
+
+
+# ---------------------------------------------------------------------------
+# Error hierarchy (satellite: structured context)
+# ---------------------------------------------------------------------------
+
+
+class TestErrorHierarchy:
+    def test_oom_and_timeout_are_recstep_errors(self):
+        from repro.common.errors import EvaluationTimeout
+
+        assert issubclass(OutOfMemoryError, RecStepError)
+        assert issubclass(EvaluationTimeout, RecStepError)
+
+    def test_context_accumulates_outermost_loses(self):
+        error = OutOfMemoryError("boom", modeled_bytes=100)
+        error.add_context(stratum=2, modeled_bytes=999)
+        assert error.context == {"modeled_bytes": 100, "stratum": 2}
+        assert error.to_dict()["error"] == "OutOfMemoryError"
+        assert "stratum=2" in str(error)
+
+    def test_failure_context_from_oom_run(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, memory_budget=200_000)
+        ).evaluate(get_program("TC"), tc_edb, dataset="oom")
+        assert result.status == "oom"
+        assert result.failure["memory_budget"] == 200_000
+        assert "stratum" in result.failure
