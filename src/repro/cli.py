@@ -80,6 +80,7 @@ def run_datalog_file(
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
     deadline: float | None = None,
+    join_cache: bool = True,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -119,6 +120,10 @@ def run_datalog_file(
         if engine_name != "RecStep":
             raise DatalogError("--profile is only supported by the RecStep engine")
         extra["profile"] = True
+    if not join_cache:
+        if engine_name != "RecStep":
+            raise DatalogError("--no-join-cache is only supported by the RecStep engine")
+        extra["join_cache"] = False
     resilience_options = {
         "fault_seed": fault_seed,
         "degradation": degrade or None,
@@ -222,6 +227,13 @@ def main(argv: list[str] | None = None) -> int:
         "the next iteration boundary with a structured partial report",
     )
     parser.add_argument(
+        "--no-join-cache",
+        action="store_true",
+        help="disable the iteration-persistent join-state cache (RecStep "
+        "only); results are identical either way, only modeled cost and "
+        "memory change",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="trace the evaluation and print a hotspot table (RecStep only)",
@@ -255,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume_from=args.resume_from,
         deadline=args.deadline,
+        join_cache=not args.no_join_cache,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")

@@ -71,6 +71,16 @@ class RecStepError(EngineError):
         return f"{self.message} [{detail}]"
 
 
+class KeyPackingError(EngineError):
+    """Packed join keys were used in a way that makes codes incomparable.
+
+    Raised when a compact concatenated key packed with one call's local
+    offsets is compared against a key packed by a *different* call (their
+    codes live in unrelated coordinate systems), or when a value falls
+    outside the explicit domain a stable codec was built with.
+    """
+
+
 class OutOfMemoryError(RecStepError):
     """The (modeled) memory budget was exceeded during execution.
 

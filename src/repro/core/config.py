@@ -60,6 +60,7 @@ class RecStepConfig:
     fast_dedup: bool = True          # CCK-GSCHT deduplication
     pbme: PbmeMode = PbmeMode.AUTO   # bit-matrix evaluation
     sg_coordination: bool = False    # Figure 7's SG-PBME-COORD variant
+    join_cache: bool = True          # iteration-persistent join indexes
 
     # -- resilience (repro.resilience) ------------------------------------
     fault_seed: int | None = field(default_factory=_env_chaos_seed)
@@ -77,7 +78,7 @@ class RecStepConfig:
         """A copy with one optimization disabled (ablation helper).
 
         ``optimization`` is one of: "uie", "oof" (alias "oof-na"),
-        "oof-fa", "dsd", "eost", "fast_dedup", "pbme".
+        "oof-fa", "dsd", "eost", "fast_dedup", "pbme", "join_cache".
         """
         key = optimization.lower().replace("-", "_")
         if key == "uie":
@@ -94,6 +95,8 @@ class RecStepConfig:
             return replace(self, fast_dedup=False)
         if key == "pbme":
             return replace(self, pbme=PbmeMode.OFF)
+        if key == "join_cache":
+            return replace(self, join_cache=False)
         raise ValueError(f"unknown optimization {optimization!r}")
 
     @classmethod
@@ -106,5 +109,6 @@ class RecStepConfig:
             eost=False,
             fast_dedup=False,
             pbme=PbmeMode.OFF,
+            join_cache=False,
             **overrides,
         )

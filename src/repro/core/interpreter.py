@@ -219,6 +219,9 @@ class SemiNaiveInterpreter:
         for predicate in predicates:
             self._db.execute_ast(sast.DropTable(compiler.delta_table(predicate.predicate)))
             self._db.execute_ast(sast.DropTable(compiler.mdelta_table(predicate.predicate)))
+        # Stratum boundary: the next stratum joins different tables, so
+        # the persistent join indexes built for this one are dead weight.
+        self._db.invalidate_join_cache()
 
     # -- checkpoint/resume --------------------------------------------------------
 
@@ -278,6 +281,12 @@ class SemiNaiveInterpreter:
         behind = state.sim_seconds - self._db.sim_seconds
         if behind > 0:
             self._db.metrics.clock.advance(behind)
+        # Restored fulls carry fresh epochs; rebuild their whole-row
+        # indexes so the resumed run sees the same cache state an
+        # uninterrupted run would.
+        self._db.rehydrate_join_cache(
+            [compiler.full_table(name) for name in sorted(self._analyzed.idb)]
+        )
 
     # -- one predicate, one iteration ------------------------------------------------
 
@@ -307,7 +316,9 @@ class SemiNaiveInterpreter:
             self._analyze_after_dedup(predicate, init)
             policy = self._policies[name]
             strategy = policy.choose(
-                self._db.table_size(full), dedup_outcome.output_rows
+                self._db.table_size(full),
+                dedup_outcome.output_rows,
+                cached_extension=self._db.join_cache_extension(full),
             )
             outcome = self._db.set_difference(mdelta, full, strategy)
             if outcome.intersection_size is not None:

@@ -88,6 +88,7 @@ class RecStep:
             enforce_budgets=self.config.enforce_budgets,
             profile=self.config.profile,
             resilience=resilience,
+            join_cache=self.config.join_cache,
         )
         if self.config.deadline is not None:
             resilience.token = DeadlineToken(

@@ -57,12 +57,29 @@ class DsdPolicy:
             return float("inf")
         return 2.0 * self.alpha / (self.alpha - 1.0)
 
-    def choose(self, r_size: int, delta_size: int) -> str:
-        """Pick the strategy for this iteration."""
+    def choose(
+        self, r_size: int, delta_size: int, cached_extension: int | None = None
+    ) -> str:
+        """Pick the strategy for this iteration.
+
+        ``cached_extension`` is the number of rows a persistent whole-row
+        index over R still needs to ingest (``None`` when the join-state
+        cache is off). With the cache, OPSD's build covers only those
+        appended rows, so the Appendix A comparison prices the build at
+        the extension instead of ``|R|`` — which flips most late
+        iterations back to OPSD.
+        """
         if not self.enabled:
             # QuickStep's default translation is the single-query OPSD.
             self.decisions.append("OPSD")
             return "OPSD"
+        if cached_extension is not None and cached_extension < r_size:
+            opsd = cost_opsd(cached_extension, delta_size)
+            mu = max(self.prev_mu, 1.0)
+            tpsd = cost_tpsd(r_size, delta_size, int(delta_size / mu))
+            choice = "OPSD" if opsd <= tpsd else "TPSD"
+            self.decisions.append(choice)
+            return choice
         choice = self._choose_dynamic(r_size, delta_size)
         self.decisions.append(choice)
         return choice

@@ -15,8 +15,14 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.common.errors import PlanError
-from repro.engine.dedup import DedupOutcome, deduplicate, planned_transient_bytes
+from repro.engine.dedup import (
+    DedupOutcome,
+    deduplicate,
+    planned_transient_bytes,
+    rows_packable,
+)
 from repro.engine.executor import QUERY_DISPATCH_OVERHEAD, ParallelCostModel
+from repro.engine.joincache import COUNTER_EVICT, JoinStateCache
 from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET, MetricsRecorder
 from repro.engine.operators import ExecutionContext, run_query
 from repro.engine.setops import (
@@ -46,6 +52,10 @@ class Database:
             state-changing query pays a write-back (Section 5.2).
         fast_dedup: use the CCK-GSCHT dedup path (Section 5.2).
         enforce_budgets: disable to let tests run without OOM/timeout.
+        join_cache: keep packed-key join indexes alive across queries and
+            extend them incrementally as tables are appended to (the
+            iteration-persistent join state; ``--no-join-cache`` escape
+            hatch). Disabled, every join rebuilds its hash state.
         profile: enable the span tracer + counter registry (repro.obs);
             off by default, at zero instrumentation cost.
         resilience: the evaluation's resilience context (fault injector,
@@ -61,6 +71,7 @@ class Database:
         eost: bool = True,
         fast_dedup: bool = True,
         enforce_budgets: bool = True,
+        join_cache: bool = True,
         profile: bool = False,
         resilience: ResilienceContext | None = None,
     ) -> None:
@@ -73,6 +84,7 @@ class Database:
             enforce_budgets=enforce_budgets,
         )
         self.fast_dedup = fast_dedup
+        self.join_cache = JoinStateCache(enabled=join_cache)
         self.queries_executed = 0
         self.profiler = NULL_PROFILER
         self.resilience = resilience if resilience is not None else ResilienceContext()
@@ -93,12 +105,32 @@ class Database:
         return self.profiler
 
     def _context(self) -> ExecutionContext:
+        self._maybe_shed_join_cache()
         return ExecutionContext(
             catalog=self.catalog,
             metrics=self.metrics,
             cost_model=self.cost_model,
             profiler=self.profiler,
+            join_cache=self.join_cache if self.join_cache.enabled else None,
         )
+
+    def _maybe_shed_join_cache(self) -> None:
+        """Degradation ladder, rung 1: under memory pressure the
+        persistent join indexes are evicted and the cache disabled for
+        the rest of the run — they trade memory for speed, so they are
+        the first thing given back."""
+        degradation = self.resilience.degradation
+        if (
+            self.join_cache.enabled
+            and degradation.enabled
+            and degradation.shed_join_cache()
+        ):
+            degradation.note("shed-join-cache")
+            evicted = self.join_cache.invalidate_all()
+            if evicted:
+                self.profiler.counters.inc(COUNTER_EVICT, evicted)
+            self.join_cache.enabled = False
+            self._refresh_base_bytes()
 
     def _statement_span(self, name: str, table: str | None = None, **attrs):
         if table is not None:
@@ -124,7 +156,58 @@ class Database:
         io_cost = self.storage.mark_dirty(table.name, new_bytes)
         if io_cost:
             self.metrics.advance(io_cost, utilization=0.02)
-        self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+        self._refresh_base_bytes()
+
+    def _refresh_base_bytes(self) -> None:
+        """Resident memory = tables + live join indexes (cache state is
+        real memory, not transient: it survives between queries)."""
+        self.metrics.set_base_bytes(
+            self.catalog.total_memory_bytes() + self.join_cache.memory_bytes()
+        )
+
+    def _note_table_rewrite(self, name: str) -> None:
+        """Evict join-index entries invalidated by a rewrite/truncate/drop."""
+        evicted = self.join_cache.note_rewrite(name)
+        if evicted:
+            self.profiler.counters.inc(COUNTER_EVICT, evicted)
+
+    def invalidate_join_cache(self) -> None:
+        """Drop every persistent join index (stratum boundaries).
+
+        A new stratum evaluates different rules over different tables;
+        carrying indexes across the boundary would hold memory for tables
+        that may never be joined again.
+        """
+        evicted = self.join_cache.invalidate_all()
+        if evicted:
+            self.profiler.counters.inc(COUNTER_EVICT, evicted)
+        self._refresh_base_bytes()
+
+    def rehydrate_join_cache(self, names: list[str]) -> None:
+        """Rebuild whole-row indexes after a checkpoint restore.
+
+        Restored tables arrive with fresh epochs, so any surviving entry
+        is stale; eagerly rebuilding here puts the post-resume run in the
+        same cache state an uninterrupted run would be in.
+        """
+        if not self.join_cache.enabled:
+            return
+        with self._statement_span("REHYDRATE_JOIN_CACHE", tables=len(names)):
+            ctx = self._context()
+            for name in names:
+                columns = self.catalog.get_table(name).column_names
+                self.join_cache.acquire(ctx, name, columns)
+
+    def join_cache_extension(self, name: str) -> int | None:
+        """Rows a whole-row index over ``name`` still needs to ingest.
+
+        ``None`` when the cache is disabled. The DSD policy uses this to
+        price OPSD's build at the extension size instead of ``|R|``.
+        """
+        if not self.join_cache.enabled:
+            return None
+        columns = self.catalog.get_table(name).column_names
+        return self.join_cache.extension_estimate(self.catalog, name, columns)
 
     # -- SQL surface ------------------------------------------------------------
 
@@ -168,11 +251,12 @@ class Database:
                 statement.table,
                 [ColumnSchema(name, ctype) for name, ctype in statement.columns],
             )
-            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+            self._refresh_base_bytes()
             return None
         if isinstance(statement, ast.DropTable):
+            self._note_table_rewrite(statement.table)
             self.catalog.drop_table(statement.table)
-            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+            self._refresh_base_bytes()
             return None
         if isinstance(statement, ast.InsertValues):
             table = self.catalog.get_table(statement.table)
@@ -191,6 +275,7 @@ class Database:
         if isinstance(statement, ast.DeleteAll):
             table = self.catalog.get_table(statement.table)
             table.truncate()
+            self._note_table_rewrite(statement.table)
             self._after_mutation(table, 0)
             return None
         if isinstance(statement, ast.Analyze):
@@ -217,7 +302,7 @@ class Database:
             table = self.catalog.create_table(
                 name, [ColumnSchema(column, ColumnType.INT) for column in columns]
             )
-            self.metrics.set_base_bytes(self.catalog.total_memory_bytes())
+            self._refresh_base_bytes()
         return table
 
     def load_table(self, name: str, columns: Sequence[str], rows: np.ndarray) -> Table:
@@ -258,8 +343,16 @@ class Database:
             degradation = self.resilience.degradation
             lean = False
             if degradation.enabled:
+                # The pre-flight uses the same sizing rule as deduplicate
+                # itself — including whether the tuple is CCK-packable, so
+                # a wide tuple's generic-path overhead is not under-
+                # reported to the watermark check.
                 planned = planned_transient_bytes(
-                    table.num_rows, table.arity, self.fast_dedup, estimated_rows
+                    table.num_rows,
+                    table.arity,
+                    self.fast_dedup,
+                    estimated_rows,
+                    packable=rows_packable(table.data()),
                 )
                 lean = degradation.lean_dedup(planned)
                 if lean:
@@ -275,6 +368,7 @@ class Database:
                 ),
             )
             table.replace_contents(outcome.rows)
+            self._note_table_rewrite(name)
             self._after_mutation(table, 0)
             span.set(
                 rows_in=outcome.input_rows,
@@ -314,9 +408,18 @@ class Database:
             self._charge_dispatch()
             self.profiler.counters.inc(f"dsd_{strategy.lower()}_choices")
             if strategy == "OPSD":
+                cache_entry = None
+                if self.join_cache.enabled:
+                    # Whole-row index over R: the anti-probe for ``Δ = R_Δ - R``
+                    # is a semi-join on every column, so the same persistent
+                    # index the join operators maintain serves OPSD too.
+                    base_columns = self.catalog.get_table(base_table).column_names
+                    cache_entry, _ = self.join_cache.acquire(ctx, base_table, base_columns)
                 outcome = self.resilience.run(
                     "set_difference",
-                    lambda: one_phase_set_difference(new_rows, base_rows, ctx),
+                    lambda: one_phase_set_difference(
+                        new_rows, base_rows, ctx, cache_entry=cache_entry
+                    ),
                 )
             else:
                 outcome = self.resilience.run(
@@ -372,6 +475,7 @@ class Database:
         improved = kernels.rows_difference(merged, existing)
         ctx.metrics.release_transient(n * 16)
         table.replace_contents(merged)
+        self._note_table_rewrite(name)
         self._after_mutation(table, merged.shape[0] * table.tuple_bytes())
         return merged, improved
 
@@ -394,6 +498,7 @@ class Database:
             self._charge_dispatch()
             table = self.catalog.get_table(name)
             table.replace_contents(rows)
+            self._note_table_rewrite(name)
             self._after_mutation(table, table.memory_bytes())
 
     def commit(self) -> None:
@@ -418,6 +523,7 @@ class Database:
         with self._statement_span("RESTORE", table=name, rows_out=int(rows.shape[0])):
             table = self.catalog.get_table(name)
             table.replace_contents(rows)
+            self._note_table_rewrite(name)
             self._after_mutation(table, table.memory_bytes())
 
     def explain(self, sql_text: str) -> str:

@@ -40,8 +40,45 @@ class DedupOutcome:
     used_compact_key: bool
 
 
+def plan_transient(
+    n: int,
+    width: int,
+    fast: bool = True,
+    estimated_rows: int | None = None,
+    packable: bool = True,
+    lean: bool = False,
+) -> int:
+    """The single sizing rule for dedup transients (pre-flight == actual).
+
+    ``deduplicate`` and the degradation pre-flight both call this, so the
+    controller's headroom check sees exactly the bytes the ledger will be
+    charged. ``packable`` matters: a wide tuple silently degrades the
+    CCK path to the generic one, whose per-entry overhead is far larger —
+    a pre-flight assuming the compact layout would under-report it.
+    """
+    if lean:
+        return n * LEAN_INDEX_BYTES
+    buckets = max(16, n if estimated_rows is None else estimated_rows)
+    if fast and packable:
+        return max(n, buckets) * CCK_BUCKET_BYTES + n * 8
+    tuple_bytes = width * 8 if n else 8
+    return max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
+
+
+def rows_packable(rows: np.ndarray) -> bool:
+    """Whether the CCK fast path applies (cheap min/max scan, no key)."""
+    if rows.shape[0] == 0 or rows.shape[1] <= 1:
+        return True
+    columns = [rows[:, i] for i in range(rows.shape[1])]
+    return kernels.pack_width_bits(columns) <= kernels.MAX_PACK_BITS
+
+
 def planned_transient_bytes(
-    n: int, width: int, fast: bool = True, estimated_rows: int | None = None
+    n: int,
+    width: int,
+    fast: bool = True,
+    estimated_rows: int | None = None,
+    packable: bool = True,
 ) -> int:
     """Transient bytes the hash dedup paths would allocate for ``n`` rows.
 
@@ -49,11 +86,7 @@ def planned_transient_bytes(
     allocation would itself breach the soft watermark, dedup switches to
     the lean sort path before touching the clock or the memory ledger.
     """
-    buckets = max(16, n if estimated_rows is None else estimated_rows)
-    if fast:
-        return max(n, buckets) * CCK_BUCKET_BYTES + n * 8
-    tuple_bytes = width * 8 if n else 8
-    return max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
+    return plan_transient(n, width, fast=fast, estimated_rows=estimated_rows, packable=packable)
 
 
 def deduplicate(
@@ -81,11 +114,7 @@ def deduplicate(
     but its only transient is the sort's index array (``n * 8`` bytes).
     """
     n = rows.shape[0]
-    packable = (
-        kernels.pack_columns([rows[:, i] for i in range(rows.shape[1])]) is not None
-        if n and rows.shape[1] > 1
-        else True
-    )
+    packable = rows_packable(rows)
     use_compact = fast and packable and not lean
 
     if estimated_rows is None:
@@ -96,15 +125,17 @@ def deduplicate(
     # eventually kick in).
     chain_factor = min(4.0, max(1.0, n / buckets))
 
+    # Sizing comes from the shared rule so the degradation pre-flight and
+    # the ledger always agree byte-for-byte.
+    transient = plan_transient(
+        n, rows.shape[1], fast=fast, estimated_rows=estimated_rows,
+        packable=packable, lean=lean,
+    )
     if lean:
-        transient = n * LEAN_INDEX_BYTES
         cost = n * COST_DEDUP_LEAN
     elif use_compact:
-        transient = max(n, buckets) * CCK_BUCKET_BYTES + n * 8
         cost = n * COST_DEDUP_FAST * chain_factor
     else:
-        tuple_bytes = rows.shape[1] * 8 if n else 8
-        transient = max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
         cost = n * COST_DEDUP_SLOW * chain_factor
 
     ctx.metrics.allocate_transient(transient)

@@ -1,0 +1,268 @@
+"""The iteration-persistent join-state cache.
+
+Semi-naive evaluation re-joins Δ against the *full* relations every
+iteration, and full tables only ever grow (append-only) between the
+iterations of a stratum. This module exploits that: the packed-key index
+over a full-side join input — stable CCK codes (or a
+:class:`~repro.engine.kernels.RowDictionary` when the key is too wide to
+pack) kept sorted alongside the originating row positions — is built
+once, then *extended* with each iteration's Δ slice instead of rebuilt.
+Per-iteration build cost becomes proportional to |Δ|, not |full|.
+
+Validity is proven with the table's ``epoch`` counter (bumped on
+rewrites, not appends): an entry whose epoch no longer matches describes
+a previous generation of the table and is evicted. Stratum boundaries
+invalidate everything (working tables are dropped); a checkpoint resume
+rehydrates the full-table entries so the resumed run joins at cached
+speed from its first iteration.
+
+Everything is metered: index builds/extensions charge the BUILD phase on
+the rows indexed, the resident index bytes are reported into the memory
+ledger as base (not transient) memory, and every acquire outcome bumps a
+``join_cache.*`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import kernels
+from repro.engine.executor import BUILD_PHASE, COST_BUILD
+from repro.storage.stats import ColumnDomain, observed_domain
+
+#: acquire() outcome → counter name.
+COUNTER_HIT = "join_cache.hit"
+COUNTER_MISS = "join_cache.miss"
+COUNTER_EXTEND = "join_cache.extend"
+COUNTER_EVICT = "join_cache.evict"
+COUNTER_EXTEND_ROWS = "join_cache.extend_rows"
+
+#: Modeled bytes per indexed row: the sorted code plus its row position.
+INDEX_ROW_BYTES = 16
+
+
+@dataclass
+class JoinIndexEntry:
+    """A persistent sorted-code index over one table's key columns."""
+
+    table: str
+    key_columns: tuple[str, ...]
+    #: Exactly one of codec/dictionary is set: packable keys use the
+    #: domain-stable CCK codec, wide keys the incremental row dictionary.
+    codec: kernels.KeyCodec | None
+    dictionary: kernels.RowDictionary | None
+    sorted_codes: np.ndarray
+    sorted_positions: np.ndarray
+    rows_indexed: int
+    epoch: int
+
+    def memory_bytes(self) -> int:
+        total = self.rows_indexed * INDEX_ROW_BYTES
+        if self.dictionary is not None:
+            total += self.dictionary.memory_bytes()
+        return total
+
+    def probe_codes(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Encode probe-side key columns into this index's code space.
+
+        Probe values the index has never seen map to codes that match
+        nothing (CCK: out-of-domain → -1; dictionary: transient codes
+        beyond every stored one), so probing is always safe.
+        """
+        if self.dictionary is not None:
+            matrix = (
+                np.column_stack(columns)
+                if columns[0].shape[0]
+                else np.empty((0, len(columns)), dtype=np.int64)
+            )
+            return self.dictionary.encode(matrix, extend=False)
+        return self.codec.pack_probe(columns)
+
+
+class JoinStateCache:
+    """(table, key columns) → :class:`JoinIndexEntry`, epoch-validated."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._entries: dict[tuple[str, tuple[str, ...]], JoinIndexEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        return sum(entry.memory_bytes() for entry in self._entries.values())
+
+    def extension_estimate(self, catalog, table_name: str, key_columns) -> int:
+        """Rows an acquire would have to index right now (0 = pure hit).
+
+        The optimizer's build-cost input for a cached join: a valid entry
+        costs only the un-indexed tail, a missing/invalid one the whole
+        table.
+        """
+        table = catalog.get_table(table_name)
+        entry = self._entries.get((table_name, tuple(key_columns)))
+        if (
+            entry is None
+            or entry.epoch != table.epoch
+            or entry.rows_indexed > table.num_rows
+        ):
+            return table.num_rows
+        return table.num_rows - entry.rows_indexed
+
+    def acquire(self, ctx, table_name: str, key_columns) -> tuple[JoinIndexEntry, str]:
+        """Return a valid index for (table, key columns), building/extending
+        as needed; the second element is the outcome ("hit", "miss",
+        "extend", "rebuild") for span attribution.
+        """
+        table = ctx.catalog.get_table(table_name)
+        key = (table_name, tuple(key_columns))
+        counters = ctx.profiler.counters
+        entry = self._entries.get(key)
+        rebuilt = False
+        if entry is not None and (
+            entry.epoch != table.epoch or entry.rows_indexed > table.num_rows
+        ):
+            counters.inc(COUNTER_EVICT)
+            del self._entries[key]
+            entry = None
+            rebuilt = True
+        if entry is None:
+            entry = self._build(ctx, table, key[1])
+            self._entries[key] = entry
+            counters.inc(COUNTER_MISS)
+            event = "rebuild" if rebuilt else "miss"
+        elif entry.rows_indexed < table.num_rows:
+            extended = self._extend(ctx, table, entry)
+            if extended:
+                counters.inc(COUNTER_EXTEND)
+                event = "extend"
+            else:
+                # Δ escaped the codec's domains: rebuild with wider ones.
+                counters.inc(COUNTER_EVICT)
+                entry = self._build(ctx, table, key[1])
+                self._entries[key] = entry
+                counters.inc(COUNTER_MISS)
+                event = "rebuild"
+        else:
+            counters.inc(COUNTER_HIT)
+            event = "hit"
+        self._refresh_base(ctx)
+        return entry, event
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (stratum boundary); returns the eviction count."""
+        evicted = len(self._entries)
+        self._entries.clear()
+        return evicted
+
+    def note_rewrite(self, table_name: str) -> int:
+        """Evict entries of a rewritten/dropped table; returns the count.
+
+        The epoch check in :meth:`acquire` would catch these lazily; the
+        eager eviction releases the modeled index memory immediately.
+        """
+        stale = [key for key in self._entries if key[0] == table_name]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    # -- internals ---------------------------------------------------------
+
+    def _refresh_base(self, ctx) -> None:
+        # Index state is resident, not transient: it survives the call.
+        ctx.metrics.set_base_bytes(
+            ctx.catalog.total_memory_bytes() + self.memory_bytes()
+        )
+
+    def _key_matrix(self, data: np.ndarray, indices: list[int]) -> np.ndarray:
+        if data.shape[0] == 0:
+            return np.empty((0, len(indices)), dtype=np.int64)
+        return np.ascontiguousarray(data[:, indices])
+
+    def _charge_build(self, ctx, rows: int) -> None:
+        scratch = rows * INDEX_ROW_BYTES
+        ctx.metrics.allocate_transient(scratch)
+        ctx.charge_parallel(BUILD_PHASE, rows * COST_BUILD, rows)
+        ctx.metrics.release_transient(scratch)
+
+    def _codec_for(self, ctx, table, columns: list[np.ndarray], names) -> kernels.KeyCodec:
+        domains: list[ColumnDomain] = []
+        for name, column in zip(names, columns):
+            observed = observed_domain(column)
+            domains.append(
+                ctx.catalog.widen_domain(table.name, name, observed.low, observed.high)
+            )
+        return kernels.KeyCodec(_with_headroom(domains))
+
+    def _build(self, ctx, table, key_columns: tuple[str, ...]) -> JoinIndexEntry:
+        indices = [table.column_index(name) for name in key_columns]
+        columns_matrix = self._key_matrix(table.data(), indices)
+        columns = [columns_matrix[:, i] for i in range(columns_matrix.shape[1])]
+        n = table.num_rows
+        self._charge_build(ctx, n)
+        codec = self._codec_for(ctx, table, columns, key_columns)
+        dictionary = None
+        if codec.packable:
+            codes = codec.pack(columns)
+        else:
+            codec = None
+            dictionary = kernels.RowDictionary(len(key_columns))
+            codes = dictionary.encode(columns_matrix, extend=True)
+        order = np.argsort(codes, kind="stable")
+        return JoinIndexEntry(
+            table=table.name,
+            key_columns=key_columns,
+            codec=codec,
+            dictionary=dictionary,
+            sorted_codes=np.ascontiguousarray(codes[order]),
+            sorted_positions=order.astype(np.int64),
+            rows_indexed=n,
+            epoch=table.epoch,
+        )
+
+    def _extend(self, ctx, table, entry: JoinIndexEntry) -> bool:
+        """Index the appended tail; False when the codec must be rebuilt."""
+        indices = [table.column_index(name) for name in entry.key_columns]
+        tail = table.data()[entry.rows_indexed :]
+        tail_matrix = self._key_matrix(tail, indices)
+        columns = [tail_matrix[:, i] for i in range(tail_matrix.shape[1])]
+        if entry.codec is not None and not entry.codec.fits(columns):
+            return False
+        for name, column in zip(entry.key_columns, columns):
+            observed = observed_domain(column)
+            if column.size:
+                ctx.catalog.widen_domain(
+                    table.name, name, observed.low, observed.high
+                )
+        new_rows = tail_matrix.shape[0]
+        self._charge_build(ctx, new_rows)
+        ctx.profiler.counters.inc(COUNTER_EXTEND_ROWS, new_rows)
+        if entry.codec is not None:
+            codes = entry.codec.pack(columns)
+        else:
+            codes = entry.dictionary.encode(tail_matrix, extend=True)
+        positions = np.arange(entry.rows_indexed, table.num_rows, dtype=np.int64)
+        entry.sorted_codes, entry.sorted_positions = kernels.merge_sorted_index(
+            entry.sorted_codes, entry.sorted_positions, codes, positions
+        )
+        entry.rows_indexed = table.num_rows
+        return True
+
+
+def _with_headroom(domains: list[ColumnDomain]) -> list[ColumnDomain]:
+    """Pad each domain by one bit of growth slack when the key still fits.
+
+    Later iterations often derive values slightly outside the first
+    iteration's observed range; the slack absorbs that growth without a
+    codec rebuild. Padding is skipped when it would push the key over the
+    63-bit CCK limit.
+    """
+    padded = [
+        ColumnDomain(domain.low, domain.high + (domain.high - domain.low) + 1)
+        for domain in domains
+    ]
+    if sum(domain.bits for domain in padded) <= kernels.MAX_PACK_BITS:
+        return padded
+    return domains

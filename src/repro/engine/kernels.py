@@ -3,57 +3,285 @@
 These are the NumPy equivalents of QuickStep's operator implementations:
 key packing (the compact concatenated key of Figure 5), hash-equivalent
 equi-joins, anti-joins, row deduplication, and sorted group-by reduction.
-All kernels are pure: they never mutate their inputs.
+All kernels are pure: they never mutate their inputs — except
+:class:`RowDictionary`, whose whole point is to carry factorization state
+across calls.
+
+Key packing comes in two flavours:
+
+* **Domain-stable** (:class:`KeyCodec`, ``pack_columns(..., domains=...)``):
+  offsets and widths come from explicit :class:`~repro.storage.stats.
+  ColumnDomain` values, so the same tuple packs to the same code in every
+  call. This is what the iteration-persistent join-state cache relies on.
+* **Call-local** (legacy ``pack_columns(columns)``): offsets derive from
+  each call's observed min/max. Codes from two different calls live in
+  unrelated coordinate systems; comparing them silently produced garbage
+  matches. Such keys are now tagged with a per-call token and the join
+  kernels raise :class:`~repro.common.errors.KeyPackingError` on
+  cross-call reuse.
 """
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
+
+from repro.common.errors import KeyPackingError
+from repro.storage.stats import ColumnDomain, observed_domain
+
+#: CCK keys must fit a signed int64: 63 usable bits (Figure 5).
+MAX_PACK_BITS = 63
 
 # --------------------------------------------------------------------------
 # Key packing (compact concatenated key, Figure 5)
 # --------------------------------------------------------------------------
 
+_pack_call_tokens = itertools.count(1)
 
-def pack_columns(columns: list[np.ndarray]) -> np.ndarray | None:
+
+class _LocalPackedKey(np.ndarray):
+    """An int64 key column packed with one call's local offsets.
+
+    The ``_pack_token`` identifies the packing call; keys carrying
+    different tokens are incomparable (their codes use different
+    per-column offsets). The token survives slicing and masking via
+    ``__array_finalize__``.
+    """
+
+    _pack_token: int | None = None
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self._pack_token = getattr(obj, "_pack_token", None)
+
+
+def _tag_local(key: np.ndarray) -> np.ndarray:
+    tagged = key.view(_LocalPackedKey)
+    tagged._pack_token = next(_pack_call_tokens)
+    return tagged
+
+
+def _check_comparable(left_keys: np.ndarray, right_keys: np.ndarray) -> None:
+    """Reject comparisons between keys packed by different local calls."""
+    left_token = getattr(left_keys, "_pack_token", None)
+    right_token = getattr(right_keys, "_pack_token", None)
+    if left_token is not None and right_token is not None and left_token != right_token:
+        raise KeyPackingError(
+            "packed keys from different pack_columns calls are incomparable: "
+            "each call derives offsets from its own min/max; pack both sides "
+            "in one call (make_join_keys) or use a domain-stable KeyCodec"
+        )
+
+
+def pack_width_bits(columns: list[np.ndarray]) -> int:
+    """Total CCK bits these columns need (cheap min/max scan, no key built).
+
+    The pre-flight counterpart of :func:`pack_columns`: callers compare
+    the result against :data:`MAX_PACK_BITS` to predict whether the
+    compact-key path applies, without paying for the packed column.
+    """
+    if not columns:
+        raise ValueError("pack_width_bits requires at least one column")
+    if len(columns) == 1:
+        return 1
+    return sum(observed_domain(column).bits for column in columns)
+
+
+def pack_columns(
+    columns: list[np.ndarray], domains: list[ColumnDomain] | None = None
+) -> np.ndarray | None:
     """Pack several int64 columns into one int64 key column, if they fit.
 
     Mirrors the paper's CCK: the concatenation of fixed-width attribute
     encodings *is* the key (and its own hash). Returns ``None`` when the
     combined bit width exceeds 63 bits; callers then fall back to
     factorization.
+
+    With explicit ``domains`` the encoding is *stable*: codes are
+    comparable across calls (values outside their domain raise
+    :class:`KeyPackingError`). Without domains the offsets are the call's
+    observed minima and the result is tagged call-local — comparing it
+    against another call's key raises in the join kernels.
     """
     if not columns:
         raise ValueError("pack_columns requires at least one column")
+    if domains is not None and len(domains) != len(columns):
+        raise ValueError("pack_columns got mismatched domain count")
     if len(columns) == 1:
         return columns[0]
+    if domains is not None:
+        codec = KeyCodec(domains)
+        if not codec.packable:
+            return None
+        return codec.pack(columns)
     bits_needed: list[int] = []
     offsets: list[int] = []
     for column in columns:
-        if column.size == 0:
-            bits_needed.append(1)
-            offsets.append(0)
-            continue
-        low = int(column.min())
-        high = int(column.max())
-        offsets.append(low)
-        span = high - low
-        bits_needed.append(max(1, int(span).bit_length()))
-    if sum(bits_needed) > 63:
+        domain = observed_domain(column)
+        offsets.append(domain.low)
+        bits_needed.append(domain.bits)
+    if sum(bits_needed) > MAX_PACK_BITS:
         return None
     key = np.zeros(columns[0].shape[0], dtype=np.int64)
     for column, bits, offset in zip(columns, bits_needed, offsets):
         key <<= np.int64(bits)
         key |= column - np.int64(offset)
-    return key
+    return _tag_local(key)
 
 
-def factorize_rows(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+class KeyCodec:
+    """Domain-stable CCK encoder: fixed offsets, comparable across calls.
+
+    A codec built once (domains registered in the catalog) assigns the
+    same int64 code to the same tuple forever, which is what lets a
+    persistent sorted-code index be *extended* with each iteration's Δ
+    instead of rebuilt.
+    """
+
+    def __init__(self, domains: list[ColumnDomain]) -> None:
+        if not domains:
+            raise ValueError("KeyCodec requires at least one domain")
+        self.domains: tuple[ColumnDomain, ...] = tuple(domains)
+        self._bits = [domain.bits for domain in self.domains]
+        self.total_bits = sum(self._bits)
+        #: Single-column keys are the identity encoding: always stable.
+        self.packable = len(self.domains) == 1 or self.total_bits <= MAX_PACK_BITS
+
+    def fits(self, columns: list[np.ndarray]) -> bool:
+        """True when every column stays inside its declared domain."""
+        if len(columns) != len(self.domains):
+            return False
+        for domain, column in zip(self.domains, columns):
+            if column.size == 0:
+                continue
+            if not domain.contains(int(column.min()), int(column.max())):
+                return False
+        return True
+
+    def pack(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Encode columns to stable codes; out-of-domain values raise."""
+        if len(columns) == 1:
+            return columns[0]
+        if not self.packable:
+            raise KeyPackingError(
+                f"key needs {self.total_bits} bits, over the {MAX_PACK_BITS}-bit CCK limit"
+            )
+        if not self.fits(columns):
+            raise KeyPackingError(
+                "value outside the codec's declared column domains",
+            )
+        key = np.zeros(columns[0].shape[0], dtype=np.int64)
+        for column, bits, domain in zip(columns, self._bits, self.domains):
+            key <<= np.int64(bits)
+            key |= column - np.int64(domain.low)
+        return key
+
+    def pack_probe(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Encode probe-side columns, mapping out-of-domain rows to -1.
+
+        Stable codes are non-negative, so a -1 probe never matches an
+        indexed key — exactly the semantics of probing a hash table with
+        a value that was never inserted.
+        """
+        if len(columns) == 1:
+            return columns[0]
+        if not self.packable:
+            raise KeyPackingError(
+                f"key needs {self.total_bits} bits, over the {MAX_PACK_BITS}-bit CCK limit"
+            )
+        n = columns[0].shape[0]
+        key = np.zeros(n, dtype=np.int64)
+        valid = np.ones(n, dtype=bool)
+        for column, bits, domain in zip(columns, self._bits, self.domains):
+            valid &= (column >= domain.low) & (column <= domain.high)
+            clipped = np.clip(column, domain.low, domain.high)
+            key <<= np.int64(bits)
+            key |= clipped - np.int64(domain.low)
+        key[~valid] = -1
+        return key
+
+
+class RowDictionary:
+    """Incremental row → dense-code dictionary (persistent factorization).
+
+    The stateful replacement for re-running ``np.unique`` over
+    ``vstack(full, delta)`` every iteration: rows seen before keep their
+    code; only unseen Δ rows are assigned fresh codes. Rows are compared
+    via a structured int64 view (lexicographic field order), so lookups
+    are one ``searchsorted`` against the sorted known rows.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("RowDictionary requires width >= 1")
+        self.width = int(width)
+        self._dtype = np.dtype([(f"f{i}", np.int64) for i in range(self.width)])
+        self._sorted_rows = np.empty(0, dtype=self._dtype)
+        self._sorted_codes = np.empty(0, dtype=np.int64)
+        self._next_code = 0
+
+    def __len__(self) -> int:
+        return int(self._sorted_rows.shape[0])
+
+    def memory_bytes(self) -> int:
+        return int(self._sorted_rows.nbytes + self._sorted_codes.nbytes)
+
+    def _as_records(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != self.width:
+            raise ValueError(
+                f"RowDictionary of width {self.width} cannot encode shape {rows.shape}"
+            )
+        return rows.view(self._dtype).ravel()
+
+    def encode(self, rows: np.ndarray, extend: bool = False) -> np.ndarray:
+        """Codes for ``rows``; known rows always get their stored code.
+
+        With ``extend=True`` unseen rows receive fresh persistent codes
+        (the dictionary grows). Without it they receive transient codes
+        ``>= next_code`` — distinct from every stored code, so equality
+        semantics against dictionary-encoded data still hold.
+        """
+        records = self._as_records(rows)
+        n = records.shape[0]
+        codes = np.empty(n, dtype=np.int64)
+        if self._sorted_rows.size:
+            positions = np.searchsorted(self._sorted_rows, records)
+            clipped = np.minimum(positions, self._sorted_rows.size - 1)
+            found = self._sorted_rows[clipped] == records
+            codes[found] = self._sorted_codes[clipped[found]]
+        else:
+            found = np.zeros(n, dtype=bool)
+        unseen = ~found
+        if unseen.any():
+            unique, inverse = np.unique(records[unseen], return_inverse=True)
+            codes[unseen] = self._next_code + inverse
+            if extend:
+                fresh = self._next_code + np.arange(unique.size, dtype=np.int64)
+                insert_at = np.searchsorted(self._sorted_rows, unique)
+                self._sorted_rows = np.insert(self._sorted_rows, insert_at, unique)
+                self._sorted_codes = np.insert(self._sorted_codes, insert_at, fresh)
+                self._next_code += int(unique.size)
+        return codes
+
+
+def factorize_rows(
+    left: np.ndarray, right: np.ndarray, dictionary: RowDictionary | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Map the rows of two equal-arity matrices to a shared integer code.
 
-    Fallback for keys too wide to pack: lexicographically sorts the union
-    and assigns dense codes, so equal rows on either side share a code.
+    Fallback for keys too wide to pack. Without a ``dictionary`` it
+    sorts the union and assigns dense codes — O((|left|+|right|)·log)
+    every call. With one, previously seen rows reuse their cached code
+    and only unseen ``right`` rows are assigned (and persisted) fresh
+    codes, so repeated calls over a growing ``right`` pay for the new
+    rows only.
     """
+    if dictionary is not None:
+        right_codes = dictionary.encode(right, extend=True)
+        left_codes = dictionary.encode(left, extend=False)
+        return left_codes, right_codes
     combined = np.vstack([left, right])
     _, inverse = np.unique(combined, axis=0, return_inverse=True)
     return inverse[: left.shape[0]], inverse[left.shape[0]:]
@@ -69,34 +297,22 @@ def make_join_keys(
     packed_right = pack_columns(right_columns) if right_columns else None
     if packed_left is not None and packed_right is not None:
         # Packing uses per-side offsets; they must agree for comparability.
-        # Recompute with the global min per key position.
-        lows = [
-            min(
-                int(l.min()) if l.size else 0,
-                int(r.min()) if r.size else 0,
-            )
+        # Recompute with the shared domain per key position.
+        domains = [
+            observed_domain(l).widened(*_domain_bounds(r))
             for l, r in zip(left_columns, right_columns)
         ]
-        highs = [
-            max(
-                int(l.max()) if l.size else 0,
-                int(r.max()) if r.size else 0,
-            )
-            for l, r in zip(left_columns, right_columns)
-        ]
-        bits = [max(1, int(h - lo).bit_length()) for lo, h in zip(lows, highs)]
-        if sum(bits) <= 63:
-            def pack(cols: list[np.ndarray]) -> np.ndarray:
-                key = np.zeros(cols[0].shape[0] if cols else 0, dtype=np.int64)
-                for col, b, lo in zip(cols, bits, lows):
-                    key <<= np.int64(b)
-                    key |= col - np.int64(lo)
-                return key
-
-            return pack(left_columns), pack(right_columns)
+        if sum(domain.bits for domain in domains) <= MAX_PACK_BITS:
+            codec = KeyCodec(domains)
+            return codec.pack(left_columns), codec.pack(right_columns)
     left_matrix = np.column_stack(left_columns) if left_columns else np.empty((0, 0), np.int64)
     right_matrix = np.column_stack(right_columns) if right_columns else np.empty((0, 0), np.int64)
     return factorize_rows(left_matrix, right_matrix)
+
+
+def _domain_bounds(values: np.ndarray) -> tuple[int, int]:
+    domain = observed_domain(values)
+    return domain.low, domain.high
 
 
 # --------------------------------------------------------------------------
@@ -111,6 +327,7 @@ def equi_join_count(left_keys: np.ndarray, right_keys: np.ndarray) -> int:
     ``equi_join_indices`` so the memory model can reject oversized
     intermediates *before* they exist.
     """
+    _check_comparable(left_keys, right_keys)
     if left_keys.size == 0 or right_keys.size == 0:
         return 0
     sorted_right = np.sort(right_keys)
@@ -127,6 +344,7 @@ def equi_join_indices(
     Sort-probe implementation with the same asymptotics as a hash join;
     the cost model, not this kernel, decides which side is "built".
     """
+    _check_comparable(left_keys, right_keys)
     if left_keys.size == 0 or right_keys.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
@@ -134,24 +352,101 @@ def equi_join_indices(
     sorted_right = right_keys[order]
     starts = np.searchsorted(sorted_right, left_keys, side="left")
     ends = np.searchsorted(sorted_right, left_keys, side="right")
+    left_index, right_sorted_positions = _expand_match_runs(starts, ends)
+    if left_index.size == 0:
+        return left_index, right_sorted_positions
+    return left_index, order[right_sorted_positions]
+
+
+def _expand_match_runs(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe [start, end) runs into aligned index pairs."""
     counts = ends - starts
     total = int(counts.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    left_index = np.repeat(np.arange(left_keys.size, dtype=np.int64), counts)
+    left_index = np.repeat(np.arange(starts.size, dtype=np.int64), counts)
     # Positions within each run of matches, then offset by the run start.
     boundaries = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(
-        boundaries - counts, counts
-    )
-    right_sorted_positions = np.repeat(starts, counts) + within
-    right_index = order[right_sorted_positions]
-    return left_index, right_index
+    within = np.arange(total, dtype=np.int64) - np.repeat(boundaries - counts, counts)
+    sorted_positions = np.repeat(starts, counts) + within
+    return left_index, sorted_positions
+
+
+# --------------------------------------------------------------------------
+# Sorted-index probes (the join-state cache's kernels)
+# --------------------------------------------------------------------------
+
+
+def sorted_probe_range(
+    probe_keys: np.ndarray, sorted_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-probe [start, end) match runs against an already sorted index."""
+    starts = np.searchsorted(sorted_keys, probe_keys, side="left")
+    ends = np.searchsorted(sorted_keys, probe_keys, side="right")
+    return starts, ends
+
+
+def sorted_join_indices(
+    starts: np.ndarray, ends: np.ndarray, sorted_positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize (probe_index, table_position) pairs from probe runs.
+
+    ``sorted_positions[i]`` is the table row that sorted key ``i`` came
+    from, so no per-call argsort is needed — that is the entire point of
+    keeping the index alive between iterations.
+    """
+    probe_index, run_positions = _expand_match_runs(starts, ends)
+    if probe_index.size == 0:
+        return probe_index, run_positions
+    return probe_index, sorted_positions[run_positions]
+
+
+def isin_sorted(probe_keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership mask of ``probe_keys`` against a sorted key array."""
+    if probe_keys.size == 0:
+        return np.zeros(0, dtype=bool)
+    if sorted_keys.size == 0:
+        return np.zeros(probe_keys.size, dtype=bool)
+    starts, ends = sorted_probe_range(probe_keys, sorted_keys)
+    return ends > starts
+
+
+def merge_sorted_index(
+    sorted_keys: np.ndarray,
+    sorted_positions: np.ndarray,
+    new_keys: np.ndarray,
+    new_positions: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge Δ's (keys, positions) into a sorted index — O(|F| + |Δ|).
+
+    Appended rows are inserted after existing equal keys, keeping the
+    within-key position order stable (matches what a full stable argsort
+    over the grown table would produce).
+    """
+    if new_keys.size == 0:
+        return sorted_keys, sorted_positions
+    order = np.argsort(new_keys, kind="stable")
+    new_keys = new_keys[order]
+    new_positions = new_positions[order]
+    if sorted_keys.size == 0:
+        return new_keys, new_positions
+    insert_at = np.searchsorted(sorted_keys, new_keys, side="right")
+    merged_keys = np.insert(sorted_keys, insert_at, new_keys)
+    merged_positions = np.insert(sorted_positions, insert_at, new_positions)
+    return merged_keys, merged_positions
+
+
+# --------------------------------------------------------------------------
+# Semi/anti joins
+# --------------------------------------------------------------------------
 
 
 def semi_join_mask(left_keys: np.ndarray, right_keys: np.ndarray) -> np.ndarray:
     """Boolean mask of left rows whose key appears in ``right_keys``."""
+    _check_comparable(left_keys, right_keys)
     if left_keys.size == 0:
         return np.zeros(0, dtype=bool)
     if right_keys.size == 0:

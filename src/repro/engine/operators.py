@@ -34,9 +34,15 @@ from repro.engine.expressions import (
     evaluate,
     evaluate_comparison,
     expr_aliases,
+    resolve_column,
 )
 from repro.engine.metrics import MetricsRecorder
-from repro.engine.optimizer import choose_build_side, order_tables_by_estimate
+from repro.engine.optimizer import (
+    cached_join_cost_estimate,
+    choose_build_side,
+    join_cost_estimate,
+    order_tables_by_estimate,
+)
 from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import CATEGORY_OPERATOR
 from repro.sql import ast
@@ -62,6 +68,9 @@ class ExecutionContext:
     cost_model: ParallelCostModel
     #: Observability sink; the inert default keeps hot paths branch-free.
     profiler: object = field(default=NULL_PROFILER, repr=False)
+    #: Iteration-persistent join indexes (repro.engine.joincache); None
+    #: disables the cached join path entirely.
+    join_cache: object | None = field(default=None, repr=False)
 
     def charge_parallel(self, kind: PhaseKind, total_cost: float, rows_hint: int) -> None:
         """Run a data-parallel phase through the scheduler and the clock."""
@@ -84,7 +93,9 @@ class ExecutionContext:
         return self.profiler.span(name, CATEGORY_OPERATOR, key=key, **attrs)
 
     def estimated_rows(self, table_name: str) -> int:
-        return self.catalog.get_stats(table_name).num_rows
+        # Rewrite-aware: stats describing a previous table generation
+        # fall back to the live count (append staleness stays, for OOF).
+        return self.catalog.estimated_rows(table_name)
 
 
 # --------------------------------------------------------------------------
@@ -233,6 +244,24 @@ def _join_frame_with_alias_inner(
         _charge_frame_materialization(result, ctx)
         return result
 
+    cache = ctx.join_cache
+    if cache is not None and cache.enabled:
+        cache_columns = _cacheable_key_columns(edges, alias, new_frame)
+        if cache_columns is not None:
+            extension = cache.extension_estimate(ctx.catalog, table_name, cache_columns)
+            classic = choose_build_side(frame_estimate, right_estimate)
+            classic_probe = right_estimate if classic.build_left else frame_estimate
+            # Build-once/probe-many: a warm index costs probes alone,
+            # so the cache wins whenever its extension (Δ) is cheaper
+            # than the classic per-iteration hash build. Ties prefer the
+            # cache — its build is an investment later probes amortize.
+            if cached_join_cost_estimate(extension, frame_estimate) <= join_cost_estimate(
+                classic.estimated_build_rows, classic_probe
+            ):
+                return _cached_index_join(
+                    frame, alias, table_name, new_frame, edges, cache_columns, ctx, span
+                )
+
     left_keys = [evaluate(edge.key_for(edge.other(alias)), frame) for edge in edges]
     right_keys = [evaluate(edge.key_for(alias), new_frame) for edge in edges]
     left_key, right_key = kernels.make_join_keys(left_keys, right_keys)
@@ -287,6 +316,90 @@ def _join_frame_with_alias_inner(
     ctx.metrics.release_transient(out_bytes)
     _charge_frame_materialization(result, ctx)
     ctx.metrics.release_transient(hash_bytes)
+    return result
+
+
+def _cacheable_key_columns(
+    edges: list[_JoinEdge], alias: str, new_frame: Frame
+) -> tuple[str, ...] | None:
+    """The table-side key columns, if every edge keys on a plain column.
+
+    Computed expressions on the table side (e.g. ``b.x + 1``) are not
+    cacheable: the index must be a pure function of stored columns to
+    stay valid across appends.
+    """
+    names: list[str] = []
+    for edge in edges:
+        expr = edge.key_for(alias)
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        try:
+            owner, column = resolve_column(expr, new_frame)
+        except PlanError:
+            return None
+        if owner != alias:
+            return None
+        names.append(column)
+    return tuple(names)
+
+
+def _cached_index_join(
+    frame: Frame,
+    alias: str,
+    table_name: str,
+    new_frame: Frame,
+    edges: list[_JoinEdge],
+    key_columns: tuple[str, ...],
+    ctx: ExecutionContext,
+    span,
+) -> Frame:
+    """Probe the persistent sorted-code index instead of hashing a side.
+
+    The index build/extension is charged inside ``acquire`` (on the rows
+    actually indexed); this path then pays probes only — no per-call hash
+    transient, the index is resident memory.
+    """
+    entry, event = ctx.join_cache.acquire(ctx, table_name, key_columns)
+    probe_columns = [evaluate(edge.key_for(edge.other(alias)), frame) for edge in edges]
+    probe_rows = len(frame)
+    probe_codes = entry.probe_codes(probe_columns)
+    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    ctx.profiler.counters.inc("hash_probe_rows", probe_rows)
+    span.set(
+        probe_rows=probe_rows,
+        build_side=f"cache({alias})",
+        join_cache=event,
+        cached_rows=entry.rows_indexed,
+    )
+
+    # Same pre-materialization OOM guard as the classic path.
+    starts, ends = kernels.sorted_probe_range(probe_codes, entry.sorted_codes)
+    out_rows = int((ends - starts).sum())
+    ctx.profiler.counters.inc("join_output_rows", out_rows)
+    if out_rows > HARD_JOIN_ROWS:
+        from repro.common.errors import OutOfMemoryError
+
+        raise OutOfMemoryError(
+            f"join intermediate of {out_rows} rows exceeds the spill limit",
+            rows=out_rows,
+            limit_rows=HARD_JOIN_ROWS,
+            modeled_bytes=out_rows * 8 * (len(frame.indices) + 1),
+        )
+    out_width = len(frame.indices) + 1
+    out_bytes = out_rows * 8 * out_width
+    ctx.metrics.allocate_transient(out_bytes)
+    left_positions, table_positions = kernels.sorted_join_indices(
+        starts, ends, entry.sorted_positions
+    )
+    result = frame.joined_with(
+        alias,
+        new_frame.bases[alias],
+        new_frame.schemas[alias],
+        left_positions,
+        new_frame.indices[alias][table_positions],
+    )
+    ctx.metrics.release_transient(out_bytes)
+    _charge_frame_materialization(result, ctx)
     return result
 
 

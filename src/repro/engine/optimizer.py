@@ -34,6 +34,17 @@ def join_cost_estimate(build_rows: int, probe_rows: int) -> float:
     return build_rows * COST_BUILD + probe_rows * COST_PROBE
 
 
+def cached_join_cost_estimate(extension_rows: int, probe_rows: int) -> float:
+    """Estimated cost of probing a persistent join index.
+
+    Build-once/probe-many: the build charge covers only the rows the
+    index does not hold yet (the appended Δ since the last iteration, or
+    the whole table on a cold miss), so on a warm index the join costs
+    probes alone.
+    """
+    return extension_rows * COST_BUILD + probe_rows * COST_PROBE
+
+
 def order_tables_by_estimate(estimates: dict[str, int]) -> list[str]:
     """Aliases ordered by estimated cardinality (ascending, name-stable)."""
     return sorted(estimates, key=lambda alias: (estimates[alias], alias))

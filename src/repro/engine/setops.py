@@ -39,11 +39,36 @@ def _keys_for(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarr
 
 
 def one_phase_set_difference(
-    new_rows: np.ndarray, existing_rows: np.ndarray, ctx: ExecutionContext
+    new_rows: np.ndarray,
+    existing_rows: np.ndarray,
+    ctx: ExecutionContext,
+    cache_entry=None,
 ) -> SetDifferenceOutcome:
-    """OPSD: hash ``existing_rows`` (R), anti-probe with ``new_rows``."""
+    """OPSD: hash ``existing_rows`` (R), anti-probe with ``new_rows``.
+
+    With a ``cache_entry`` (a whole-row ``JoinIndexEntry`` over R from
+    the join-state cache) the per-iteration hash build over all of R
+    disappears: the index build/extension was charged by the cache (on
+    the appended rows only), so this call pays the anti-probe alone —
+    the cost that made OPSD lose to TPSD on late iterations.
+    """
     build_rows = existing_rows.shape[0]
     probe_rows = new_rows.shape[0]
+    if cache_entry is not None:
+        probe_bytes = probe_rows * 8
+        ctx.metrics.allocate_transient(probe_bytes)
+        ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+        new_unique = kernels.unique_rows(new_rows)
+        if build_rows == 0 or new_unique.shape[0] == 0:
+            delta = new_unique
+        else:
+            columns = [new_unique[:, i] for i in range(new_unique.shape[1])]
+            probe_codes = cache_entry.probe_codes(columns)
+            delta = new_unique[
+                ~kernels.isin_sorted(probe_codes, cache_entry.sorted_codes)
+            ]
+        ctx.metrics.release_transient(probe_bytes)
+        return SetDifferenceOutcome(delta=delta, strategy="OPSD", intersection_size=None)
     hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
     ctx.metrics.allocate_transient(hash_bytes)
     ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)

@@ -29,6 +29,11 @@ KNOWN_COUNTERS = {
     "dedup_lean_path": "dedups taking the memory-lean sort path (degraded)",
     "dsd_opsd_choices": "set-differences executed with OPSD",
     "dsd_tpsd_choices": "set-differences executed with TPSD",
+    "join_cache.hit": "joins served by a warm persistent index (no build)",
+    "join_cache.miss": "persistent-index cold builds (first use of a key)",
+    "join_cache.extend": "persistent-index incremental extensions (Δ only)",
+    "join_cache.evict": "index entries dropped (rewrite/stratum/overflow)",
+    "join_cache.extend_rows": "appended rows ingested by index extensions",
     "pbme_strata": "strata evaluated by the bit-matrix engine",
     "pbme_bit_ops": "bit-pair visits during PBME expansion",
     "transient_underflows": "release_transient calls driving the balance negative",
@@ -40,6 +45,7 @@ KNOWN_COUNTERS = {
     "memory_pressure_soft": "soft (80%) memory watermark crossings",
     "memory_pressure_critical": "critical (95%) memory watermark crossings",
     "degradations_taken": "degradation-ladder steps that changed behaviour",
+    "degradation_shed_join_cache": "join-state caches evicted under memory pressure",
     "degradation_lean_dedup": "dedups rerouted to the memory-lean sort path",
     "degradation_force_tpsd": "OPSD set-differences overridden to TPSD",
     "degradation_prefer_pbme": "strata steered to PBME under memory pressure",

@@ -11,7 +11,7 @@ from collections.abc import Sequence
 
 from repro.common.errors import CatalogError
 from repro.storage.column import ColumnSchema
-from repro.storage.stats import StatsMode, TableStats, collect_stats
+from repro.storage.stats import ColumnDomain, StatsMode, TableStats, collect_stats
 from repro.storage.table import Table
 
 
@@ -21,6 +21,10 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
+        #: Per-table, per-column value domains (monotonically widening).
+        #: Registered by FULL ANALYZE and by the join-state cache; these
+        #: are what keep compact-key packing stable across iterations.
+        self._domains: dict[str, dict[str, ColumnDomain]] = {}
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -33,7 +37,11 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, columns)
         self._tables[name] = table
-        self._stats[name] = TableStats(tuple_bytes=table.tuple_bytes())
+        self._stats[name] = TableStats(
+            tuple_bytes=table.tuple_bytes(),
+            table_version=table.version,
+            table_epoch=table.epoch,
+        )
         return table
 
     def adopt_table(self, table: Table) -> Table:
@@ -42,7 +50,10 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
         self._stats[table.name] = TableStats(
-            num_rows=table.num_rows, tuple_bytes=table.tuple_bytes()
+            num_rows=table.num_rows,
+            tuple_bytes=table.tuple_bytes(),
+            table_version=table.version,
+            table_epoch=table.epoch,
         )
         return table
 
@@ -51,6 +62,7 @@ class Catalog:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
         del self._stats[name]
+        self._domains.pop(name, None)
 
     def get_table(self, name: str) -> Table:
         try:
@@ -69,7 +81,41 @@ class Catalog:
         table = self.get_table(name)
         stats, cost = collect_stats(table, mode, previous=self._stats.get(name))
         self._stats[name] = stats
+        if table.num_rows:
+            for column, column_stats in stats.columns.items():
+                self.widen_domain(
+                    name, column, column_stats.minimum, column_stats.maximum
+                )
         return cost
+
+    def estimated_rows(self, name: str) -> int:
+        """Optimizer row estimate, guarded against rewritten tables.
+
+        Statistics describing a *previous generation* of the table (the
+        epoch changed since collection — the table was rewritten, not
+        appended to) fall back to the live row count: such estimates are
+        not merely stale, they are about different contents entirely.
+        Append-only staleness keeps the stats value — that is the OOF
+        trade-off the ablations measure.
+        """
+        stats = self.get_stats(name)
+        if stats.table_epoch >= 0 and stats.table_epoch != self.get_table(name).epoch:
+            return self.get_table(name).num_rows
+        return stats.num_rows
+
+    def widen_domain(self, name: str, column: str, low: int, high: int) -> ColumnDomain:
+        """Widen (or register) the stable value domain of one column."""
+        per_table = self._domains.setdefault(name, {})
+        current = per_table.get(column)
+        domain = (
+            ColumnDomain(low, high) if current is None else current.widened(low, high)
+        )
+        per_table[column] = domain
+        return domain
+
+    def column_domain(self, name: str, column: str) -> ColumnDomain | None:
+        """The registered stable domain of a column, if any."""
+        return self._domains.get(name, {}).get(column)
 
     def total_memory_bytes(self) -> int:
         """Modeled bytes resident across all tables (memory traces)."""

@@ -26,6 +26,40 @@ class StatsMode(enum.Enum):
     FULL = "full"
 
 
+@dataclass(frozen=True)
+class ColumnDomain:
+    """A closed value range ``[low, high]`` a column is promised to stay in.
+
+    Domains are what make compact-key packing *stable*: a codec built
+    from explicit domains assigns the same code to the same tuple in
+    every call, so packed keys are comparable across calls and
+    iterations. Domains only ever widen (see ``Catalog.widen_domain``).
+    """
+
+    low: int
+    high: int
+
+    @property
+    def bits(self) -> int:
+        """Bits needed to encode any value in the domain (minimum 1)."""
+        return max(1, int(self.high - self.low).bit_length())
+
+    def contains(self, low: int, high: int) -> bool:
+        return self.low <= low and high <= self.high
+
+    def widened(self, low: int, high: int) -> "ColumnDomain":
+        if self.contains(low, high):
+            return self
+        return ColumnDomain(min(self.low, low), max(self.high, high))
+
+
+def observed_domain(values: np.ndarray) -> ColumnDomain:
+    """The tightest domain covering ``values`` (``[0, 0]`` when empty)."""
+    if values.size == 0:
+        return ColumnDomain(0, 0)
+    return ColumnDomain(int(values.min()), int(values.max()))
+
+
 @dataclass
 class ColumnStats:
     minimum: int = 0
@@ -47,6 +81,12 @@ class TableStats:
     tuple_bytes: int = 0
     columns: dict[str, ColumnStats] = field(default_factory=dict)
     analyzed_full: bool = False
+    #: Table version/epoch at collection time (-1: never stamped). The
+    #: epoch lets consumers tell *append* staleness (the modeled OOF
+    #: failure mode, epochs match) from *rewrite* staleness (the stats
+    #: describe a previous generation of the table entirely).
+    table_version: int = -1
+    table_epoch: int = -1
 
     def estimated_bytes(self) -> int:
         return self.num_rows * self.tuple_bytes
@@ -62,7 +102,12 @@ def collect_stats(table: Table, mode: StatsMode, previous: TableStats | None = N
         stats = previous if previous is not None else TableStats(tuple_bytes=table.tuple_bytes())
         return stats, 0.0
 
-    stats = TableStats(num_rows=table.num_rows, tuple_bytes=table.tuple_bytes())
+    stats = TableStats(
+        num_rows=table.num_rows,
+        tuple_bytes=table.tuple_bytes(),
+        table_version=table.version,
+        table_epoch=table.epoch,
+    )
     if mode is StatsMode.SIZE_ONLY:
         # Catalog lookup only: constant, tiny cost.
         return stats, 2e-5

@@ -35,6 +35,12 @@ class Table:
         self.columns: tuple[ColumnSchema, ...] = tuple(columns)
         self._rows = np.empty((_INITIAL_CAPACITY, len(columns)), dtype=np.int64)
         self._count = 0
+        #: Bumped on *every* mutation; lets caches detect any change.
+        self.version = 0
+        #: Bumped only on rewrites (replace/truncate) — appends keep the
+        #: epoch, which is what makes append-only incremental indexing and
+        #: the optimizer's rewrite-staleness guard possible.
+        self.epoch = 0
 
     # -- schema ------------------------------------------------------------
 
@@ -114,6 +120,7 @@ class Table:
         self._reserve(rows.shape[0])
         self._rows[self._count : self._count + rows.shape[0]] = rows
         self._count += rows.shape[0]
+        self.version += 1
 
     def append_tuples(self, tuples: Iterable[Sequence[int]]) -> None:
         materialized = list(tuples)
@@ -130,9 +137,13 @@ class Table:
             )
         self._rows = np.ascontiguousarray(rows, dtype=np.int64)
         self._count = rows.shape[0]
+        self.version += 1
+        self.epoch += 1
 
     def truncate(self) -> None:
         self._count = 0
+        self.version += 1
+        self.epoch += 1
 
     # -- misc ----------------------------------------------------------------
 

@@ -103,9 +103,13 @@ class TestDsd:
 
     def test_dsd_picks_tpsd_in_long_tail(self):
         """A long chain: R grows while deltas stay at one tuple, putting
-        later iterations deep in TPSD territory."""
+        later iterations deep in TPSD territory. The join-state cache is
+        disabled: with a persistent whole-row index OPSD's build drops to
+        the appended Δ and correctly stays cheaper than TPSD forever."""
         chain = np.array([[i, i + 1] for i in range(60)])
-        engine, _ = run_with(RecStepConfig(**BASE), {"arc": chain}, program="TC")
+        engine, _ = run_with(
+            RecStepConfig(**BASE, join_cache=False), {"arc": chain}, program="TC"
+        )
         strategies = [
             strategy
             for record in engine.last_report.records

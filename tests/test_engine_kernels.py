@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.common.errors import KeyPackingError
 from repro.engine import kernels
+from repro.storage.stats import ColumnDomain
 
 rows_strategy = st.lists(
     st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=0, max_size=60
@@ -57,6 +59,224 @@ class TestPackColumns:
             for j in range(matrix.shape[0]):
                 same_row = bool((matrix[i] == matrix[j]).all())
                 assert (packed[i] == packed[j]) == same_row
+
+
+class TestCrossCallPacking:
+    """Root cause of the join-state bug: legacy ``pack_columns`` derives
+    offsets from each call's observed min/max, so codes from different
+    calls live in unrelated coordinate systems. Reusing them must raise
+    instead of silently producing garbage matches."""
+
+    def test_same_tuple_packs_differently_across_calls(self):
+        # The buggy premise, demonstrated: (5, 5) gets a different code
+        # depending on which other values shared the call.
+        first = kernels.pack_columns(
+            [np.array([5, 9], dtype=np.int64), np.array([5, 9], dtype=np.int64)]
+        )
+        second = kernels.pack_columns(
+            [np.array([5, 0], dtype=np.int64), np.array([5, 0], dtype=np.int64)]
+        )
+        assert first[0] != second[0]  # same tuple (5, 5), different codes
+
+    def test_equi_join_rejects_cross_call_keys(self):
+        left = kernels.pack_columns(
+            [np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)]
+        )
+        right = kernels.pack_columns(
+            [np.array([1, 8], dtype=np.int64), np.array([3, 9], dtype=np.int64)]
+        )
+        with pytest.raises(KeyPackingError):
+            kernels.equi_join_count(left, right)
+        with pytest.raises(KeyPackingError):
+            kernels.equi_join_indices(left, right)
+        with pytest.raises(KeyPackingError):
+            kernels.semi_join_mask(left, right)
+
+    def test_token_survives_slicing(self):
+        key = kernels.pack_columns(
+            [np.array([1, 2, 3], dtype=np.int64), np.array([4, 5, 6], dtype=np.int64)]
+        )
+        other = kernels.pack_columns(
+            [np.array([9, 9], dtype=np.int64), np.array([9, 8], dtype=np.int64)]
+        )
+        with pytest.raises(KeyPackingError):
+            kernels.semi_join_mask(key[1:], other)
+
+    def test_same_call_keys_stay_comparable(self):
+        key = kernels.pack_columns(
+            [np.array([1, 2, 1], dtype=np.int64), np.array([3, 4, 3], dtype=np.int64)]
+        )
+        assert kernels.equi_join_count(key[:1], key[1:]) == 1
+
+    def test_make_join_keys_is_the_sanctioned_path(self):
+        left = [np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)]
+        right = [np.array([1, 8], dtype=np.int64), np.array([3, 9], dtype=np.int64)]
+        lk, rk = kernels.make_join_keys(left, right)
+        assert kernels.semi_join_mask(lk, rk).tolist() == [True, False]
+
+
+class TestDomainStablePacking:
+    def test_codes_comparable_across_calls(self):
+        domains = [ColumnDomain(0, 100), ColumnDomain(0, 100)]
+        first = kernels.pack_columns(
+            [np.array([5, 9], dtype=np.int64), np.array([5, 9], dtype=np.int64)],
+            domains=domains,
+        )
+        second = kernels.pack_columns(
+            [np.array([5, 0], dtype=np.int64), np.array([5, 0], dtype=np.int64)],
+            domains=domains,
+        )
+        assert first[0] == second[0]  # same tuple, same code, any call
+        assert kernels.semi_join_mask(first, second).tolist() == [True, False]
+
+    def test_out_of_domain_pack_raises(self):
+        codec = kernels.KeyCodec([ColumnDomain(0, 10), ColumnDomain(0, 10)])
+        with pytest.raises(KeyPackingError):
+            codec.pack([np.array([11], dtype=np.int64), np.array([0], dtype=np.int64)])
+
+    def test_pack_probe_maps_out_of_domain_to_minus_one(self):
+        codec = kernels.KeyCodec([ColumnDomain(0, 10), ColumnDomain(0, 10)])
+        probes = codec.pack_probe(
+            [np.array([5, 11], dtype=np.int64), np.array([5, 5], dtype=np.int64)]
+        )
+        assert probes[1] == -1
+        assert probes[0] >= 0
+
+    def test_exact_63_bit_boundary_packs(self):
+        domains = [ColumnDomain(0, (1 << 31) - 1), ColumnDomain(0, (1 << 32) - 1)]
+        codec = kernels.KeyCodec(domains)
+        assert codec.total_bits == 63
+        assert codec.packable
+        packed = codec.pack(
+            [
+                np.array([(1 << 31) - 1], dtype=np.int64),
+                np.array([(1 << 32) - 1], dtype=np.int64),
+            ]
+        )
+        assert packed[0] == np.iinfo(np.int64).max
+
+    def test_64_bits_is_unpackable(self):
+        domains = [ColumnDomain(0, (1 << 32) - 1), ColumnDomain(0, (1 << 32) - 1)]
+        codec = kernels.KeyCodec(domains)
+        assert codec.total_bits == 64
+        assert not codec.packable
+        with pytest.raises(KeyPackingError):
+            codec.pack(
+                [np.array([1], dtype=np.int64), np.array([1], dtype=np.int64)]
+            )
+        assert (
+            kernels.pack_columns(
+                [np.array([0], dtype=np.int64), np.array([0], dtype=np.int64)],
+                domains=domains,
+            )
+            is None
+        )
+
+    def test_single_column_codec_is_identity(self):
+        codec = kernels.KeyCodec([ColumnDomain(0, 3)])
+        col = np.array([7, 1], dtype=np.int64)  # identity: domain not enforced
+        assert codec.pack([col]) is col
+
+
+class TestRowDictionary:
+    def test_codes_stable_across_calls(self):
+        d = kernels.RowDictionary(2)
+        rows = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        first = d.encode(rows, extend=True)
+        second = d.encode(rows, extend=True)
+        assert first.tolist() == second.tolist()
+        assert len(d) == 2
+
+    def test_unseen_rows_without_extend_are_transient(self):
+        d = kernels.RowDictionary(2)
+        d.encode(np.array([[1, 2]], dtype=np.int64), extend=True)
+        probe = d.encode(np.array([[9, 9]], dtype=np.int64), extend=False)
+        assert probe[0] >= len(d)  # never collides with a stored code
+        assert len(d) == 1  # and nothing was persisted
+
+    def test_extend_only_pays_for_new_rows(self):
+        d = kernels.RowDictionary(2)
+        base = np.array([[i, i + 1] for i in range(50)], dtype=np.int64)
+        codes = d.encode(base, extend=True)
+        delta = np.array([[100, 101]], dtype=np.int64)
+        d.encode(delta, extend=True)
+        assert len(d) == 51
+        # Old rows keep their original codes after the extension.
+        assert d.encode(base, extend=False).tolist() == codes.tolist()
+
+    def test_factorize_rows_with_dictionary_matches_stateless(self):
+        left = np.array([[1, 2], [9, 9]], dtype=np.int64)
+        right = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        stateless_l, stateless_r = kernels.factorize_rows(left, right)
+        d = kernels.RowDictionary(2)
+        stateful_l, stateful_r = kernels.factorize_rows(left, right, dictionary=d)
+        # Same equality structure, possibly different code values.
+        assert (stateless_l[0] == stateless_r[0]) and (stateful_l[0] == stateful_r[0])
+        assert stateful_l[1] not in set(stateful_r.tolist())
+
+    def test_width_mismatch_rejected(self):
+        d = kernels.RowDictionary(2)
+        with pytest.raises(ValueError):
+            d.encode(np.array([[1, 2, 3]], dtype=np.int64))
+
+
+class TestSortedIndexKernels:
+    @staticmethod
+    def _classic(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(keys, kind="stable")
+        return keys[order], order.astype(np.int64)
+
+    def test_empty_delta_extension_is_identity(self):
+        keys = np.array([3, 1, 2], dtype=np.int64)
+        sorted_keys, positions = self._classic(keys)
+        merged_keys, merged_positions = kernels.merge_sorted_index(
+            sorted_keys, positions, np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert merged_keys is sorted_keys and merged_positions is positions
+
+    def test_single_row_full_table(self):
+        sorted_keys = np.array([7], dtype=np.int64)
+        positions = np.array([0], dtype=np.int64)
+        starts, ends = kernels.sorted_probe_range(
+            np.array([7, 8], dtype=np.int64), sorted_keys
+        )
+        probe_idx, table_pos = kernels.sorted_join_indices(starts, ends, positions)
+        assert probe_idx.tolist() == [0] and table_pos.tolist() == [0]
+        assert kernels.isin_sorted(
+            np.array([7, 8], dtype=np.int64), sorted_keys
+        ).tolist() == [True, False]
+
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_merge_equals_full_sort(self, base_list, delta_list):
+        base = np.asarray(base_list, dtype=np.int64)
+        delta = np.asarray(delta_list, dtype=np.int64)
+        sorted_keys, positions = self._classic(base)
+        merged_keys, merged_positions = kernels.merge_sorted_index(
+            sorted_keys,
+            positions,
+            delta,
+            np.arange(base.size, base.size + delta.size, dtype=np.int64),
+        )
+        whole = np.concatenate([base, delta])
+        expect_keys, expect_positions = self._classic(whole)
+        assert merged_keys.tolist() == expect_keys.tolist()
+        # Stable within equal keys: extended index == full stable argsort,
+        # which is what makes cached join output byte-identical.
+        assert merged_positions.tolist() == expect_positions.tolist()
+
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_probe_matches_equi_join(self, probe_list, table_list):
+        probe = np.asarray(probe_list, dtype=np.int64)
+        table = np.asarray(table_list, dtype=np.int64)
+        sorted_keys, positions = self._classic(table)
+        starts, ends = kernels.sorted_probe_range(probe, sorted_keys)
+        got_probe, got_table = kernels.sorted_join_indices(starts, ends, positions)
+        li, ri = kernels.equi_join_indices(probe, table)
+        assert sorted(zip(got_probe.tolist(), got_table.tolist())) == sorted(
+            zip(li.tolist(), ri.tolist())
+        )
 
 
 class TestEquiJoin:
