@@ -80,7 +80,10 @@ def run_datalog_file(
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
     deadline: float | None = None,
+    max_iterations: int | None = None,
+    max_total_rows: int | None = None,
     join_cache: bool = True,
+    serve_trace: str | None = None,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -130,6 +133,8 @@ def run_datalog_file(
         "checkpoint_dir": checkpoint_dir,
         "resume_from": resume_from,
         "deadline": deadline,
+        "max_iterations": max_iterations,
+        "max_total_rows": max_total_rows,
     }
     wanted = {k: v for k, v in resilience_options.items() if v is not None}
     if wanted:
@@ -148,7 +153,12 @@ def run_datalog_file(
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
-    result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
+    if serve_trace is not None:
+        if engine_name != "RecStep":
+            raise DatalogError("--serve-trace is only supported by the RecStep engine")
+        result = _run_via_service(engine.config, spec, edb_data, Path(path).stem, serve_trace)
+    else:
+        result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
 
     if result.status == "ok":
         for name, file_path in datalog_file.outputs.items():
@@ -156,6 +166,49 @@ def run_datalog_file(
             rows = rows.reshape(-1, analyzed.arities[name])
             save_relation(file_path, rows)
     return result
+
+
+def _run_via_service(engine_config, spec, edb_data, dataset: str, trace_path: str):
+    """Route one evaluation through :class:`QueryService` (``--serve-trace``).
+
+    The query runs as a single-slot service session — same admission,
+    watchdog, and drain machinery as a busy server — and the shutdown
+    report (session lifecycle, admission state, breaker board, server
+    counters) is written to ``trace_path`` as JSON.
+    """
+    import json
+
+    from repro.server import QueryRequest, QueryService, ServerConfig
+
+    service = QueryService(
+        ServerConfig(max_concurrent=1, queue_limit=1),
+        engine_config=engine_config,
+    )
+    response = service.submit(
+        QueryRequest(program=spec, edb_data=edb_data, dataset=dataset)
+    )
+    if not response["accepted"]:  # single-slot idle service: cannot happen
+        raise DatalogError(f"service rejected the query: {response}")
+    service.pump()
+    report = service.drain()
+    Path(trace_path).write_text(
+        json.dumps(report, indent=2, sort_keys=True, default=_json_fallback) + "\n"
+    )
+    session = service.sessions.get(response["session_id"])
+    if session.result is None:
+        raise DatalogError(
+            f"service session {session.id} ended without a result: "
+            f"{session.failure}"
+        )
+    return session.result
+
+
+def _json_fallback(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return str(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -227,6 +280,30 @@ def main(argv: list[str] | None = None) -> int:
         "the next iteration boundary with a structured partial report",
     )
     parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="divergence guard: stop after N productive fixpoint iterations "
+        "with a structured partial report (status 'guard')",
+    )
+    parser.add_argument(
+        "--max-total-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="divergence guard: stop once the evaluation has derived N total "
+        "delta rows with a structured partial report (status 'guard')",
+    )
+    parser.add_argument(
+        "--serve-trace",
+        metavar="FILE",
+        default=None,
+        help="route the evaluation through the concurrent query service "
+        "(admission, watchdog, drain) and write the machine-readable "
+        "service report to FILE as JSON (RecStep only)",
+    )
+    parser.add_argument(
         "--no-join-cache",
         action="store_true",
         help="disable the iteration-persistent join-state cache (RecStep "
@@ -267,7 +344,10 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume_from=args.resume_from,
         deadline=args.deadline,
+        max_iterations=args.max_iterations,
+        max_total_rows=args.max_total_rows,
         join_cache=not args.no_join_cache,
+        serve_trace=args.serve_trace,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")

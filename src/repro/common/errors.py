@@ -103,6 +103,18 @@ class EvaluationCancelled(RecStepError):
     """
 
 
+class DivergenceGuardTripped(RecStepError):
+    """A runtime divergence guard budget was exceeded mid-evaluation.
+
+    Raised at iteration boundaries by :class:`~repro.resilience.guards.
+    RuntimeGuard` when the loop exceeds ``max_iterations`` or
+    ``max_total_rows`` without converging. Context carries ``kind``
+    (which budget tripped), ``observed``, ``budget``, and the loop
+    position, so the partial-result report mirrors a deadline trip but
+    stays distinguishable via ``failure["kind"]``.
+    """
+
+
 class TransientFaultError(RecStepError):
     """An injected, retryable fault (fault-injection harness only).
 

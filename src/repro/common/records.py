@@ -58,11 +58,13 @@ class EvaluationResult:
         memory_trace: memory footprint over simulated time.
         cpu_trace: CPU utilization (0..1) over simulated time.
         status: "ok", "oom", "timeout", "cancelled", "deadline",
-            "fault", or "unsupported".
+            "guard", "fault", or "unsupported".
         unsupported_reason: set when status is "unsupported".
         failure: structured context of the error that ended a non-ok run
             (``RecStepError.to_dict()``: error class, message, stratum,
-            iteration, modeled bytes...). None for ok runs.
+            iteration, modeled bytes...), always carrying a ``kind``
+            discriminator ("deadline", "max_iterations", "oom", ...).
+            None for ok runs.
         resilience: recap of resilience activity (faults injected per
             site, degradations taken, checkpoints written). None when no
             resilience feature was engaged.

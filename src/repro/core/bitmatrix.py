@@ -335,6 +335,15 @@ def run_pbme_stratum(
             utilization=round(utilization, 4),
         )
         report.iterations += iterations
+    # The bit matrix saturates the stratum in one batch pass (it cannot
+    # diverge), so its budget accounting lands at the stratum boundary —
+    # after the partial fixpoint is committed, mirroring where a deadline
+    # would interpose for this path.
+    database.resilience.check_guard_stratum(
+        decision.stratum.index if decision.stratum is not None else 0,
+        iterations,
+        int(pairs.shape[0]),
+    )
 
 
 def _zero_coordination_schedule(per_thread_cost: np.ndarray) -> tuple[float, float]:

@@ -73,6 +73,10 @@ class RecStepConfig:
     checkpoint_every: int = 1        # iteration checkpoint interval
     resume_from: str | None = None   # checkpoint file/dir to resume from
     deadline: float | None = None    # cooperative deadline (simulated s)
+    # Runtime divergence guard (repro.resilience.guards): budgets on the
+    # live semi-naive loop, complementing the static convergence checker.
+    max_iterations: int | None = None  # productive-iteration budget
+    max_total_rows: int | None = None  # cumulative delta-row budget
 
     def without(self, optimization: str) -> "RecStepConfig":
         """A copy with one optimization disabled (ablation helper).

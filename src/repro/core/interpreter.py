@@ -169,6 +169,9 @@ class SemiNaiveInterpreter:
             self.report.records.append(record)
             self.report.iterations += 1
             self._db.resilience.check_cancelled(stratum=stratum.index, iteration=0)
+            self._db.resilience.check_guard(
+                stratum.index, 0, sum(record.delta_sizes.values())
+            )
             self._maybe_checkpoint(stratum.index, 0, predicates)
             iteration = 0
         else:
@@ -211,6 +214,9 @@ class SemiNaiveInterpreter:
                 break
             self._db.resilience.check_cancelled(
                 stratum=stratum.index, iteration=iteration
+            )
+            self._db.resilience.check_guard(
+                stratum.index, iteration, sum(record.delta_sizes.values())
             )
             self._maybe_checkpoint(stratum.index, iteration, predicates)
         self._drop_working_tables(predicates)

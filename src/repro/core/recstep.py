@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from repro.common.errors import (
+    DivergenceGuardTripped,
     EvaluationCancelled,
     EvaluationTimeout,
     FaultRetriesExhausted,
@@ -36,24 +37,40 @@ from repro.datalog.parser import parse_program
 from repro.engine.database import Database
 from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
+from repro.obs.counters import CounterRegistry
 from repro.resilience import (
     CheckpointError,
     CheckpointManager,
+    CompositeToken,
     DeadlineToken,
     DegradationController,
     FaultInjector,
     ResilienceContext,
     RetryPolicy,
+    RuntimeGuard,
 )
 
 
 class RecStep:
-    """General-purpose parallel in-memory Datalog engine (the paper's system)."""
+    """General-purpose parallel in-memory Datalog engine (the paper's system).
+
+    Args:
+        config: evaluation knobs (see :class:`RecStepConfig`).
+        token_factory: optional hook for embedding layers (the query
+            service's watchdog): called with the evaluation's simulated
+            clock, it returns an extra cancellation token polled at
+            iteration boundaries alongside any configured deadline.
+    """
 
     name = "RecStep"
 
-    def __init__(self, config: RecStepConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: RecStepConfig | None = None,
+        token_factory=None,
+    ) -> None:
         self.config = config or RecStepConfig()
+        self.token_factory = token_factory
         self.last_database: Database | None = None
         self.last_report = None
 
@@ -72,10 +89,11 @@ class RecStep:
 
         Returns:
             EvaluationResult with status "ok", "oom", "timeout",
-            "deadline"/"cancelled", or "fault" — the paper's outcome
-            classes plus the resilience layer's (a failed run reports its
-            partial simulated time, peak memory, and structured
-            ``failure`` context).
+            "deadline"/"cancelled", "guard", or "fault" — the paper's
+            outcome classes plus the resilience layer's (a failed run
+            reports its partial simulated time, peak memory, and
+            structured ``failure`` context with a ``kind``
+            discriminator).
         """
         analyzed, program_name, edb_schemas = _resolve_program(program)
         resilience = self._build_resilience()
@@ -90,10 +108,17 @@ class RecStep:
             resilience=resilience,
             join_cache=self.config.join_cache,
         )
+        tokens = []
         if self.config.deadline is not None:
-            resilience.token = DeadlineToken(
-                database.metrics.clock, self.config.deadline
+            tokens.append(
+                DeadlineToken(database.metrics.clock, self.config.deadline)
             )
+        if self.token_factory is not None:
+            extra = self.token_factory(database.metrics.clock)
+            if extra is not None:
+                tokens.append(extra)
+        if tokens:
+            resilience.token = tokens[0] if len(tokens) == 1 else CompositeToken(tokens)
         checkpoints = None
         if self.config.checkpoint_dir is not None:
             checkpoints = CheckpointManager(
@@ -103,8 +128,11 @@ class RecStep:
                 profiler=database.profiler,
             )
         resume_state = None
+        resume_skips = CounterRegistry()
         if self.config.resume_from is not None:
-            resume_state = CheckpointManager.load(self.config.resume_from)
+            resume_state = CheckpointManager.load(
+                self.config.resume_from, counters=resume_skips
+            )
             if resume_state.program != program_name:
                 raise CheckpointError(
                     f"checkpoint is for program {resume_state.program!r}, "
@@ -148,6 +176,9 @@ class RecStep:
             reason = error.context.get("reason", "cancelled")
             result.status = "deadline" if reason == "deadline" else "cancelled"
             result.failure = self._failure(error, interpreter)
+        except DivergenceGuardTripped as error:
+            result.status = "guard"
+            result.failure = self._failure(error, interpreter)
         except FaultRetriesExhausted as error:
             result.status = "fault"
             result.failure = self._failure(error, interpreter)
@@ -157,6 +188,13 @@ class RecStep:
             for name in sorted(analyzed.idb):
                 result.tuples[name] = database.catalog.get_table(name).to_set()
             self.last_report = report
+        if result.failure is not None:
+            # Every failed run carries a `kind` discriminator; errors that
+            # set one at the raise site (the divergence guard's budget
+            # name, a token's reason) win over the generic status.
+            result.failure.setdefault(
+                "kind", result.failure.get("reason", result.status)
+            )
         result.wall_seconds = time.perf_counter() - wall_start
         result.sim_seconds = database.sim_seconds
         result.peak_memory_bytes = database.peak_memory_bytes
@@ -173,6 +211,12 @@ class RecStep:
                     "stratum": resume_state.stratum,
                     "iteration": resume_state.iteration,
                 }
+                skipped = resume_skips.get("checkpoint_corrupt_skipped")
+                if skipped:
+                    recap["checkpoint_corrupt_skipped"] = skipped
+                    database.profiler.counters.inc(
+                        "checkpoint_corrupt_skipped", skipped
+                    )
             result.resilience = recap
         if database.profiler.enabled:
             result.profile = ProfileReport.from_profiler(
@@ -185,6 +229,15 @@ class RecStep:
         injector = None
         if self.config.fault_seed is not None:
             injector = FaultInjector(self.config.fault_seed, rate=self.config.fault_rate)
+        guard = None
+        if (
+            self.config.max_iterations is not None
+            or self.config.max_total_rows is not None
+        ):
+            guard = RuntimeGuard(
+                max_iterations=self.config.max_iterations,
+                max_total_rows=self.config.max_total_rows,
+            )
         return ResilienceContext(
             injector=injector,
             retry=RetryPolicy(
@@ -192,6 +245,7 @@ class RecStep:
                 backoff_base=self.config.retry_backoff,
             ),
             degradation=DegradationController(enabled=self.config.degradation),
+            guard=guard,
         )
 
     @staticmethod

@@ -52,6 +52,25 @@ KNOWN_COUNTERS = {
     "degradation_pbme_fallback": "PBME density checks bypassed under pressure",
     "checkpoints_written": "evaluation checkpoints saved to disk",
     "checkpoint_bytes_written": "bytes of table state written to checkpoints",
+    "checkpoint_corrupt_skipped": "torn/corrupt checkpoint files skipped on load",
+    # -- runtime divergence guard (repro.resilience.guards) -----------------
+    "guard.soft_warnings": "divergence budgets crossing their soft fraction",
+    "guard.max_iterations_tripped": "evaluations killed by the iteration budget",
+    "guard.max_total_rows_tripped": "evaluations killed by the row budget",
+    # -- query service (repro.server) ---------------------------------------
+    "server.submitted": "query submissions received by the service",
+    "server.admitted": "queries admitted past admission control",
+    "server.rejected": "submissions rejected with an Overloaded response",
+    "server.rejected_queue_full": "rejections because the session queue was full",
+    "server.rejected_memory": "rejections because reserved memory was above the high watermark",
+    "server.rejected_draining": "rejections because the service was draining",
+    "server.rejected_breaker": "rejections because the class circuit breaker was open",
+    "server.shed": "accepted sessions dropped before completion (drain/breaker)",
+    "server.breaker_open": "circuit-breaker trips to the open state",
+    "server.breaker_half_open": "circuit-breaker transitions to half-open probing",
+    "server.breaker_closed": "circuit-breaker recoveries to the closed state",
+    "server.watchdog_cancels": "sessions cancelled by the stuck-fixpoint watchdog",
+    "server.checkpointed_on_drain": "in-flight sessions checkpointed during drain",
 }
 
 

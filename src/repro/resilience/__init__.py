@@ -17,7 +17,11 @@ The package that turns the paper's DNF cells into survivable events:
   all of the above to a Database.
 """
 
-from repro.resilience.cancellation import CancellationToken, DeadlineToken
+from repro.resilience.cancellation import (
+    CancellationToken,
+    CompositeToken,
+    DeadlineToken,
+)
 from repro.resilience.checkpoint import (
     CheckpointError,
     CheckpointManager,
@@ -25,6 +29,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.degradation import LADDER, DegradationController
 from repro.resilience.faults import DEFAULT_FAULT_RATE, FAULT_SITES, FaultInjector
+from repro.resilience.guards import GUARD_SOFT_FRACTION, RuntimeGuard
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.runtime import ResilienceContext
 
@@ -33,12 +38,15 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "CheckpointState",
+    "CompositeToken",
     "DEFAULT_FAULT_RATE",
     "DeadlineToken",
     "DegradationController",
     "FAULT_SITES",
     "FaultInjector",
+    "GUARD_SOFT_FRACTION",
     "LADDER",
     "ResilienceContext",
     "RetryPolicy",
+    "RuntimeGuard",
 ]

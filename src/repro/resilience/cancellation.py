@@ -40,6 +40,30 @@ class CancellationToken:
             )
 
 
+class CompositeToken(CancellationToken):
+    """Fans one poll out to several tokens (deadline + watchdog + manual).
+
+    The first child whose ``check`` raises wins; ``cancelled`` reports
+    True if any child (or the composite itself) has fired. Cancelling
+    the composite directly also works — it behaves like one more child.
+    """
+
+    def __init__(self, children) -> None:
+        super().__init__()
+        self.children = list(children)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled or any(
+            getattr(child, "cancelled", False) for child in self.children
+        )
+
+    def check(self, **context) -> None:
+        for child in self.children:
+            child.check(**context)
+        super().check(**context)
+
+
 class DeadlineToken(CancellationToken):
     """Fires once the simulated clock passes ``deadline_seconds``."""
 

@@ -14,18 +14,30 @@ array under ``__meta__`` (no pickling, so checkpoints are portable and
 safe to load). ``iteration`` in the metadata is the last *completed*
 iteration of the in-progress stratum; ``-1`` marks a stratum boundary
 (the stratum finished, its working tables already dropped).
+
+Crash safety: a save writes to a ``.tmp`` sibling, fsyncs, and
+``os.replace``s it into place, so a crash mid-write can never leave a
+half-written file under a checkpoint name. The metadata carries a CRC32
+over the table payload; ``load``/``latest`` verify it and treat torn or
+corrupt files like missing ones — skipped with a counter bump, falling
+back to the previous checkpoint — so a crashed writer never takes down
+a subsequent resume.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.common.errors import RecStepError
+from repro.obs.counters import NULL_COUNTERS
 from repro.obs.profiler import NULL_PROFILER
 
 #: Modeled checkpoint-write bandwidth cost (simulated seconds per byte);
@@ -33,7 +45,8 @@ from repro.obs.profiler import NULL_PROFILER
 CHECKPOINT_SECONDS_PER_BYTE = 1.0 / 1.2e9
 
 #: Metadata format version, bumped on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: Version 2 added the mandatory payload checksum.
+CHECKPOINT_VERSION = 2
 
 _CHECKPOINT_NAME = re.compile(r"ckpt-s(\d+)-(?:i(\d+)|final)\.npz$")
 
@@ -115,6 +128,7 @@ class CheckpointManager:
             "iterations_total": state.iterations_total,
             "pbme_strata": list(state.pbme_strata),
             "sim_seconds": state.sim_seconds,
+            "checksum": _payload_checksum(state.tables),
         }
         arrays = {f"table:{key}": value for key, value in state.tables.items()}
         arrays["__meta__"] = np.frombuffer(
@@ -127,8 +141,17 @@ class CheckpointManager:
             iteration=state.iteration,
             bytes=state.nbytes(),
         ):
-            with open(path, "wb") as handle:
+            # Crash-safe commit: write a sibling temp file (never matched
+            # by the checkpoint glob), fsync it, then atomically rename.
+            # A crash before the replace leaves the previous checkpoint
+            # under this name untouched; a crash after leaves the new one
+            # complete. There is no window with a torn file in place.
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "wb") as handle:
                 np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
             if self.metrics is not None:
                 self.metrics.advance(
                     state.nbytes() * CHECKPOINT_SECONDS_PER_BYTE, utilization=0.02
@@ -150,16 +173,69 @@ class CheckpointManager:
 
     # -- loading -----------------------------------------------------------------
 
-    @staticmethod
-    def load(path: str | Path) -> CheckpointState:
+    @classmethod
+    def load(cls, path: str | Path, counters=NULL_COUNTERS) -> CheckpointState:
+        """Load a checkpoint file, or the newest *valid* one in a directory.
+
+        A directory load walks checkpoints newest-first and skips any
+        that are torn or corrupt (truncated write, bad checksum, foreign
+        file) — each skip bumps ``checkpoint_corrupt_skipped`` on
+        ``counters`` — so a crashed writer degrades resume to the
+        previous boundary instead of aborting it.
+        """
         path = Path(path)
-        if path.is_dir():
-            latest = CheckpointManager.latest(path)
-            if latest is None:
-                raise CheckpointError(
-                    f"no checkpoint files in directory {path}", path=str(path)
-                )
-            path = latest
+        if not path.is_dir():
+            return cls._load_file(path)
+        candidates = cls._candidates(path)
+        if not candidates:
+            raise CheckpointError(
+                f"no checkpoint files in directory {path}", path=str(path)
+            )
+        last_error: CheckpointError | None = None
+        for candidate in candidates:
+            try:
+                return cls._load_file(candidate)
+            except CheckpointError as error:
+                counters.inc("checkpoint_corrupt_skipped")
+                last_error = error
+        raise CheckpointError(
+            f"all {len(candidates)} checkpoints in {path} are corrupt "
+            f"(last error: {last_error})",
+            path=str(path),
+        ) from last_error
+
+    @classmethod
+    def latest(cls, directory: str | Path, counters=NULL_COUNTERS) -> Path | None:
+        """The most advanced *readable* checkpoint in ``directory``.
+
+        Torn/corrupt files are skipped (with a ``checkpoint_corrupt_
+        skipped`` bump each) rather than returned, so callers never
+        resume from a file that cannot be loaded.
+        """
+        for candidate in cls._candidates(directory):
+            try:
+                cls._load_file(candidate)
+            except CheckpointError:
+                counters.inc("checkpoint_corrupt_skipped")
+                continue
+            return candidate
+        return None
+
+    @staticmethod
+    def _candidates(directory: str | Path) -> list[Path]:
+        """Checkpoint files in ``directory``, most advanced boundary first."""
+        return sorted(
+            (
+                p
+                for p in Path(directory).glob("ckpt-*.npz")
+                if _CHECKPOINT_NAME.search(p.name)
+            ),
+            key=_sort_key,
+            reverse=True,
+        )
+
+    @staticmethod
+    def _load_file(path: Path) -> CheckpointState:
         try:
             with np.load(path, allow_pickle=False) as bundle:
                 if "__meta__" not in bundle:
@@ -173,7 +249,8 @@ class CheckpointManager:
                     for key in bundle.files
                     if key.startswith("table:")
                 }
-        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile,
+                json.JSONDecodeError) as error:
             raise CheckpointError(
                 f"cannot read checkpoint {path}: {error}", path=str(path)
             ) from error
@@ -181,6 +258,15 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint {path} has version {meta.get('version')!r}, "
                 f"expected {CHECKPOINT_VERSION}",
+                path=str(path),
+            )
+        expected = meta.get("checksum")
+        actual = _payload_checksum(tables)
+        if expected != actual:
+            raise CheckpointError(
+                f"checkpoint {path} failed checksum verification "
+                f"(stored {expected!r}, computed {actual!r}): torn or "
+                "corrupt payload",
                 path=str(path),
             )
         return CheckpointState(
@@ -194,17 +280,16 @@ class CheckpointManager:
             sim_seconds=float(meta.get("sim_seconds", 0.0)),
         )
 
-    @staticmethod
-    def latest(directory: str | Path) -> Path | None:
-        """The most advanced checkpoint in ``directory`` (by boundary)."""
-        checkpoints = [
-            p
-            for p in Path(directory).glob("ckpt-*.npz")
-            if _CHECKPOINT_NAME.search(p.name)
-        ]
-        if not checkpoints:
-            return None
-        return max(checkpoints, key=_sort_key)
+
+def _payload_checksum(tables: dict[str, np.ndarray]) -> int:
+    """CRC32 over every table's name, shape, and contents (order-stable)."""
+    crc = 0
+    for name in sorted(tables):
+        array = np.ascontiguousarray(tables[name], dtype=np.int64)
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(repr(array.shape).encode("ascii"), crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    return crc
 
 
 def _sort_key(path: Path) -> tuple[int, int]:

@@ -16,6 +16,7 @@ from repro.common.errors import FaultRetriesExhausted, TransientFaultError
 from repro.obs.counters import NULL_COUNTERS
 from repro.resilience.degradation import DegradationController
 from repro.resilience.faults import FaultInjector
+from repro.resilience.guards import RuntimeGuard
 from repro.resilience.retry import RetryPolicy
 
 
@@ -29,6 +30,7 @@ class ResilienceContext:
         default_factory=DegradationController
     )
     token: object | None = None  # CancellationToken, duck-typed
+    guard: RuntimeGuard | None = None  # runtime divergence guard
     _metrics: object | None = field(default=None, repr=False)
     _counters: object = field(default=NULL_COUNTERS, repr=False)
 
@@ -41,6 +43,8 @@ class ResilienceContext:
         self._metrics = metrics
         self._counters = counters
         self.degradation.bind(metrics, counters)
+        if self.guard is not None:
+            self.guard.bind(self.degradation, counters)
         if self.degradation.enabled:
             metrics.pressure_listener = self.degradation.on_pressure
 
@@ -51,6 +55,7 @@ class ResilienceContext:
             self.injector is not None
             or self.degradation.enabled
             or self.token is not None
+            or (self.guard is not None and self.guard.enabled)
         )
 
     # -- fault injection + retry ---------------------------------------------------
@@ -116,6 +121,20 @@ class ResilienceContext:
         if self.token is not None:
             self.token.check(**context)
 
+    # -- divergence guard -----------------------------------------------------------
+
+    def check_guard(self, stratum: int, iteration: int, delta_rows: int) -> None:
+        """Account a productive iteration against the divergence budgets."""
+        if self.guard is not None:
+            self.guard.observe_iteration(stratum, iteration, delta_rows)
+
+    def check_guard_stratum(
+        self, stratum: int, iterations: int, delta_rows: int
+    ) -> None:
+        """Account a batch-evaluated stratum (PBME) against the budgets."""
+        if self.guard is not None:
+            self.guard.observe_stratum(stratum, iterations, delta_rows)
+
     # -- reporting ------------------------------------------------------------------
 
     def summary(self) -> dict:
@@ -130,4 +149,6 @@ class ResilienceContext:
             recap["degradations_taken"] = list(self.degradation.taken)
         if self.token is not None:
             recap["cancelled"] = bool(getattr(self.token, "cancelled", False))
+        if self.guard is not None and self.guard.enabled:
+            recap["guard"] = self.guard.summary()
         return recap

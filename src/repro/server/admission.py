@@ -1,0 +1,178 @@
+"""Admission control: bounded queue, memory reservations, backpressure.
+
+The admission controller is the service's front door. It answers one
+question per submission — *can this query be queued right now?* — and
+one per queued session — *can it start?* — using two resources:
+
+* **queue slots**: the session queue is bounded (``queue_limit``); a
+  full queue rejects new work immediately rather than buffering
+  unbounded state, the classic load-shedding discipline.
+* **memory reservations**: each query reserves a quota (its evaluation
+  runs with that quota as its own hard ``memory_budget``, so the
+  reservation is enforced, not advisory). The sum of live reservations
+  is capped at the high watermark of the service budget; submissions
+  that would push past it are rejected with backpressure.
+
+Rejections are never exceptions: they are structured
+:class:`Overloaded` responses carrying the reason and a retry-after
+hint derived from the earliest expected slot release, so well-behaved
+clients can back off instead of retry-storming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.metrics import CRITICAL_WATERMARK
+
+#: Fallback retry hint (simulated seconds) when nothing is running to
+#: derive a better estimate from.
+DEFAULT_RETRY_AFTER = 1.0
+
+
+@dataclass
+class QueryRequest:
+    """One Datalog query as submitted to the service.
+
+    Args:
+        program: a ProgramSpec or Datalog source text (anything
+            :meth:`RecStep.evaluate` accepts).
+        edb_data: relation name -> int64 row array.
+        dataset: label recorded in the result.
+        klass: session class for circuit breaking and reporting;
+            defaults to the program's name when available.
+        memory_quota: bytes reserved against the service budget and
+            enforced as the query's own memory budget (None: the
+            service's default per-slot quota).
+        deadline: per-query cooperative deadline (simulated seconds on
+            the query's own clock).
+        max_iterations / max_total_rows: per-query divergence budgets
+            (see :mod:`repro.resilience.guards`).
+    """
+
+    program: object
+    edb_data: dict[str, np.ndarray]
+    dataset: str = "unnamed"
+    klass: str = ""
+    memory_quota: int | None = None
+    deadline: float | None = None
+    max_iterations: int | None = None
+    max_total_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.klass:
+            self.klass = getattr(self.program, "name", "default") or "default"
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """A structured rejection: the service cannot take this query now.
+
+    ``reason`` is one of ``queue-full``, ``memory-pressure``,
+    ``breaker-open``, or ``draining``; ``retry_after_seconds`` is the
+    service's estimate of when capacity frees up (simulated seconds).
+    """
+
+    reason: str
+    retry_after_seconds: float
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "overloaded": True,
+            "reason": self.reason,
+            "retry_after_seconds": round(self.retry_after_seconds, 6),
+            **self.detail,
+        }
+
+
+class AdmissionController:
+    """Tracks queue depth and memory reservations; decides admission.
+
+    Args:
+        queue_limit: maximum sessions waiting for a slot.
+        memory_budget: the service's total modeled memory (bytes).
+        max_concurrent: executor slots (used for the default quota).
+        high_watermark: fraction of ``memory_budget`` the sum of live
+            reservations may reach; beyond it, submissions bounce.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int,
+        memory_budget: int,
+        max_concurrent: int,
+        high_watermark: float = CRITICAL_WATERMARK,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.queue_limit = queue_limit
+        self.memory_budget = memory_budget
+        self.max_concurrent = max_concurrent
+        self.high_watermark = high_watermark
+        self.reserved_bytes = 0
+        #: Default per-query quota: an even split of the watermarked
+        #: budget across executor slots.
+        self.default_quota = int(memory_budget * high_watermark) // max_concurrent
+
+    def quota_for(self, request: QueryRequest) -> int:
+        quota = request.memory_quota
+        if quota is None:
+            quota = self.default_quota
+        return int(quota)
+
+    # -- submission-time checks ------------------------------------------------
+
+    def check_submit(
+        self, request: QueryRequest, queue_depth: int, retry_hint: float
+    ) -> Overloaded | None:
+        """None if the submission may queue, else a structured rejection."""
+        if queue_depth >= self.queue_limit:
+            return Overloaded(
+                reason="queue-full",
+                retry_after_seconds=retry_hint,
+                detail={"queue_depth": queue_depth, "queue_limit": self.queue_limit},
+            )
+        quota = self.quota_for(request)
+        if not self._reservation_fits(quota):
+            return Overloaded(
+                reason="memory-pressure",
+                retry_after_seconds=retry_hint,
+                detail={
+                    "reserved_bytes": self.reserved_bytes,
+                    "requested_bytes": quota,
+                    "high_watermark_bytes": self._watermark_bytes(),
+                },
+            )
+        return None
+
+    # -- start-time reservation ------------------------------------------------
+
+    def try_reserve(self, quota: int) -> bool:
+        """Reserve ``quota`` bytes for a starting session, if they fit."""
+        if not self._reservation_fits(quota):
+            return False
+        self.reserved_bytes += quota
+        return True
+
+    def release(self, quota: int) -> None:
+        self.reserved_bytes = max(0, self.reserved_bytes - quota)
+
+    def _watermark_bytes(self) -> int:
+        return int(self.memory_budget * self.high_watermark)
+
+    def _reservation_fits(self, quota: int) -> bool:
+        return self.reserved_bytes + quota <= self._watermark_bytes()
+
+    def to_dict(self) -> dict:
+        return {
+            "queue_limit": self.queue_limit,
+            "memory_budget": self.memory_budget,
+            "high_watermark": self.high_watermark,
+            "reserved_bytes": self.reserved_bytes,
+            "default_quota": self.default_quota,
+        }

@@ -1,0 +1,392 @@
+"""The concurrent query service: many Datalog programs, one stable engine.
+
+:class:`QueryService` is the multi-query front door the ROADMAP's
+"serves heavy traffic" north star asks for, built as a discrete-event
+simulation on the service's own :class:`~repro.common.timing.SimClock`
+(the same substitution the engines use for parallelism). Concurrency is
+modeled with executor slots: an admitted query occupies a slot for the
+interval ``[started_at, started_at + sim_seconds)`` of its isolated
+evaluation, queued queries wait for slot *and* memory-reservation
+availability, and the service clock advances from completion event to
+completion event.
+
+The stability disciplines, in the order a submission meets them:
+
+1. **drain gate** — a draining service admits nothing new.
+2. **admission control** — bounded queue + memory reservations against
+   the high watermark; violations get a structured
+   :class:`~repro.server.admission.Overloaded` rejection with a
+   retry-after hint instead of unbounded buffering.
+3. **circuit breaker** — a class with repeated backend failures is
+   rejected at the door until a cooldown passes and a half-open probe
+   succeeds.
+4. **isolated execution** — each query runs on its own Database with
+   its reservation as a *hard* memory budget, wrapped so any failure
+   becomes a structured document on the session, never an exception to
+   a neighbor.
+5. **watchdog** — iteration heartbeats feed a stall detector that
+   cancels stuck fixpoints cooperatively.
+6. **graceful drain** — stop admitting, finish or checkpoint in-flight
+   work, emit a machine-readable shutdown report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.common.timing import SimClock
+from repro.core.config import RecStepConfig
+from repro.core.recstep import RecStep
+from repro.engine.metrics import CRITICAL_WATERMARK, DEFAULT_MEMORY_BUDGET
+from repro.obs.counters import CounterRegistry
+from repro.server.admission import (
+    DEFAULT_RETRY_AFTER,
+    AdmissionController,
+    Overloaded,
+    QueryRequest,
+)
+from repro.server.breaker import BreakerBoard
+from repro.server.session import Session, SessionManager, SessionState
+from repro.server.watchdog import WatchdogToken
+
+#: result.status -> terminal session state.
+_STATUS_TO_STATE = {
+    "ok": SessionState.DONE,
+    "deadline": SessionState.CANCELLED,
+    "cancelled": SessionState.CANCELLED,
+    "oom": SessionState.FAILED,
+    "timeout": SessionState.FAILED,
+    "fault": SessionState.FAILED,
+    "guard": SessionState.FAILED,
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Service-level knobs (the engine's live in :class:`RecStepConfig`)."""
+
+    max_concurrent: int = 4          # executor slots
+    queue_limit: int = 8             # bounded admission queue
+    memory_budget: int = DEFAULT_MEMORY_BUDGET  # service memory (bytes)
+    high_watermark: float = CRITICAL_WATERMARK  # reservation ceiling
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_seconds: float = 60.0
+    watchdog_stall_timeout: float | None = None  # None: watchdog off
+    drain_grace_seconds: float = 5.0  # per-query budget during drain
+
+
+class QueryService:
+    """Admits, schedules, and survives many concurrent Datalog queries."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        engine_config: RecStepConfig | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.engine_config = engine_config or RecStepConfig()
+        self.clock = SimClock()
+        self.counters = CounterRegistry()
+        self.sessions = SessionManager()
+        self.admission = AdmissionController(
+            queue_limit=self.config.queue_limit,
+            memory_budget=self.config.memory_budget,
+            max_concurrent=self.config.max_concurrent,
+            high_watermark=self.config.high_watermark,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_seconds=self.config.breaker_cooldown_seconds,
+            counters=self.counters,
+        )
+        self._queue: deque[Session] = deque()
+        #: (finish_time, session, result_status) for sessions whose
+        #: evaluation interval is still occupying a slot.
+        self._active: list[tuple[float, Session, str]] = []
+        self.draining = False
+        self._drain_checkpoint_dir: str | None = None
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> dict:
+        """Queue one query; returns an acceptance or a structured rejection.
+
+        Acceptance: ``{"accepted": True, "session_id": ...}``. Rejection:
+        ``{"accepted": False, "overloaded": True, "reason": ...,
+        "retry_after_seconds": ...}`` — the backpressure contract.
+        """
+        self.counters.inc("server.submitted")
+        now = self.clock.now()
+        if self.draining:
+            return self._reject(
+                Overloaded(
+                    reason="draining",
+                    retry_after_seconds=self._retry_hint(now),
+                )
+            )
+        overload = self.admission.check_submit(
+            request, queue_depth=len(self._queue), retry_hint=self._retry_hint(now)
+        )
+        if overload is not None:
+            return self._reject(overload)
+        breaker = self.breakers.for_class(request.klass)
+        if not breaker.allow(now):
+            return self._reject(
+                Overloaded(
+                    reason="breaker-open",
+                    retry_after_seconds=max(
+                        breaker.retry_after(now), DEFAULT_RETRY_AFTER
+                    ),
+                    detail={"class": request.klass, "breaker": breaker.to_dict()},
+                )
+            )
+        session = self.sessions.create(request, now)
+        session.reserved_bytes = self.admission.quota_for(request)
+        self._queue.append(session)
+        return {"accepted": True, "session_id": session.id, "state": "queued"}
+
+    _REJECT_COUNTERS = {
+        "queue-full": "server.rejected_queue_full",
+        "memory-pressure": "server.rejected_memory",
+        "draining": "server.rejected_draining",
+        "breaker-open": "server.rejected_breaker",
+    }
+
+    def _reject(self, overload: Overloaded) -> dict:
+        self.counters.inc("server.rejected")
+        self.counters.inc(self._REJECT_COUNTERS[overload.reason])
+        return {"accepted": False, **overload.to_dict()}
+
+    def _retry_hint(self, now: float) -> float:
+        """When capacity plausibly frees up: the earliest active finish."""
+        if self._active:
+            earliest = min(finish for finish, _, _ in self._active)
+            return max(earliest - now, DEFAULT_RETRY_AFTER / 10.0)
+        return DEFAULT_RETRY_AFTER
+
+    # -- the event loop ----------------------------------------------------------
+
+    def pump(self) -> None:
+        """Process queued work until the queue is empty.
+
+        Advances the service clock across completion events whenever the
+        queue is blocked on a slot or a memory reservation. Completed
+        sessions whose finish time is still in the future keep holding
+        their slot until the clock passes it (``drain``/``flush`` push
+        the clock to the end).
+        """
+        while True:
+            self._release_due()
+            self._admit_ready()
+            if not self._queue:
+                return
+            if not self._active:
+                # Queue blocked with nothing running: impossible to make
+                # progress by waiting (can only happen if a quota exceeds
+                # the watermark ceiling outright, which check_submit
+                # rejects) — bail rather than spin.
+                return
+            earliest = min(finish for finish, _, _ in self._active)
+            self.clock.advance(max(0.0, earliest - self.clock.now()))
+
+    def flush(self) -> None:
+        """Advance the clock past every active evaluation (idle barrier)."""
+        self.pump()
+        while self._active:
+            earliest = min(finish for finish, _, _ in self._active)
+            self.clock.advance(max(0.0, earliest - self.clock.now()))
+            self._release_due()
+            self._admit_ready()
+
+    def _admit_ready(self) -> None:
+        while self._queue and len(self._active) < self.config.max_concurrent:
+            session = self._queue[0]
+            if not self.admission.try_reserve(session.reserved_bytes):
+                return
+            self._queue.popleft()
+            self.sessions.transition(session, SessionState.ADMITTED)
+            session.admitted_at = self.clock.now()
+            self.counters.inc("server.admitted")
+            self._execute(session)
+
+    def _release_due(self) -> None:
+        now = self.clock.now()
+        still_active = []
+        for finish, session, status in self._active:
+            if finish <= now:
+                self.admission.release(session.reserved_bytes)
+                self._finalize(session, status, finish)
+            else:
+                still_active.append((finish, session, status))
+        self._active = still_active
+
+    def _finalize(self, session: Session, status: str, finish: float) -> None:
+        """Apply the terminal state and breaker observation at finish time."""
+        session.finished_at = finish
+        self.sessions.transition(session, _STATUS_TO_STATE[status])
+        self.breakers.observe(session.klass, status, finish)
+        failure = session.failure or {}
+        if failure.get("kind") == "watchdog":
+            self.counters.inc("server.watchdog_cancels")
+        if (
+            session.checkpoint_dir is not None
+            and session.result is not None
+            and session.result.resilience is not None
+            and session.result.resilience.get("checkpoints_written", 0) > 0
+        ):
+            self.counters.inc("server.checkpointed_on_drain")
+
+    # -- isolated execution ------------------------------------------------------
+
+    def _execute(self, session: Session) -> None:
+        """Run one session's evaluation in its own failure domain."""
+        request: QueryRequest = session.request
+        session.started_at = self.clock.now()
+        self.sessions.transition(session, SessionState.RUNNING)
+        config = self._session_config(session)
+        engine = RecStep(config, token_factory=self._token_factory(session))
+        try:
+            result = engine.evaluate(
+                request.program, request.edb_data, dataset=request.dataset
+            )
+            status = result.status
+            session.result = result
+            session.failure = result.failure
+            duration = result.sim_seconds
+        except Exception as error:  # the isolation boundary: never propagate
+            status = "fault"
+            session.failure = self._wrap_failure(error)
+            duration = (
+                engine.last_database.sim_seconds
+                if engine.last_database is not None
+                else 0.0
+            )
+        finish = session.started_at + duration
+        self._active.append((finish, session, status))
+
+    def _session_config(self, session: Session) -> RecStepConfig:
+        request: QueryRequest = session.request
+        overrides: dict = {"memory_budget": session.reserved_bytes}
+        for knob in ("deadline", "max_iterations", "max_total_rows"):
+            value = getattr(request, knob)
+            if value is not None:
+                overrides[knob] = value
+        if self.draining and self._drain_checkpoint_dir is not None:
+            # Drain contract: bound the remaining work and leave a
+            # resumable snapshot if the bound fires first.
+            directory = str(Path(self._drain_checkpoint_dir) / session.id)
+            overrides["checkpoint_dir"] = directory
+            overrides["checkpoint_every"] = 1
+            grace = self.config.drain_grace_seconds
+            current = overrides.get("deadline")
+            overrides["deadline"] = grace if current is None else min(current, grace)
+            session.checkpoint_dir = directory
+        return replace(self.engine_config, **overrides)
+
+    def _token_factory(self, session: Session):
+        stall = self.config.watchdog_stall_timeout
+
+        def factory(clock):
+            def heartbeat(now: float, context: dict) -> None:
+                session.heartbeats += 1
+                session.last_heartbeat = now
+                session.last_position = {
+                    key: context[key]
+                    for key in ("stratum", "iteration")
+                    if key in context
+                }
+
+            if stall is None:
+                # No watchdog: still mirror progress via a passive token.
+                token = _ProgressToken(heartbeat)
+            else:
+                token = WatchdogToken(clock, stall, on_heartbeat=heartbeat)
+            return token
+
+        return factory
+
+    @staticmethod
+    def _wrap_failure(error: Exception) -> dict:
+        to_dict = getattr(error, "to_dict", None)
+        if callable(to_dict):
+            doc = to_dict()
+        else:
+            doc = {"error": type(error).__name__, "message": str(error)}
+        doc.setdefault("kind", "internal")
+        return doc
+
+    # -- drain and reporting -----------------------------------------------------
+
+    def drain(self, checkpoint_dir: str | None = None) -> dict:
+        """Stop admitting, settle in-flight work, return a shutdown report.
+
+        With ``checkpoint_dir``, queued sessions still run — each under
+        the drain grace deadline with per-session checkpointing into
+        ``checkpoint_dir/<session-id>`` — so long-running work leaves a
+        resumable snapshot (state CANCELLED) while short work finishes
+        (DONE). Without it, queued sessions are shed immediately;
+        running ones are always allowed to finish.
+        """
+        self.draining = True
+        self._drain_checkpoint_dir = checkpoint_dir
+        if checkpoint_dir is None:
+            while self._queue:
+                session = self._queue.popleft()
+                self._shed(session, "drain")
+        self.flush()
+        report = self.report()
+        report["drained"] = True
+        report["drain_checkpoint_dir"] = checkpoint_dir
+        return report
+
+    def _shed(self, session: Session, reason: str) -> None:
+        self.sessions.transition(session, SessionState.SHED)
+        session.finished_at = self.clock.now()
+        session.failure = {
+            "error": "SessionShed",
+            "message": f"session shed: {reason}",
+            "kind": "shed",
+            "reason": reason,
+        }
+        self.counters.inc("server.shed")
+        # A shed probe must give its half-open slot back.
+        self.breakers.observe(session.klass, "shed", self.clock.now())
+
+    def cancel(self, session_id: str) -> dict:
+        """Cancel a queued session (running ones settle at their boundary)."""
+        session = self.sessions.get(session_id)
+        if session.state is SessionState.QUEUED:
+            self._queue.remove(session)
+            self._shed(session, "cancelled-by-client")
+        return session.to_dict()
+
+    def status(self, session_id: str) -> dict:
+        return self.sessions.get(session_id).to_dict()
+
+    def report(self) -> dict:
+        """Machine-readable service snapshot (also the shutdown report)."""
+        return {
+            "now": round(self.clock.now(), 6),
+            "draining": self.draining,
+            "session_counts": self.sessions.counts(),
+            "sessions": [s.to_dict() for s in self.sessions.all()],
+            "queue_depth": len(self._queue),
+            "active": len(self._active),
+            "admission": self.admission.to_dict(),
+            "breakers": self.breakers.to_dict(),
+            "counters": self.counters.snapshot(),
+        }
+
+
+class _ProgressToken:
+    """A passive token: mirrors heartbeats, never cancels."""
+
+    cancelled = False
+
+    def __init__(self, on_heartbeat) -> None:
+        self._on_heartbeat = on_heartbeat
+
+    def check(self, **context) -> None:
+        self._on_heartbeat(None, context)

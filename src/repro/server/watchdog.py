@@ -1,0 +1,65 @@
+"""The stuck-fixpoint watchdog: heartbeat-gap detection per session.
+
+The interpreter polls its cancellation token at every stratum/iteration
+boundary; each poll is therefore a *progress heartbeat* on the query's
+own simulated clock. The watchdog token rides that channel: it measures
+the simulated-time gap between consecutive heartbeats, and when an
+iteration takes longer than ``stall_timeout`` — a fixpoint stuck in a
+pathologically expensive iteration, a retry storm inflating one
+boundary-to-boundary span — it cancels the evaluation cooperatively via
+the standard :class:`~repro.resilience.cancellation.CancellationToken`
+machinery. The query stops at the next consistent boundary with a
+structured partial-result report (``failure["kind"] == "watchdog"``),
+and the service slot is reclaimed.
+
+The token also streams progress to the session record (heartbeat count,
+last loop position), which is what the drain report and ``status()``
+expose.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EvaluationCancelled
+from repro.resilience.cancellation import CancellationToken
+
+
+class WatchdogToken(CancellationToken):
+    """Cancels an evaluation whose iteration boundaries stop arriving.
+
+    Args:
+        clock: the *evaluation's* simulated clock (not the service's).
+        stall_timeout: max simulated seconds between heartbeats.
+        on_heartbeat: optional callback ``(now, context)`` — the service
+            uses it to mirror progress into the session record.
+    """
+
+    def __init__(self, clock, stall_timeout: float, on_heartbeat=None) -> None:
+        super().__init__()
+        if stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be > 0, got {stall_timeout}")
+        self._clock = clock
+        self.stall_timeout = stall_timeout
+        self._on_heartbeat = on_heartbeat
+        self.heartbeats = 0
+        self._last: float = clock.now()
+
+    def check(self, **context) -> None:
+        now = self._clock.now()
+        gap = now - self._last
+        self._last = now
+        self.heartbeats += 1
+        if self._on_heartbeat is not None:
+            self._on_heartbeat(now, context)
+        if gap > self.stall_timeout:
+            self.cancel("watchdog")
+            raise EvaluationCancelled(
+                f"watchdog: {gap:.3f}s between iteration heartbeats exceeds "
+                f"the {self.stall_timeout:.3f}s stall timeout",
+                reason="watchdog",
+                kind="watchdog",
+                gap_seconds=round(gap, 6),
+                stall_timeout=self.stall_timeout,
+                heartbeats=self.heartbeats,
+                **context,
+            )
+        super().check(**context)

@@ -316,6 +316,220 @@ class TestCheckpointResume:
 
 
 # ---------------------------------------------------------------------------
+# Crash-safe checkpoints (atomic save, checksum, torn-file fallback)
+# ---------------------------------------------------------------------------
+
+
+class TestCrashSafeCheckpoints:
+    @staticmethod
+    def _state(iteration: int) -> CheckpointState:
+        return CheckpointState(
+            program="TC",
+            stratum=0,
+            iteration=iteration,
+            tables={"full:tc": np.arange(iteration * 4, dtype=np.int64).reshape(-1, 2)},
+            iterations_total=iteration + 1,
+        )
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1)
+        manager.save(self._state(1))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert list(tmp_path.glob("ckpt-*.npz"))
+
+    def test_meta_carries_payload_checksum(self, tmp_path):
+        import json
+        import zipfile
+
+        path = CheckpointManager(tmp_path, every=1).save(self._state(2))
+        with zipfile.ZipFile(path) as archive:
+            names = archive.namelist()
+        assert any("__meta__" in name for name in names)
+        # Round-trips through load, which verifies the checksum.
+        loaded = CheckpointManager.load(path)
+        np.testing.assert_array_equal(loaded.tables["full:tc"], self._state(2).tables["full:tc"])
+
+    def test_truncated_file_fails_direct_load(self, tmp_path):
+        path = CheckpointManager(tmp_path, every=1).save(self._state(3))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            CheckpointManager.load(path)
+
+    def test_checksum_detects_payload_corruption(self, tmp_path):
+        # Rewrite the archive with one payload array bit-flipped but the
+        # original (now stale) checksum: only the checksum can catch it.
+        import zipfile
+
+        path = CheckpointManager(tmp_path, every=1).save(self._state(3))
+        with zipfile.ZipFile(path) as archive:
+            entries = {name: archive.read(name) for name in archive.namelist()}
+        victim = next(n for n in entries if n.startswith("table:"))
+        blob = bytearray(entries[victim])
+        blob[-1] ^= 0xFF  # flip bits in the row payload at the tail
+        entries[victim] = bytes(blob)
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, payload in entries.items():
+                archive.writestr(name, payload)
+        with pytest.raises(CheckpointError, match="checksum"):
+            CheckpointManager.load(path)
+
+    def test_directory_load_skips_torn_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=5)
+        manager.save(self._state(1))
+        newest = manager.save(self._state(2))
+        newest.write_bytes(newest.read_bytes()[:64])
+        loaded = CheckpointManager.load(tmp_path)
+        assert loaded.iteration == 1  # fell back to the predecessor
+
+    def test_latest_skips_torn_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=5)
+        older = manager.save(self._state(1))
+        newest = manager.save(self._state(2))
+        newest.write_bytes(b"")
+        assert CheckpointManager.latest(tmp_path) == older
+
+    def test_all_torn_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=5)
+        for iteration in (1, 2):
+            path = manager.save(self._state(iteration))
+            path.write_bytes(b"torn")
+        with pytest.raises(CheckpointError):
+            CheckpointManager.load(tmp_path)
+
+    def test_crashed_writer_resume_matches_uninterrupted(self, tmp_path, tc_edb):
+        """The satellite acceptance: truncate the newest checkpoint as a
+        crashed writer would leave it; resume must fall back to the
+        previous one and still reach the identical fixpoint."""
+        spec = get_program("TC")
+        partial = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=1,
+                deadline=0.15,
+            )
+        ).evaluate(spec, tc_edb, dataset="ckpt")
+        assert partial.status == "deadline"
+        checkpoints = sorted(tmp_path.glob("ckpt-*.npz"))
+        assert len(checkpoints) >= 2  # keep=2 default: newest two survive
+
+        newest = CheckpointManager.latest(tmp_path)
+        data = newest.read_bytes()
+        newest.write_bytes(data[: len(data) // 2])  # torn mid-write
+
+        resumed = RecStep(
+            RecStepConfig(**RELATIONAL, resume_from=str(tmp_path))
+        ).evaluate(spec, tc_edb, dataset="ckpt")
+        full = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            spec, tc_edb, dataset="ckpt"
+        )
+        assert resumed.status == full.status == "ok"
+        assert resumed.tuples == full.tuples
+        assert resumed.iterations == full.iterations
+        assert resumed.resilience["checkpoint_corrupt_skipped"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Runtime divergence guards (max_iterations / max_total_rows)
+# ---------------------------------------------------------------------------
+
+
+class TestDivergenceGuard:
+    def test_max_iterations_trips_structurally(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, max_iterations=3)
+        ).evaluate(get_program("TC"), tc_edb, dataset="guard")
+        assert result.status == "guard"
+        assert result.failure["error"] == "DivergenceGuardTripped"
+        assert result.failure["kind"] == "max_iterations"
+        assert result.failure["observed"] > result.failure["budget"] == 3
+        assert result.resilience["guard"]["iterations"] == result.failure["observed"]
+
+    def test_max_total_rows_trips_structurally(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, max_total_rows=100)
+        ).evaluate(get_program("TC"), tc_edb, dataset="guard")
+        assert result.status == "guard"
+        assert result.failure["kind"] == "max_total_rows"
+        assert result.failure["observed"] > 100
+
+    def test_exact_budget_completes(self, tc_edb):
+        free = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            get_program("TC"), tc_edb, dataset="guard"
+        )
+        exact = RecStep(
+            RecStepConfig(**RELATIONAL, max_iterations=free.iterations)
+        ).evaluate(get_program("TC"), tc_edb, dataset="guard")
+        assert exact.status == "ok"
+        assert exact.tuples == free.tuples
+
+    def test_guard_covers_pbme_path(self, tc_edb):
+        # The default config routes TC through the bit-matrix evaluator,
+        # which accounts its batch of iterations at the stratum boundary.
+        result = RecStep(RecStepConfig(max_iterations=2)).evaluate(
+            get_program("TC"), tc_edb, dataset="guard"
+        )
+        assert result.status == "guard"
+        assert result.failure["kind"] == "max_iterations"
+
+    def test_generous_budgets_do_not_fire(self, tc_edb):
+        result = RecStep(
+            RecStepConfig(**RELATIONAL, max_iterations=10_000, max_total_rows=10**9)
+        ).evaluate(get_program("TC"), tc_edb, dataset="guard")
+        assert result.status == "ok"
+        recap = result.resilience["guard"]
+        # Productive iterations only: TC is one recursive stratum, so
+        # exactly the converging (empty-delta) iteration is excluded.
+        assert recap["iterations"] == result.iterations - 1
+        assert "soft_warnings" not in recap
+
+    def test_soft_warning_escalates_degradation_ladder(self, tc_edb):
+        free = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            get_program("TC"), tc_edb, dataset="guard"
+        )
+        # Budget sized so the run finishes inside it but crosses the 80%
+        # soft fraction: the warning fires and escalates the ladder.
+        result = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                max_iterations=free.iterations,
+                degradation=True,
+                profile=True,
+            )
+        ).evaluate(get_program("TC"), tc_edb, dataset="guard")
+        assert result.status == "ok"
+        assert result.resilience["guard"]["soft_warnings"] == ["max_iterations"]
+        assert result.profile.counters.get("guard.soft_warnings", 0) >= 1
+        assert result.resilience.get("pressure_level", 0) >= 1
+
+    def test_failure_kind_discriminators(self, tc_edb):
+        spec = get_program("TC")
+        cases = {
+            "deadline": RecStepConfig(**RELATIONAL, deadline=0.1),
+            "max_iterations": RecStepConfig(**RELATIONAL, max_iterations=2),
+            "oom": RecStepConfig(**RELATIONAL, memory_budget=200_000),
+        }
+        kinds = {
+            name: RecStep(cfg).evaluate(spec, tc_edb, dataset="kinds").failure["kind"]
+            for name, cfg in cases.items()
+        }
+        assert kinds == {
+            "deadline": "deadline",
+            "max_iterations": "max_iterations",
+            "oom": "oom",
+        }
+
+    def test_invalid_budgets_rejected(self):
+        from repro.resilience import RuntimeGuard
+
+        with pytest.raises(ValueError):
+            RuntimeGuard(max_iterations=0)
+        with pytest.raises(ValueError):
+            RuntimeGuard(max_total_rows=-5)
+
+
+# ---------------------------------------------------------------------------
 # Degradation ladder (acceptance 3)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,491 @@
+"""The concurrent query service: admission, isolation, breakers, drain.
+
+The serving acceptance set:
+
+* overload produces structured ``Overloaded`` rejections with positive
+  retry-after hints — never unbounded buffering, never exceptions;
+* a failing query cannot disturb a concurrent neighbor: completed
+  fixpoints are byte-identical to solo runs of the same query;
+* a class that keeps failing opens its circuit breaker, which half-opens
+  after the cooldown and recovers on a successful probe;
+* graceful drain checkpoints in-flight work so it resumes to the same
+  fixpoint, and sheds queued work with structured failure documents;
+* the watchdog cancels a stuck fixpoint cooperatively with
+  ``failure["kind"] == "watchdog"``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EvaluationCancelled
+from repro.common.timing import SimClock
+from repro.core import PbmeMode, RecStep, RecStepConfig
+from repro.programs import get_program
+from repro.server import (
+    AdmissionController,
+    CircuitBreaker,
+    QueryRequest,
+    QueryService,
+    ServerConfig,
+    SessionError,
+    SessionManager,
+    SessionState,
+    WatchdogToken,
+)
+from repro.server.admission import DEFAULT_RETRY_AFTER
+
+RELATIONAL = dict(pbme=PbmeMode.OFF)
+QUOTA = int(128e6)
+
+
+def _graph(seed: int, nodes: int, edges: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, nodes, size=(edges, 2)).astype(np.int64)
+
+
+def _tc_request(seed: int = 42, **kwargs) -> QueryRequest:
+    kwargs.setdefault("memory_quota", QUOTA)
+    return QueryRequest(
+        program=get_program("TC"),
+        edb_data={"arc": _graph(seed, 120, 400)},
+        dataset=f"tc-{seed}",
+        **kwargs,
+    )
+
+
+def _service(**overrides) -> QueryService:
+    # The relational path: iteration-structured evaluation, so memory
+    # quotas, heartbeats, and checkpoints all have boundaries to bite at.
+    config = dict(max_concurrent=2, queue_limit=3)
+    config.update(overrides)
+    return QueryService(
+        ServerConfig(**config), engine_config=RecStepConfig(**RELATIONAL)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle units
+# ---------------------------------------------------------------------------
+
+
+class TestSessionLifecycle:
+    def test_ids_are_monotonic(self):
+        manager = SessionManager()
+        a = manager.create(_tc_request(), now=0.0)
+        b = manager.create(_tc_request(), now=0.0)
+        assert [a.id, b.id] == ["q-00001", "q-00002"]
+
+    def test_legal_path_to_done(self):
+        manager = SessionManager()
+        session = manager.create(_tc_request(), now=0.0)
+        for state in (SessionState.ADMITTED, SessionState.RUNNING, SessionState.DONE):
+            manager.transition(session, state)
+        assert session.state.terminal
+
+    def test_illegal_transition_raises(self):
+        manager = SessionManager()
+        session = manager.create(_tc_request(), now=0.0)
+        with pytest.raises(SessionError, match="illegal transition"):
+            manager.transition(session, SessionState.DONE)  # queued -> done
+
+    def test_terminal_states_are_final(self):
+        manager = SessionManager()
+        session = manager.create(_tc_request(), now=0.0)
+        manager.transition(session, SessionState.SHED)
+        with pytest.raises(SessionError):
+            manager.transition(session, SessionState.ADMITTED)
+
+    def test_unknown_session_raises(self):
+        with pytest.raises(SessionError, match="unknown session"):
+            SessionManager().get("q-99999")
+
+
+# ---------------------------------------------------------------------------
+# Admission control units
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_queue_full_is_structured(self):
+        controller = AdmissionController(
+            queue_limit=2, memory_budget=1000, max_concurrent=1
+        )
+        overload = controller.check_submit(_tc_request(), queue_depth=2, retry_hint=0.5)
+        assert overload is not None
+        doc = overload.to_dict()
+        assert doc["overloaded"] is True
+        assert doc["reason"] == "queue-full"
+        assert doc["retry_after_seconds"] == 0.5
+
+    def test_memory_pressure_is_structured(self):
+        controller = AdmissionController(
+            queue_limit=8, memory_budget=1000, max_concurrent=1, high_watermark=0.9
+        )
+        request = _tc_request(memory_quota=2000)  # above the watermark outright
+        overload = controller.check_submit(request, queue_depth=0, retry_hint=1.0)
+        assert overload.reason == "memory-pressure"
+        assert overload.to_dict()["high_watermark_bytes"] == 900
+
+    def test_reserve_and_release_accounting(self):
+        controller = AdmissionController(
+            queue_limit=8, memory_budget=1000, max_concurrent=2, high_watermark=0.9
+        )
+        assert controller.try_reserve(500)
+        assert controller.try_reserve(400)
+        assert not controller.try_reserve(100)  # 1000 > 900 watermark
+        controller.release(400)
+        assert controller.try_reserve(100)
+
+    def test_default_quota_splits_watermarked_budget(self):
+        controller = AdmissionController(
+            queue_limit=8, memory_budget=1000, max_concurrent=4, high_watermark=0.8
+        )
+        assert controller.default_quota == 200
+        assert controller.quota_for(_tc_request(memory_quota=None)) == 200
+        assert controller.quota_for(_tc_request(memory_quota=123)) == 123
+
+
+# ---------------------------------------------------------------------------
+# Overload at the service front door
+# ---------------------------------------------------------------------------
+
+
+class TestServiceOverload:
+    def test_burst_past_queue_limit_rejects_with_backpressure(self):
+        service = _service(queue_limit=3)
+        responses = [service.submit(_tc_request(seed=s)) for s in range(6)]
+        accepted = [r for r in responses if r["accepted"]]
+        rejected = [r for r in responses if not r["accepted"]]
+        assert len(accepted) == 3 and len(rejected) == 3
+        for response in rejected:
+            assert response["overloaded"] is True
+            assert response["reason"] == "queue-full"
+            assert response["retry_after_seconds"] > 0
+        counters = service.counters.snapshot()
+        assert counters["server.rejected"] == 3
+        assert counters["server.rejected_queue_full"] == 3
+        # The queued work still completes (pump before the drain gate,
+        # which would otherwise shed what is still queued).
+        service.pump()
+        service.drain()
+        for response in accepted:
+            assert service.status(response["session_id"])["state"] == "done"
+
+    def test_memory_pressure_rejection_at_submit(self):
+        service = _service(memory_budget=1000, queue_limit=8)
+        response = service.submit(_tc_request(memory_quota=2000))
+        assert not response["accepted"]
+        assert response["reason"] == "memory-pressure"
+        assert response["retry_after_seconds"] > 0
+
+    def test_draining_service_rejects_submissions(self):
+        service = _service()
+        service.drain()
+        response = service.submit(_tc_request())
+        assert not response["accepted"]
+        assert response["reason"] == "draining"
+        assert service.counters.snapshot()["server.rejected_draining"] == 1
+
+    def test_retry_hint_tracks_earliest_finish(self):
+        service = _service(max_concurrent=1, queue_limit=1)
+        service.submit(_tc_request(seed=1))
+        service.pump()  # occupies the slot over its evaluation interval
+        assert service._active
+        hint = service._retry_hint(service.clock.now())
+        earliest = min(f for f, _, _ in service._active)
+        assert hint == pytest.approx(
+            max(earliest - service.clock.now(), DEFAULT_RETRY_AFTER / 10.0)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Isolation: a failing query cannot disturb its neighbors
+# ---------------------------------------------------------------------------
+
+
+class TestIsolation:
+    def test_failing_query_does_not_affect_neighbors(self):
+        service = _service(max_concurrent=2, queue_limit=8)
+        good = [service.submit(_tc_request(seed=s)) for s in (1, 2, 3)]
+        # A starved quota OOMs this query inside its own failure domain.
+        bad = service.submit(_tc_request(seed=4, memory_quota=200_000))
+        assert bad["accepted"]
+        service.pump()
+        service.drain()
+
+        bad_doc = service.status(bad["session_id"])
+        assert bad_doc["state"] == "failed"
+        assert bad_doc["failure"]["error"] == "OutOfMemoryError"
+        assert bad_doc["failure"]["kind"] == "oom"
+
+        for seed, response in zip((1, 2, 3), good):
+            doc = service.status(response["session_id"])
+            assert doc["state"] == "done"
+            solo = RecStep(
+                replace(service.engine_config, memory_budget=doc["reserved_bytes"])
+            ).evaluate(
+                get_program("TC"),
+                {"arc": _graph(seed, 120, 400)},
+                dataset=f"tc-{seed}",
+            )
+            session = service.sessions.get(response["session_id"])
+            assert session.result.tuples == solo.tuples
+
+    def test_internal_error_is_captured_not_raised(self):
+        service = _service()
+        request = _tc_request(seed=5)
+        request.edb_data = {"arc": "not an array"}  # poison the evaluation
+        response = service.submit(request)
+        assert response["accepted"]
+        service.pump()
+        service.drain()  # must not raise
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "failed"
+        assert doc["failure"]["kind"] == "internal"
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker("tc", failure_threshold=3, cooldown_seconds=10.0)
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+            assert breaker.allow(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(now=5.0)
+        assert breaker.retry_after(5.0) == pytest.approx(5.0)
+
+    def test_half_open_admits_single_probe(self):
+        breaker = CircuitBreaker("tc", failure_threshold=1, cooldown_seconds=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)  # cooldown passed: the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow(now=11.0)  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker("tc", failure_threshold=1, cooldown_seconds=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow(now=11.0)
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker("tc", failure_threshold=3, cooldown_seconds=10.0)
+        for _ in range(3):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_failure(now=11.0)  # half-open failure: instant re-open
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow(now=12.0)
+
+
+class TestCircuitBreakerService:
+    @staticmethod
+    def _failing_request(seed: int) -> QueryRequest:
+        return _tc_request(seed=seed, memory_quota=200_000)  # guaranteed OOM
+
+    def test_breaker_opens_and_recovers_via_probe(self):
+        service = _service(
+            max_concurrent=1,
+            queue_limit=8,
+            breaker_failure_threshold=3,
+            breaker_cooldown_seconds=5.0,
+        )
+        # Three sequential failures of the "tc" class open the breaker.
+        for seed in (1, 2, 3):
+            response = service.submit(self._failing_request(seed))
+            assert response["accepted"]
+            service.flush()
+        board = service.breakers.for_class("TC")
+        assert board.state == "open"
+        assert service.counters.snapshot()["server.breaker_open"] == 1
+
+        blocked = service.submit(_tc_request(seed=9))
+        assert not blocked["accepted"]
+        assert blocked["reason"] == "breaker-open"
+        assert blocked["retry_after_seconds"] > 0
+        assert service.counters.snapshot()["server.rejected_breaker"] == 1
+
+        # After the cooldown, a healthy probe closes the breaker again.
+        service.clock.advance(5.0)
+        probe = service.submit(_tc_request(seed=10))
+        assert probe["accepted"]
+        assert board.state == "half-open"
+        service.flush()
+        assert board.state == "closed"
+        counters = service.counters.snapshot()
+        assert counters["server.breaker_half_open"] == 1
+        assert counters["server.breaker_closed"] == 1
+        assert service.status(probe["session_id"])["state"] == "done"
+
+    def test_client_scoped_failures_do_not_open_breaker(self):
+        service = _service(max_concurrent=1, queue_limit=8, breaker_failure_threshold=2)
+        for seed in (1, 2, 3):
+            response = service.submit(_tc_request(seed=seed, max_iterations=1))
+            assert response["accepted"]
+            service.flush()
+            doc = service.status(response["session_id"])
+            assert doc["state"] == "failed"
+            assert doc["failure"]["kind"] == "max_iterations"
+        assert service.breakers.for_class("TC").state == "closed"
+
+
+# ---------------------------------------------------------------------------
+# Watchdog
+# ---------------------------------------------------------------------------
+
+
+class TestWatchdog:
+    def test_token_trips_on_heartbeat_gap(self):
+        clock = SimClock()
+        token = WatchdogToken(clock, stall_timeout=1.0)
+        token.check(stratum=0, iteration=0)
+        clock.advance(0.5)
+        token.check(stratum=0, iteration=1)
+        clock.advance(5.0)
+        with pytest.raises(EvaluationCancelled) as info:
+            token.check(stratum=0, iteration=2)
+        assert info.value.context["kind"] == "watchdog"
+        assert info.value.context["gap_seconds"] == pytest.approx(5.0)
+        assert token.cancelled
+
+    def test_service_watchdog_cancels_stuck_fixpoint(self):
+        # A stall timeout below any iteration's cost: the first heartbeat
+        # gap trips, standing in for a genuinely wedged fixpoint.
+        service = QueryService(
+            ServerConfig(max_concurrent=1, queue_limit=2, watchdog_stall_timeout=1e-9),
+            engine_config=RecStepConfig(**RELATIONAL),
+        )
+        response = service.submit(_tc_request(seed=6))
+        assert response["accepted"]
+        service.pump()
+        service.drain()
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "cancelled"
+        assert doc["failure"]["kind"] == "watchdog"
+        assert doc["failure"]["stall_timeout"] == 1e-9
+        assert service.counters.snapshot()["server.watchdog_cancels"] == 1
+
+    def test_progress_heartbeats_reach_session_record(self):
+        service = QueryService(
+            ServerConfig(max_concurrent=1, queue_limit=2),
+            engine_config=RecStepConfig(**RELATIONAL),
+        )
+        response = service.submit(_tc_request(seed=7))
+        service.pump()
+        service.drain()
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "done"
+        assert doc["heartbeats"] > 0
+        assert "iteration" in doc["last_position"]
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_sheds_queued_with_structured_failure(self):
+        service = _service(max_concurrent=1, queue_limit=4)
+        responses = [service.submit(_tc_request(seed=s)) for s in range(4)]
+        report = service.drain()  # no checkpoint dir: queued work is shed
+        assert report["drained"] is True
+        states = {
+            r["session_id"]: service.status(r["session_id"])["state"]
+            for r in responses
+        }
+        assert sorted(states.values()).count("shed") >= 1
+        for session_id, state in states.items():
+            if state == "shed":
+                failure = service.status(session_id)["failure"]
+                assert failure["kind"] == "shed"
+                assert failure["error"] == "SessionShed"
+        assert service.counters.snapshot()["server.shed"] >= 1
+
+    def test_drain_checkpoints_in_flight_work(self, tmp_path):
+        # A tight drain grace forces the queued query to stop at its
+        # deadline mid-fixpoint — but under per-iteration checkpointing,
+        # so its partial state survives the shutdown.
+        service = QueryService(
+            ServerConfig(max_concurrent=1, queue_limit=4, drain_grace_seconds=0.15),
+            engine_config=RecStepConfig(**RELATIONAL),
+        )
+        response = service.submit(_tc_request(seed=42))
+        assert response["accepted"]
+        report = service.drain(checkpoint_dir=str(tmp_path))
+        assert report["drain_checkpoint_dir"] == str(tmp_path)
+
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "cancelled"  # deadline at the drain grace
+        assert doc["failure"]["kind"] == "deadline"
+        checkpoint_dir = doc["checkpoint_dir"]
+        assert checkpoint_dir.endswith(response["session_id"])
+        assert service.counters.snapshot()["server.checkpointed_on_drain"] == 1
+
+        # The checkpoint resumes to the exact solo fixpoint.
+        resumed = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                memory_budget=doc["reserved_bytes"],
+                resume_from=checkpoint_dir,
+            )
+        ).evaluate(
+            get_program("TC"), {"arc": _graph(42, 120, 400)}, dataset="tc-42"
+        )
+        solo = RecStep(
+            RecStepConfig(**RELATIONAL, memory_budget=doc["reserved_bytes"])
+        ).evaluate(
+            get_program("TC"), {"arc": _graph(42, 120, 400)}, dataset="tc-42"
+        )
+        assert resumed.status == solo.status == "ok"
+        assert resumed.tuples == solo.tuples
+
+    def test_drain_report_is_machine_readable(self):
+        import json
+
+        service = _service()
+        service.submit(_tc_request(seed=1))
+        report = service.drain()
+        # Serializable end to end, and carries the shutdown essentials.
+        encoded = json.loads(json.dumps(report, default=str))
+        assert encoded["drained"] is True
+        assert "session_counts" in encoded
+        assert "breakers" in encoded
+        assert "counters" in encoded
+        assert encoded["queue_depth"] == 0
+        assert encoded["active"] == 0
+
+    def test_cancel_queued_session(self):
+        service = _service(max_concurrent=1, queue_limit=4)
+        first = service.submit(_tc_request(seed=1))
+        second = service.submit(_tc_request(seed=2))
+        doc = service.cancel(second["session_id"])
+        assert doc["state"] == "shed"
+        assert doc["failure"]["reason"] == "cancelled-by-client"
+        service.pump()
+        service.drain()
+        assert service.status(first["session_id"])["state"] == "done"
+
+
+# ---------------------------------------------------------------------------
+# The serve-chaos smoke, in miniature (CI runs the full module)
+# ---------------------------------------------------------------------------
+
+
+class TestSmoke:
+    def test_smoke_run_is_clean(self):
+        from repro.server.smoke import run_smoke
+
+        report = run_smoke(queries=6, queue_limit=3, verbose=False)
+        assert report["smoke"]["violations"] == []
+        assert report["smoke"]["accepted"] >= 1
