@@ -38,6 +38,14 @@ CSPA_DATASETS = ["cspa-linux", "cspa-postgresql", "cspa-httpd"]
 CSPA_ENGINES = ["RecStep", "Souffle", "BigDatalog", "Graspan"]
 
 
+def _extra(engine: str) -> dict:
+    """RecStep runs paper-faithful here: the figure's close calls (Souffle
+    edging out RecStep on cspa-httpd and on CSDA) are statements about the
+    paper's shared-hash-table engine, and our radix-partitioned mode —
+    measured on its own in Figure 8 — is fast enough to flip them."""
+    return {"partitioned_exec": False} if engine == "RecStep" else {}
+
+
 @functools.lru_cache(maxsize=1)
 def program_analysis_results():
     results = {}
@@ -48,18 +56,21 @@ def program_analysis_results():
             results[("AA", dataset, engine)] = cached_run(
                 engine, "AA", dataset,
                 memory_budget=MEMORY_BUDGET, time_budget=engine_budget(engine),
+                **_extra(engine),
             )
     for dataset in CSDA_DATASETS:
         for engine in CSDA_ENGINES:
             results[("CSDA", dataset, engine)] = cached_run(
                 engine, "CSDA", dataset,
                 memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+                **_extra(engine),
             )
     for dataset in CSPA_DATASETS:
         for engine in CSPA_ENGINES:
             results[("CSPA", dataset, engine)] = cached_run(
                 engine, "CSPA", dataset,
                 memory_budget=MEMORY_BUDGET, time_budget=TIME_BUDGET,
+                **_extra(engine),
             )
     return results
 

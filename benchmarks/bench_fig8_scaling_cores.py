@@ -4,6 +4,15 @@ Thread counts 1..40 on the 20-physical-core model. Paper's shape:
 near-linear speedup to 16 threads, then a clear plateau caused by
 contention on the shared dedup hash table (the machine has 20 physical
 cores / 40 hyperthreads).
+
+On top of the paper's shared-table runs, the bench measures the
+radix-partitioned execution mode (scatter + per-bucket build/probe/dedup,
+no shared table) at the plateau thread counts. Partitioning attacks
+exactly the contention the paper blames for the plateau, so on the
+join/dedup-bound workload (CSPA) it must lift the 32/40-thread speedup —
+with bit-identical fixpoints. CC takes the AGG-MERGE path (no dedup or
+set-difference in its hot loop), so it keeps the plateau either way and
+serves as the identity control.
 """
 
 import functools
@@ -18,6 +27,9 @@ from benchmarks.common import (
 
 THREAD_COUNTS = [1, 2, 4, 8, 16, 20, 32, 40]
 
+#: Where partitioned execution is measured: the knee and the plateau.
+PARTITIONED_THREADS = [16, 32, 40]
+
 WORKLOADS = [
     ("CSPA", "cspa-httpd"),
     ("CC", "livejournal"),
@@ -29,13 +41,24 @@ def scaling_results():
     results = {}
     for program, dataset in WORKLOADS:
         for threads in THREAD_COUNTS:
-            results[(program, dataset, threads)] = cached_run(
+            results[(program, dataset, threads, "shared")] = cached_run(
                 "RecStep",
                 program,
                 dataset,
                 threads=threads,
                 memory_budget=MEMORY_BUDGET,
                 time_budget=TIME_BUDGET,
+                partitioned_exec=False,
+            )
+        for threads in PARTITIONED_THREADS:
+            results[(program, dataset, threads, "partitioned")] = cached_run(
+                "RecStep",
+                program,
+                dataset,
+                threads=threads,
+                memory_budget=MEMORY_BUDGET,
+                time_budget=TIME_BUDGET,
+                partitioned_exec=True,
             )
     return results
 
@@ -47,22 +70,32 @@ def test_fig8_scaling_cores(benchmark):
     sections = []
     speedups = {}
     for program, dataset in WORKLOADS:
-        base = results[(program, dataset, 1)].sim_seconds
-        lines = [f"Figure 8: speedup of {program} on {dataset}",
-                 f"{'threads':>8}{'sim time':>12}{'speedup':>9}"]
+        # Both variants share the 1-thread base: partitioning is a no-op
+        # at one thread, so the speedups are directly comparable.
+        base = results[(program, dataset, 1, "shared")].sim_seconds
+        lines = [
+            f"Figure 8: speedup of {program} on {dataset}",
+            f"{'threads':>8}{'shared':>12}{'speedup':>9}"
+            f"{'partitioned':>14}{'speedup':>9}",
+        ]
         for threads in THREAD_COUNTS:
-            seconds = results[(program, dataset, threads)].sim_seconds
-            speedup = base / seconds
-            speedups[(program, threads)] = speedup
-            lines.append(f"{threads:>8}{seconds:>11.2f}s{speedup:>8.2f}x")
+            seconds = results[(program, dataset, threads, "shared")].sim_seconds
+            speedups[(program, threads, "shared")] = base / seconds
+            row = f"{threads:>8}{seconds:>11.2f}s{base / seconds:>8.2f}x"
+            part = results.get((program, dataset, threads, "partitioned"))
+            if part is not None:
+                speedups[(program, threads, "partitioned")] = base / part.sim_seconds
+                row += f"{part.sim_seconds:>13.2f}s{base / part.sim_seconds:>8.2f}x"
+            lines.append(row)
         sections.append("\n".join(lines))
     write_result(
         "fig8_scaling_cores",
         "\n\n".join(sections),
-        runs=records_from(results, ("program", "dataset", "threads")),
+        runs=records_from(results, ("program", "dataset", "threads", "variant")),
         config={
             "workloads": WORKLOADS,
             "thread_counts": THREAD_COUNTS,
+            "partitioned_threads": PARTITIONED_THREADS,
             "memory_budget": MEMORY_BUDGET,
             "time_budget": TIME_BUDGET,
         },
@@ -70,17 +103,34 @@ def test_fig8_scaling_cores(benchmark):
 
     for program, _ in WORKLOADS:
         # Monotone gains up to 16 threads, meaningful speedup at 16...
-        assert speedups[(program, 2)] > 1.2
-        assert speedups[(program, 16)] > speedups[(program, 8)] > speedups[(program, 4)]
-        assert speedups[(program, 16)] > 3.0
+        assert speedups[(program, 2, "shared")] > 1.2
+        assert (
+            speedups[(program, 16, "shared")]
+            > speedups[(program, 8, "shared")]
+            > speedups[(program, 4, "shared")]
+        )
+        assert speedups[(program, 16, "shared")] > 3.0
         # ...then a plateau: 40 threads buys little over 16 (paper: the
         # "synchronization/scheduling primitive around the common shared
         # hash table").
-        assert speedups[(program, 40)] < speedups[(program, 16)] * 1.6
-        # And results are identical at every thread count.
+        assert (
+            speedups[(program, 40, "shared")]
+            < speedups[(program, 16, "shared")] * 1.6
+        )
+        # And results are identical at every thread count AND in both
+        # execution modes — partitioning must not change the fixpoint.
         sizes = {
-            frozenset(results[(program, d, t)].sizes().items())
-            for (p, d, t) in results
-            if p == program
+            frozenset(results[key].sizes().items())
+            for key in results
+            if key[0] == program
         }
         assert len(sizes) == 1
+
+    # Partitioned execution lifts the plateau where the plateau comes
+    # from the shared table: CSPA is join/dedup-bound, so at 32 and 40
+    # threads the partitioned speedup must be strictly better.
+    for threads in [32, 40]:
+        assert (
+            speedups[("CSPA", threads, "partitioned")]
+            > speedups[("CSPA", threads, "shared")]
+        )

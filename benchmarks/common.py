@@ -49,8 +49,17 @@ def cached_run(
     memory_budget: int = MEMORY_BUDGET,
     time_budget: float = TIME_BUDGET,
     seed: int = 0,
+    partitioned_exec: bool = True,
 ) -> EvaluationResult:
-    """Memoized run_workload so benches sharing cells never recompute."""
+    """Memoized run_workload so benches sharing cells never recompute.
+
+    ``partitioned_exec`` is a RecStep knob (radix-partitioned execution,
+    the Figure 8 shared-vs-partitioned comparison); the comparison
+    engines have no equivalent, so it is only forwarded to RecStep.
+    """
+    extra = {}
+    if engine == "RecStep":
+        extra["partitioned_exec"] = partitioned_exec
     return run_workload(
         engine,
         program,
@@ -59,6 +68,7 @@ def cached_run(
         memory_budget=memory_budget,
         time_budget=time_budget,
         seed=seed,
+        **extra,
     )
 
 

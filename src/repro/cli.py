@@ -83,6 +83,8 @@ def run_datalog_file(
     max_iterations: int | None = None,
     max_total_rows: int | None = None,
     join_cache: bool = True,
+    partitioned_exec: bool = True,
+    partitions: int | None = None,
     serve_trace: str | None = None,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
@@ -127,6 +129,16 @@ def run_datalog_file(
         if engine_name != "RecStep":
             raise DatalogError("--no-join-cache is only supported by the RecStep engine")
         extra["join_cache"] = False
+    if not partitioned_exec:
+        if engine_name != "RecStep":
+            raise DatalogError(
+                "--no-partitioned-exec is only supported by the RecStep engine"
+            )
+        extra["partitioned_exec"] = False
+    if partitions is not None:
+        if engine_name != "RecStep":
+            raise DatalogError("--partitions is only supported by the RecStep engine")
+        extra["partitions"] = partitions
     resilience_options = {
         "fault_seed": fault_seed,
         "degradation": degrade or None,
@@ -311,6 +323,21 @@ def main(argv: list[str] | None = None) -> int:
         "memory change",
     )
     parser.add_argument(
+        "--no-partitioned-exec",
+        action="store_true",
+        help="disable radix-partitioned join/dedup/set-difference "
+        "execution (RecStep only); results are identical either way, "
+        "only modeled cost and memory change",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="P",
+        help="radix bucket count for partitioned execution (RecStep "
+        "only; rounded up to a power of two, default 256)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="trace the evaluation and print a hotspot table (RecStep only)",
@@ -347,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
         max_iterations=args.max_iterations,
         max_total_rows=args.max_total_rows,
         join_cache=not args.no_join_cache,
+        partitioned_exec=not args.no_partitioned_exec,
+        partitions=args.partitions,
         serve_trace=args.serve_trace,
     )
     print(f"engine:       {result.engine}")

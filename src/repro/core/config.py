@@ -61,6 +61,11 @@ class RecStepConfig:
     pbme: PbmeMode = PbmeMode.AUTO   # bit-matrix evaluation
     sg_coordination: bool = False    # Figure 7's SG-PBME-COORD variant
     join_cache: bool = True          # iteration-persistent join indexes
+    partitioned_exec: bool = True    # radix-partitioned join/dedup/setops
+    # Radix bucket count (rounded up to a power of two). Many more buckets
+    # than workers keeps LPT scheduling quantization below the
+    # contention-width bound at every thread count up to 40.
+    partitions: int = 256
 
     # -- resilience (repro.resilience) ------------------------------------
     fault_seed: int | None = field(default_factory=_env_chaos_seed)
@@ -82,7 +87,8 @@ class RecStepConfig:
         """A copy with one optimization disabled (ablation helper).
 
         ``optimization`` is one of: "uie", "oof" (alias "oof-na"),
-        "oof-fa", "dsd", "eost", "fast_dedup", "pbme", "join_cache".
+        "oof-fa", "dsd", "eost", "fast_dedup", "pbme", "join_cache",
+        "partitioned_exec".
         """
         key = optimization.lower().replace("-", "_")
         if key == "uie":
@@ -101,6 +107,8 @@ class RecStepConfig:
             return replace(self, pbme=PbmeMode.OFF)
         if key == "join_cache":
             return replace(self, join_cache=False)
+        if key == "partitioned_exec":
+            return replace(self, partitioned_exec=False)
         raise ValueError(f"unknown optimization {optimization!r}")
 
     @classmethod
@@ -114,5 +122,6 @@ class RecStepConfig:
             fast_dedup=False,
             pbme=PbmeMode.OFF,
             join_cache=False,
+            partitioned_exec=False,
             **overrides,
         )

@@ -107,6 +107,8 @@ class RecStep:
             profile=self.config.profile,
             resilience=resilience,
             join_cache=self.config.join_cache,
+            partitioned_exec=self.config.partitioned_exec,
+            partitions=self.config.partitions,
         )
         tokens = []
         if self.config.deadline is not None:

@@ -56,6 +56,12 @@ class Database:
             extend them incrementally as tables are appended to (the
             iteration-persistent join state; ``--no-join-cache`` escape
             hatch). Disabled, every join rebuilds its hash state.
+        partitioned_exec: allow operators to run radix-partitioned
+            (scatter by key-hash bits, then per-bucket private hash
+            tables) when the modeled makespan beats the shared-table
+            path; ``--no-partitioned-exec`` escape hatch. Results are
+            byte-identical either way.
+        partitions: radix bucket count (rounded up to a power of two).
         profile: enable the span tracer + counter registry (repro.obs);
             off by default, at zero instrumentation cost.
         resilience: the evaluation's resilience context (fault injector,
@@ -72,6 +78,8 @@ class Database:
         fast_dedup: bool = True,
         enforce_budgets: bool = True,
         join_cache: bool = True,
+        partitioned_exec: bool = True,
+        partitions: int = 256,
         profile: bool = False,
         resilience: ResilienceContext | None = None,
     ) -> None:
@@ -85,6 +93,12 @@ class Database:
         )
         self.fast_dedup = fast_dedup
         self.join_cache = JoinStateCache(enabled=join_cache)
+        if partitions < 1:
+            raise PlanError(f"partitions must be positive, got {partitions}")
+        # The radix scatter derives bucket ids from the key hash's top
+        # bits, so the count must be a power of two; round up quietly.
+        self.partitions = 1 << (partitions - 1).bit_length() if partitions > 1 else 1
+        self.partitioned_exec = partitioned_exec
         self.queries_executed = 0
         self.profiler = NULL_PROFILER
         self.resilience = resilience if resilience is not None else ResilienceContext()
@@ -112,6 +126,8 @@ class Database:
             cost_model=self.cost_model,
             profiler=self.profiler,
             join_cache=self.join_cache if self.join_cache.enabled else None,
+            partitions=self.partitions if self.partitioned_exec else 0,
+            degradation=self.resilience.degradation,
         )
 
     def _maybe_shed_join_cache(self) -> None:
@@ -365,6 +381,7 @@ class Database:
                     fast=self.fast_dedup,
                     estimated_rows=estimated_rows,
                     lean=lean,
+                    partitions=self.partitions if self.partitioned_exec else 0,
                 ),
             )
             table.replace_contents(outcome.rows)
@@ -375,6 +392,7 @@ class Database:
                 rows_out=outcome.output_rows,
                 duplicates=outcome.input_rows - outcome.output_rows,
                 compact_key=outcome.used_compact_key,
+                partitioned=outcome.partitioned,
             )
             if lean:
                 span.set(lean=True)

@@ -17,8 +17,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine import kernels
-from repro.engine.executor import COST_DEDUP_FAST, COST_DEDUP_SLOW, DEDUP_PHASE
-from repro.engine.operators import ExecutionContext
+from repro.engine.executor import (
+    COST_DEDUP_FAST,
+    COST_DEDUP_SLOW,
+    COST_PARTITION,
+    DEDUP_PHASE,
+    PARTITION_PHASE,
+    PARTITIONED_DEDUP_PHASE,
+)
+from repro.engine.operators import PARTITION_SCRATCH_BYTES, ExecutionContext
+from repro.engine.optimizer import partitioned_dedup_decision
 
 #: Generic hash table per-entry overhead: 8-byte hash + 16-byte kv pointer.
 GENERIC_ENTRY_OVERHEAD = 24
@@ -38,6 +46,7 @@ class DedupOutcome:
     input_rows: int
     output_rows: int
     used_compact_key: bool
+    partitioned: bool = False
 
 
 def plan_transient(
@@ -47,6 +56,7 @@ def plan_transient(
     estimated_rows: int | None = None,
     packable: bool = True,
     lean: bool = False,
+    partitioned: bool = False,
 ) -> int:
     """The single sizing rule for dedup transients (pre-flight == actual).
 
@@ -55,14 +65,21 @@ def plan_transient(
     charged. ``packable`` matters: a wide tuple silently degrades the
     CCK path to the generic one, whose per-entry overhead is far larger —
     a pre-flight assuming the compact layout would under-report it.
+    ``partitioned`` adds the radix scatter buffers on top of the bucket
+    tables (same total entries, just spread over private per-bucket
+    structures).
     """
     if lean:
         return n * LEAN_INDEX_BYTES
     buckets = max(16, n if estimated_rows is None else estimated_rows)
     if fast and packable:
-        return max(n, buckets) * CCK_BUCKET_BYTES + n * 8
-    tuple_bytes = width * 8 if n else 8
-    return max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
+        base = max(n, buckets) * CCK_BUCKET_BYTES + n * 8
+    else:
+        tuple_bytes = width * 8 if n else 8
+        base = max(n, buckets) * 8 + n * (GENERIC_ENTRY_OVERHEAD + tuple_bytes)
+    if partitioned:
+        base += n * PARTITION_SCRATCH_BYTES
+    return base
 
 
 def rows_packable(rows: np.ndarray) -> bool:
@@ -95,6 +112,7 @@ def deduplicate(
     fast: bool = True,
     estimated_rows: int | None = None,
     lean: bool = False,
+    partitions: int = 0,
 ) -> DedupOutcome:
     """Deduplicate ``rows`` charging the configured strategy's costs.
 
@@ -112,10 +130,20 @@ def deduplicate(
     ``lean=True`` (degradation ladder, rung 1) bypasses both hash paths
     for an in-place sort + adjacent-unique sweep: the slowest per tuple,
     but its only transient is the sort's index array (``n * 8`` bytes).
+
+    ``partitions > 0`` enables radix-partitioned execution: a scatter
+    pass buckets rows by key hash, then each bucket dedups into a private
+    table — no shared GSCHT, so almost none of its contention penalty.
+    The call itself decides shared-vs-partitioned from the modeled
+    makespans (``optimizer.partitioned_dedup_decision``), so tiny inputs
+    and low thread counts stay shared. Only the compact-key path
+    partitions (the radix hash needs the packed int64 key); output is
+    byte-identical to the shared path.
     """
     n = rows.shape[0]
     packable = rows_packable(rows)
     use_compact = fast and packable and not lean
+    use_partitioned = partitions > 0 and use_compact and n > 0
 
     if estimated_rows is None:
         estimated_rows = n
@@ -125,11 +153,37 @@ def deduplicate(
     # eventually kick in).
     chain_factor = min(4.0, max(1.0, n / buckets))
 
+    if use_partitioned:
+        choice = partitioned_dedup_decision(
+            ctx.cost_model, partitions, n, COST_DEDUP_FAST * chain_factor
+        )
+        # The pre-flight prices the *whole* partitioned allocation (bucket
+        # tables + scatter scratch), not the scratch alone: two halves that
+        # each clear the soft watermark can still jointly blow the budget.
+        planned = plan_transient(
+            n, rows.shape[1], fast=fast, estimated_rows=estimated_rows,
+            packable=packable, lean=lean, partitioned=True,
+        )
+        use_partitioned = choice.partitioned and ctx.partition_scratch_ok(planned)
+
+    # The scatter needs the packed key as its hash input; a tuple that
+    # unexpectedly fails to pack falls back to the shared path.
+    key = layout = None
+    if use_partitioned:
+        if rows.shape[1] == 1:
+            key = rows[:, 0]
+        else:
+            key = kernels.pack_columns([rows[:, i] for i in range(rows.shape[1])])
+        if key is None:
+            use_partitioned = False
+        else:
+            layout = kernels.radix_partition(key, partitions)
+
     # Sizing comes from the shared rule so the degradation pre-flight and
     # the ledger always agree byte-for-byte.
     transient = plan_transient(
         n, rows.shape[1], fast=fast, estimated_rows=estimated_rows,
-        packable=packable, lean=lean,
+        packable=packable, lean=lean, partitioned=use_partitioned,
     )
     if lean:
         cost = n * COST_DEDUP_LEAN
@@ -139,8 +193,24 @@ def deduplicate(
         cost = n * COST_DEDUP_SLOW * chain_factor
 
     ctx.metrics.allocate_transient(transient)
-    ctx.charge_parallel(DEDUP_PHASE, cost, n)
-    unique = kernels.unique_rows(rows)
+    if use_partitioned:
+        order, offsets = layout
+        ctx.charge_parallel(PARTITION_PHASE, n * COST_PARTITION, n)
+        counts = kernels.partition_counts(offsets)
+        # Same per-tuple work as the shared table (each bucket builds its
+        # private GSCHT), scheduled as one straggler-bound task per bucket.
+        ctx.charge_partitioned_tasks(
+            PARTITIONED_DEDUP_PHASE, counts * (COST_DEDUP_FAST * chain_factor)
+        )
+        keep = kernels.partitioned_unique_indices(key, order, offsets)
+        if rows.shape[1] == 1:
+            # The shared single-column path returns sorted values.
+            unique = np.sort(rows[keep, 0]).reshape(-1, 1)
+        else:
+            unique = rows[keep]
+    else:
+        ctx.charge_parallel(DEDUP_PHASE, cost, n)
+        unique = kernels.unique_rows(rows)
     ctx.metrics.release_transient(transient)
     counters = ctx.profiler.counters
     counters.inc("dedup_calls")
@@ -151,7 +221,18 @@ def deduplicate(
         counters.inc("dedup_lean_path")
     else:
         counters.inc("dedup_fast_path" if use_compact else "dedup_generic_path")
-    ctx.profiler.annotate(transient_bytes=transient, chain_factor=round(chain_factor, 3))
+    if use_partitioned:
+        counters.inc("partition.dedup_runs")
+        counters.inc("partition.scatter_rows", n)
+    ctx.profiler.annotate(
+        transient_bytes=transient,
+        chain_factor=round(chain_factor, 3),
+        partitioned=use_partitioned,
+    )
     return DedupOutcome(
-        rows=unique, input_rows=n, output_rows=unique.shape[0], used_compact_key=use_compact
+        rows=unique,
+        input_rows=n,
+        output_rows=unique.shape[0],
+        used_compact_key=use_compact,
+        partitioned=use_partitioned,
     )

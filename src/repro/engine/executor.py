@@ -33,6 +33,10 @@ COST_DEDUP_FAST = 5.0e-7
 COST_DEDUP_SLOW = 1.25e-6
 COST_AGGREGATE = 7.0e-7
 COST_BITOP = 2.0e-9
+#: Per-tuple cost of the radix scatter pass (hash, histogram, copy out).
+#: A sequential streaming write — cheaper than a probe, but a real pass
+#: that tiny inputs cannot amortize; the partition decision weighs it.
+COST_PARTITION = 1.5e-7
 
 #: Fixed cost of dispatching one SQL query (parse, plan, catalog work).
 #: This is the overhead that UIE amortizes and that dominates CSDA's ~1000
@@ -56,6 +60,16 @@ BUILD_PHASE = PhaseKind("build", 0.20)
 DEDUP_PHASE = PhaseKind("dedup", 0.38)
 AGGREGATE_PHASE = PhaseKind("aggregate", 0.25)
 BITMATRIX_PHASE = PhaseKind("bitmatrix", 0.02)
+
+#: Radix-partitioned execution (Section 6 outlook / the partitioned-layout
+#: escape from the Figure 8 plateau). The scatter pass writes disjoint
+#: per-worker output runs, and each bucket's build/probe/dedup touches a
+#: private structure — no shared hash table, so almost none of the
+#: contention penalty the shared phases pay.
+PARTITION_PHASE = PhaseKind("partition", 0.04)
+PARTITIONED_BUILD_PHASE = PhaseKind("p_build", 0.03)
+PARTITIONED_PROBE_PHASE = PhaseKind("p_probe", 0.03)
+PARTITIONED_DEDUP_PHASE = PhaseKind("p_dedup", 0.05)
 
 
 @dataclass
@@ -146,6 +160,27 @@ class ParallelCostModel:
         self.profiler.counters.inc(f"phase_{kind.name}_runs")
         self.profiler.add_phase_time(kind.name, outcome.makespan)
         return outcome
+
+    def estimate_phase_time(
+        self, kind: PhaseKind, total_cost: float, num_tasks: int
+    ) -> float:
+        """Predicted makespan of a phase, without running it.
+
+        The optimizer's half of :meth:`run_phase`: same width/worker
+        bounds and barrier overhead, assuming evenly sized tasks —
+        including the LPT quantization a real schedule pays when the
+        task count does not divide the workers (64 equal tasks on 20
+        workers finish in 4 rounds, not 3.2). The partitioned-vs-shared
+        decision compares phase sequences with this.
+        """
+        if total_cost <= 0:
+            return 0.0
+        tasks = max(1, num_tasks)
+        workers = max(1, min(self.threads, tasks))
+        rounds = -(-tasks // workers)
+        quantized = rounds * (total_cost / tasks)
+        width = self.effective_width(kind)
+        return max(quantized, total_cost / width) + PHASE_BARRIER_OVERHEAD
 
     def serial_time(self, cost: float) -> float:
         """Time for inherently serial work (control loop, query dispatch)."""

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine import kernels
-from repro.engine.executor import BUILD_PHASE, COST_BUILD
+from repro.engine.executor import BUILD_PHASE, COST_BUILD, PARTITIONED_BUILD_PHASE
 from repro.storage.stats import ColumnDomain, observed_domain
 
 #: acquire() outcome → counter name.
@@ -184,7 +184,12 @@ class JoinStateCache:
     def _charge_build(self, ctx, rows: int) -> None:
         scratch = rows * INDEX_ROW_BYTES
         ctx.metrics.allocate_transient(scratch)
-        ctx.charge_parallel(BUILD_PHASE, rows * COST_BUILD, rows)
+        # Pack + sort of an extension batch is chunk-local work with no
+        # shared hash table; under partitioned execution it is charged at
+        # the partitioned-build contention like every other build.
+        ctx.charge_index_pass(
+            BUILD_PHASE, PARTITIONED_BUILD_PHASE, rows * COST_BUILD, rows
+        )
         ctx.metrics.release_transient(scratch)
 
     def _codec_for(self, ctx, table, columns: list[np.ndarray], names) -> kernels.KeyCodec:

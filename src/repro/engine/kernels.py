@@ -440,6 +440,145 @@ def merge_sorted_index(
 
 
 # --------------------------------------------------------------------------
+# Radix partitioning
+# --------------------------------------------------------------------------
+
+#: Fibonacci-hashing multiplier (2^64 / φ): scrambles the key bits so the
+#: top ``log2(P)`` bits spread skewed key ranges evenly across buckets.
+_RADIX_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def radix_partition_ids(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Bucket id per key, from the top bits of a multiplicative hash.
+
+    ``num_partitions`` must be a positive power of two. Equal keys always
+    land in the same bucket — the property every partitioned kernel
+    relies on to stay byte-identical with its shared counterpart.
+    """
+    if num_partitions < 1 or num_partitions & (num_partitions - 1):
+        raise ValueError("num_partitions must be a positive power of two")
+    if num_partitions == 1:
+        return np.zeros(keys.shape[0], dtype=np.int64)
+    scrambled = np.asarray(keys).astype(np.uint64) * _RADIX_MULTIPLIER
+    bits = num_partitions.bit_length() - 1
+    return (scrambled >> np.uint64(64 - bits)).astype(np.int64)
+
+
+def radix_partition(
+    keys: np.ndarray, num_partitions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter ``keys`` into radix buckets.
+
+    Returns ``(order, offsets)``: ``order`` is the stable permutation
+    grouping row indices by bucket, and bucket ``p`` owns
+    ``order[offsets[p]:offsets[p + 1]]``. Stability means each bucket
+    lists its rows in original order — this is what lets the partitioned
+    kernels reproduce the shared kernels' output exactly.
+    """
+    ids = radix_partition_ids(keys, num_partitions)
+    order = np.argsort(ids, kind="stable")
+    counts = np.bincount(ids, minlength=num_partitions)
+    offsets = np.zeros(num_partitions + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return order, offsets
+
+
+def partition_counts(offsets: np.ndarray) -> np.ndarray:
+    """Per-bucket row counts from a ``radix_partition`` offsets array."""
+    return np.diff(offsets)
+
+
+def partitioned_unique_indices(
+    key: np.ndarray, order: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Global first-occurrence indices of distinct keys, per-bucket.
+
+    Every duplicate of a key shares its bucket, and buckets list rows in
+    ascending original order, so the per-bucket ``np.unique`` first
+    occurrence *is* the global one. The sorted concatenation equals what
+    ``np.unique(key, return_index=True)`` finds over the whole array.
+    """
+    plain = np.asarray(key)
+    keep: list[np.ndarray] = []
+    for p in range(offsets.shape[0] - 1):
+        bucket = order[offsets[p]:offsets[p + 1]]
+        if bucket.size == 0:
+            continue
+        _, first = np.unique(plain[bucket], return_index=True)
+        keep.append(bucket[first])
+    if not keep:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(keep))
+
+
+def partitioned_semi_join_mask(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    left_layout: tuple[np.ndarray, np.ndarray],
+    right_layout: tuple[np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Per-bucket :func:`semi_join_mask`, scattered back to a global mask.
+
+    Identical to the shared mask: membership is per-row, and matching
+    keys share a bucket by construction.
+    """
+    _check_comparable(left_keys, right_keys)
+    left_order, left_offsets = left_layout
+    right_order, right_offsets = right_layout
+    left_plain = np.asarray(left_keys)
+    right_plain = np.asarray(right_keys)
+    mask = np.zeros(left_plain.shape[0], dtype=bool)
+    for p in range(left_offsets.shape[0] - 1):
+        bucket = left_order[left_offsets[p]:left_offsets[p + 1]]
+        if bucket.size == 0:
+            continue
+        other = right_order[right_offsets[p]:right_offsets[p + 1]]
+        if other.size == 0:
+            continue
+        mask[bucket] = np.isin(left_plain[bucket], right_plain[other])
+    return mask
+
+
+def partitioned_equi_join_indices(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    left_layout: tuple[np.ndarray, np.ndarray],
+    right_layout: tuple[np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bucket :func:`equi_join_indices`, restored to the shared order.
+
+    The shared kernel emits pairs sorted by ``(left_index, right_index)``
+    (the stable right-side argsort keeps equal-key right rows in index
+    order), so a final lexsort over the concatenated per-bucket pairs
+    reproduces its output exactly.
+    """
+    _check_comparable(left_keys, right_keys)
+    left_order, left_offsets = left_layout
+    right_order, right_offsets = right_layout
+    pairs_left: list[np.ndarray] = []
+    pairs_right: list[np.ndarray] = []
+    for p in range(left_offsets.shape[0] - 1):
+        bucket = left_order[left_offsets[p]:left_offsets[p + 1]]
+        other = right_order[right_offsets[p]:right_offsets[p + 1]]
+        if bucket.size == 0 or other.size == 0:
+            continue
+        local_left, local_right = equi_join_indices(
+            left_keys[bucket], right_keys[other]
+        )
+        if local_left.size == 0:
+            continue
+        pairs_left.append(bucket[local_left])
+        pairs_right.append(other[local_right])
+    if not pairs_left:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_index = np.concatenate(pairs_left)
+    right_index = np.concatenate(pairs_right)
+    final = np.lexsort((right_index, left_index))
+    return left_index[final], right_index[final]
+
+
+# --------------------------------------------------------------------------
 # Semi/anti joins
 # --------------------------------------------------------------------------
 

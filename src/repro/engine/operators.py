@@ -21,8 +21,12 @@ from repro.engine.executor import (
     COST_AGGREGATE,
     COST_BUILD,
     COST_MATERIALIZE,
+    COST_PARTITION,
     COST_PROBE,
     COST_SCAN,
+    PARTITION_PHASE,
+    PARTITIONED_BUILD_PHASE,
+    PARTITIONED_PROBE_PHASE,
     PROBE_PHASE,
     SCAN_PHASE,
     ParallelCostModel,
@@ -42,6 +46,7 @@ from repro.engine.optimizer import (
     choose_build_side,
     join_cost_estimate,
     order_tables_by_estimate,
+    partitioned_join_decision,
 )
 from repro.obs.profiler import NULL_PROFILER
 from repro.obs.tracer import CATEGORY_OPERATOR
@@ -51,6 +56,9 @@ from repro.storage.catalog import Catalog
 
 #: Modeled per-entry overhead of a join hash table (bucket pointer + next).
 HASH_ENTRY_OVERHEAD = 24
+
+#: Radix scatter scratch per row: the copied-out key plus a row index.
+PARTITION_SCRATCH_BYTES = 16
 
 #: Hard cap on a single join's output cardinality. QuickStep would spill
 #: such an intermediate to disk and (on the paper's dense workloads)
@@ -71,6 +79,13 @@ class ExecutionContext:
     #: Iteration-persistent join indexes (repro.engine.joincache); None
     #: disables the cached join path entirely.
     join_cache: object | None = field(default=None, repr=False)
+    #: Radix-partitioned execution: bucket count, 0 = disabled. When set,
+    #: the contention-heavy operators compare shared vs partitioned
+    #: makespans per call and may take the scatter + per-bucket path.
+    partitions: int = 0
+    #: Degradation ladder hook (repro.resilience.degradation); partition
+    #: scratch is a speed-for-memory trade, shed under pressure.
+    degradation: object | None = field(default=None, repr=False)
 
     def charge_parallel(self, kind: PhaseKind, total_cost: float, rows_hint: int) -> None:
         """Run a data-parallel phase through the scheduler and the clock."""
@@ -81,6 +96,59 @@ class ExecutionContext:
         self.metrics.advance(
             outcome.makespan, outcome.machine_utilization(self.cost_model.threads)
         )
+
+    def charge_partitioned_tasks(self, kind: PhaseKind, task_costs) -> None:
+        """Run a phase whose tasks are one-per-bucket (possibly skewed).
+
+        Unlike :meth:`charge_parallel` the task split is not uniform: a
+        skewed radix scatter yields unequal buckets, and the straggler
+        bucket bounds the makespan — partitioning does not hide skew.
+        """
+        tasks = [float(cost) for cost in task_costs if cost > 0]
+        outcome = self.cost_model.run_phase(kind, tasks)
+        self.metrics.advance(
+            outcome.makespan, outcome.machine_utilization(self.cost_model.threads)
+        )
+
+    def charge_index_pass(
+        self,
+        shared_kind: PhaseKind,
+        partitioned_kind: PhaseKind,
+        total_cost: float,
+        rows: int,
+    ) -> None:
+        """Charge position-chunkable index work (cache extends/probes).
+
+        Packing, sorting, and binary-searching a persistent sorted-code
+        index are independent per input chunk — there is no shared hash
+        table to contend on. With partitioned execution on, the work is
+        charged as P even position chunks at the partitioned contention
+        rate; otherwise it pays the classic shared phase.
+        """
+        if self.partitions and rows > 0:
+            chunks = min(self.partitions, rows)
+            self.charge_partitioned_tasks(
+                partitioned_kind, [total_cost / chunks] * chunks
+            )
+        else:
+            self.charge_parallel(shared_kind, total_cost, rows)
+
+    def partition_scratch_ok(self, planned_bytes: int) -> bool:
+        """Pre-flight a partitioned operator against the degradation ladder.
+
+        ``planned_bytes`` is the full transient the partitioned path would
+        allocate (bucket tables *and* scatter scratch). False shunts the
+        operator back to the shared path: the scatter buffers are pure
+        speed-for-memory, so under pressure they are shed like the join
+        cache.
+        """
+        if self.degradation is None or not getattr(self.degradation, "enabled", False):
+            return True
+        if self.degradation.shed_partitioning(planned_bytes):
+            self.degradation.note("shed-partitioning")
+            self.profiler.counters.inc("partition.shed")
+            return False
+        return True
 
     def op_span(self, name: str, key: str, **attrs):
         """Open an operator-category span carrying a plan-matching key.
@@ -276,9 +344,40 @@ def _join_frame_with_alias_inner(
     else:
         build_rows, probe_rows = true_right, true_left
     hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
-    ctx.metrics.allocate_transient(hash_bytes)
-    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
-    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    scatter_rows = true_left + true_right
+    scratch_bytes = scatter_rows * PARTITION_SCRATCH_BYTES
+    layouts = None
+    if ctx.partitions and left_key.size and right_key.size:
+        partition_choice = partitioned_join_decision(
+            ctx.cost_model, ctx.partitions, build_rows, probe_rows
+        )
+        if partition_choice.partitioned and ctx.partition_scratch_ok(
+            hash_bytes + scratch_bytes
+        ):
+            layouts = (
+                kernels.radix_partition(left_key, ctx.partitions),
+                kernels.radix_partition(right_key, ctx.partitions),
+            )
+    if layouts is not None:
+        left_counts = kernels.partition_counts(layouts[0][1])
+        right_counts = kernels.partition_counts(layouts[1][1])
+        if decision.build_left:
+            build_counts, probe_counts = left_counts, right_counts
+        else:
+            build_counts, probe_counts = right_counts, left_counts
+        ctx.metrics.allocate_transient(hash_bytes + scratch_bytes)
+        ctx.charge_parallel(
+            PARTITION_PHASE, scatter_rows * COST_PARTITION, scatter_rows
+        )
+        ctx.charge_partitioned_tasks(PARTITIONED_BUILD_PHASE, build_counts * COST_BUILD)
+        ctx.charge_partitioned_tasks(PARTITIONED_PROBE_PHASE, probe_counts * COST_PROBE)
+        ctx.profiler.counters.inc("partition.join_runs")
+        ctx.profiler.counters.inc("partition.scatter_rows", scatter_rows)
+    else:
+        scratch_bytes = 0
+        ctx.metrics.allocate_transient(hash_bytes)
+        ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
+        ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
     ctx.profiler.counters.inc("hash_tables_built")
     ctx.profiler.counters.inc("hash_build_rows", build_rows)
     ctx.profiler.counters.inc("hash_probe_rows", probe_rows)
@@ -286,7 +385,8 @@ def _join_frame_with_alias_inner(
         build_rows=build_rows,
         probe_rows=probe_rows,
         build_side="left(frame)" if decision.build_left else f"right({alias})",
-        transient_bytes=hash_bytes,
+        transient_bytes=hash_bytes + scratch_bytes,
+        partitioned=layouts is not None,
     )
 
     # Reserve the join output before it exists: an intermediate too big
@@ -305,7 +405,12 @@ def _join_frame_with_alias_inner(
     out_width = len(frame.indices) + 1
     out_bytes = out_rows * 8 * out_width
     ctx.metrics.allocate_transient(out_bytes)
-    left_positions, right_positions = kernels.equi_join_indices(left_key, right_key)
+    if layouts is not None:
+        left_positions, right_positions = kernels.partitioned_equi_join_indices(
+            left_key, right_key, layouts[0], layouts[1]
+        )
+    else:
+        left_positions, right_positions = kernels.equi_join_indices(left_key, right_key)
     result = frame.joined_with(
         alias,
         new_frame.bases[alias],
@@ -315,7 +420,7 @@ def _join_frame_with_alias_inner(
     )
     ctx.metrics.release_transient(out_bytes)
     _charge_frame_materialization(result, ctx)
-    ctx.metrics.release_transient(hash_bytes)
+    ctx.metrics.release_transient(hash_bytes + scratch_bytes)
     return result
 
 
@@ -363,7 +468,9 @@ def _cached_index_join(
     probe_columns = [evaluate(edge.key_for(edge.other(alias)), frame) for edge in edges]
     probe_rows = len(frame)
     probe_codes = entry.probe_codes(probe_columns)
-    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    ctx.charge_index_pass(
+        PROBE_PHASE, PARTITIONED_PROBE_PHASE, probe_rows * COST_PROBE, probe_rows
+    )
     ctx.profiler.counters.inc("hash_probe_rows", probe_rows)
     span.set(
         probe_rows=probe_rows,

@@ -12,6 +12,14 @@ of every IDB. The two SQL translations differ in what gets hashed:
 
 Both return exactly ``set(R_delta) - set(R)``; the DSD policy in
 ``repro.core.setdiff_policy`` picks between them per iteration.
+
+Cost accounting is *honest*: every phase charges for the rows it actually
+touches. Both strategies sort-unique ``R_delta`` up front (charged as a
+lean dedup), and every probe phase is charged on the deduplicated row
+count it really probes — the DSD policy and the appendix benchmark
+consume these numbers. When the execution context enables radix
+partitioning, the hash-heavy phases may run scatter + per-bucket instead
+of against one shared table (same output, bit for bit).
 """
 
 from __future__ import annotations
@@ -21,8 +29,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine import kernels
-from repro.engine.executor import BUILD_PHASE, COST_BUILD, COST_PROBE, PROBE_PHASE
-from repro.engine.operators import HASH_ENTRY_OVERHEAD, ExecutionContext
+from repro.engine.dedup import COST_DEDUP_LEAN, LEAN_INDEX_BYTES
+from repro.engine.executor import (
+    BUILD_PHASE,
+    COST_BUILD,
+    COST_PARTITION,
+    COST_PROBE,
+    DEDUP_PHASE,
+    PARTITION_PHASE,
+    PARTITIONED_BUILD_PHASE,
+    PARTITIONED_PROBE_PHASE,
+    PROBE_PHASE,
+)
+from repro.engine.operators import (
+    HASH_ENTRY_OVERHEAD,
+    PARTITION_SCRATCH_BYTES,
+    ExecutionContext,
+)
+from repro.engine.optimizer import partitioned_join_decision
 
 
 @dataclass(frozen=True)
@@ -38,6 +62,82 @@ def _keys_for(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarr
     return kernels.make_join_keys(left_cols, right_cols)
 
 
+def _charge_unique_sort(ctx: ExecutionContext, n_rows: int) -> None:
+    """Charge the sort-unique over ``R_delta`` both strategies perform.
+
+    ``unique_rows`` is a sort + adjacent-unique sweep — the same work the
+    lean dedup path models, so it is charged at that rate with the sort's
+    index array as its transient. Previously this work went entirely
+    uncharged, flattering both strategies equally.
+    """
+    if n_rows == 0:
+        return
+    sort_bytes = n_rows * LEAN_INDEX_BYTES
+    ctx.metrics.allocate_transient(sort_bytes)
+    ctx.charge_parallel(DEDUP_PHASE, n_rows * COST_DEDUP_LEAN, n_rows)
+    ctx.metrics.release_transient(sort_bytes)
+
+
+def _semi_mask(
+    left: np.ndarray,
+    right: np.ndarray,
+    build_rows: int,
+    probe_rows: int,
+    ctx: ExecutionContext,
+    phase_label: str,
+) -> np.ndarray:
+    """Membership mask of ``left`` rows in ``right``, charged build+probe.
+
+    The hash-heavy core both strategies share. ``build_rows``/
+    ``probe_rows`` say which side the strategy hashes (OPSD builds on
+    ``right`` = R; TPSD phase 1 builds on the smaller side) — the kernel
+    work is symmetric, only the charge differs. With partitioning
+    enabled and worth it, both sides are radix-scattered and each bucket
+    builds/probes a private table.
+    """
+    hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
+    left_keys, right_keys = _keys_for(left, right)
+    layouts = None
+    scatter_rows = left.shape[0] + right.shape[0]
+    scratch_bytes = scatter_rows * PARTITION_SCRATCH_BYTES
+    if ctx.partitions and left_keys.size and right_keys.size:
+        choice = partitioned_join_decision(
+            ctx.cost_model, ctx.partitions, build_rows, probe_rows
+        )
+        if choice.partitioned and ctx.partition_scratch_ok(hash_bytes + scratch_bytes):
+            layouts = (
+                kernels.radix_partition(left_keys, ctx.partitions),
+                kernels.radix_partition(right_keys, ctx.partitions),
+            )
+    if layouts is not None:
+        left_counts = kernels.partition_counts(layouts[0][1])
+        right_counts = kernels.partition_counts(layouts[1][1])
+        # The build side's per-bucket counts scale the build tasks; the
+        # probe side's scale the probes (mirrors the shared charges).
+        if build_rows == left.shape[0]:
+            build_counts, probe_counts = left_counts, right_counts
+        else:
+            build_counts, probe_counts = right_counts, left_counts
+        ctx.metrics.allocate_transient(hash_bytes + scratch_bytes)
+        ctx.charge_parallel(PARTITION_PHASE, scatter_rows * COST_PARTITION, scatter_rows)
+        ctx.charge_partitioned_tasks(PARTITIONED_BUILD_PHASE, build_counts * COST_BUILD)
+        ctx.charge_partitioned_tasks(PARTITIONED_PROBE_PHASE, probe_counts * COST_PROBE)
+        ctx.profiler.counters.inc("partition.setdiff_runs")
+        ctx.profiler.counters.inc("partition.scatter_rows", scatter_rows)
+        ctx.profiler.counters.inc(f"partition.setdiff_{phase_label}")
+        mask = kernels.partitioned_semi_join_mask(
+            left_keys, right_keys, layouts[0], layouts[1]
+        )
+        ctx.metrics.release_transient(hash_bytes + scratch_bytes)
+        return mask
+    ctx.metrics.allocate_transient(hash_bytes)
+    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
+    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
+    mask = kernels.semi_join_mask(left_keys, right_keys)
+    ctx.metrics.release_transient(hash_bytes)
+    return mask
+
+
 def one_phase_set_difference(
     new_rows: np.ndarray,
     existing_rows: np.ndarray,
@@ -49,17 +149,23 @@ def one_phase_set_difference(
     With a ``cache_entry`` (a whole-row ``JoinIndexEntry`` over R from
     the join-state cache) the per-iteration hash build over all of R
     disappears: the index build/extension was charged by the cache (on
-    the appended rows only), so this call pays the anti-probe alone —
-    the cost that made OPSD lose to TPSD on late iterations.
+    the appended rows only), so this call pays the sort-unique of
+    ``R_delta`` plus the anti-probe alone — the cost that made OPSD lose
+    to TPSD on late iterations.
     """
     build_rows = existing_rows.shape[0]
-    probe_rows = new_rows.shape[0]
+    _charge_unique_sort(ctx, new_rows.shape[0])
+    new_unique = kernels.unique_rows(new_rows)
+    probe_rows = new_unique.shape[0]
     if cache_entry is not None:
         probe_bytes = probe_rows * 8
         ctx.metrics.allocate_transient(probe_bytes)
-        ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
-        new_unique = kernels.unique_rows(new_rows)
-        if build_rows == 0 or new_unique.shape[0] == 0:
+        # Anti-probing the read-only sorted index is position-chunkable
+        # (independent binary searches) — no shared table to contend on.
+        ctx.charge_index_pass(
+            PROBE_PHASE, PARTITIONED_PROBE_PHASE, probe_rows * COST_PROBE, probe_rows
+        )
+        if build_rows == 0 or probe_rows == 0:
             delta = new_unique
         else:
             columns = [new_unique[:, i] for i in range(new_unique.shape[1])]
@@ -69,17 +175,13 @@ def one_phase_set_difference(
             ]
         ctx.metrics.release_transient(probe_bytes)
         return SetDifferenceOutcome(delta=delta, strategy="OPSD", intersection_size=None)
-    hash_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
-    ctx.metrics.allocate_transient(hash_bytes)
-    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
-    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
-    new_unique = kernels.unique_rows(new_rows)
     if build_rows == 0:
         delta = new_unique
     else:
-        new_keys, old_keys = _keys_for(new_unique, existing_rows)
-        delta = new_unique[kernels.anti_join_mask(new_keys, old_keys)]
-    ctx.metrics.release_transient(hash_bytes)
+        mask = _semi_mask(
+            new_unique, existing_rows, build_rows, probe_rows, ctx, "opsd"
+        )
+        delta = new_unique[~mask]
     return SetDifferenceOutcome(delta=delta, strategy="OPSD", intersection_size=None)
 
 
@@ -87,30 +189,32 @@ def two_phase_set_difference(
     new_rows: np.ndarray, existing_rows: np.ndarray, ctx: ExecutionContext
 ) -> SetDifferenceOutcome:
     """TPSD: intersect hashing the smaller side, then subtract the intersection."""
-    n_new = new_rows.shape[0]
     n_old = existing_rows.shape[0]
+    _charge_unique_sort(ctx, new_rows.shape[0])
+    new_unique = kernels.unique_rows(new_rows)
+    n_unique = new_unique.shape[0]
 
     # Phase 1: r = R_delta ∩ R, building on the smaller input.
-    build_rows = min(n_new, n_old)
-    probe_rows = max(n_new, n_old)
-    phase1_bytes = build_rows * (8 + HASH_ENTRY_OVERHEAD)
-    ctx.metrics.allocate_transient(phase1_bytes)
-    ctx.charge_parallel(BUILD_PHASE, build_rows * COST_BUILD, build_rows)
-    ctx.charge_parallel(PROBE_PHASE, probe_rows * COST_PROBE, probe_rows)
-    intersection = kernels.rows_intersection(new_rows, existing_rows)
-    ctx.metrics.release_transient(phase1_bytes)
+    if n_old == 0 or n_unique == 0:
+        intersection = new_unique[:0]
+    else:
+        mask = _semi_mask(
+            new_unique,
+            existing_rows,
+            min(n_unique, n_old),
+            max(n_unique, n_old),
+            ctx,
+            "tpsd_intersect",
+        )
+        intersection = new_unique[mask]
 
     # Phase 2: delta = R_delta - r, building on (the usually tiny) r.
     r_rows = intersection.shape[0]
-    phase2_bytes = r_rows * (8 + HASH_ENTRY_OVERHEAD)
-    ctx.metrics.allocate_transient(phase2_bytes)
-    ctx.charge_parallel(BUILD_PHASE, r_rows * COST_BUILD, r_rows)
-    ctx.charge_parallel(PROBE_PHASE, n_new * COST_PROBE, n_new)
     if r_rows == 0:
-        delta = kernels.unique_rows(new_rows)
+        delta = new_unique
     else:
-        new_unique = kernels.unique_rows(new_rows)
-        new_keys, r_keys = _keys_for(new_unique, intersection)
-        delta = new_unique[kernels.anti_join_mask(new_keys, r_keys)]
-    ctx.metrics.release_transient(phase2_bytes)
+        mask = _semi_mask(
+            new_unique, intersection, r_rows, n_unique, ctx, "tpsd_subtract"
+        )
+        delta = new_unique[~mask]
     return SetDifferenceOutcome(delta=delta, strategy="TPSD", intersection_size=r_rows)

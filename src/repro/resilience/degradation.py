@@ -11,12 +11,17 @@ Ladder (in escalation order):
 1. **shed-join-cache** (soft watermark): evict the iteration-persistent
    join indexes and stop building new ones — they are a pure
    speed-for-memory trade, so they are the first thing to give back.
-2. **lean-dedup** (soft watermark): deduplicate with the in-place
+2. **shed-partitioning** (soft watermark): keep operators on the shared
+   hash-table path instead of radix-partitioned execution — the scatter
+   buffers are transient speed-for-memory scratch, given back like the
+   join cache (but per-operator, not sticky state: partitioning resumes
+   if pressure recedes below the sticky level).
+3. **lean-dedup** (soft watermark): deduplicate with the in-place
    sort-based path — slower per tuple, but no hash-bucket array.
-3. **force-tpsd** (critical watermark): override the DSD policy to the
+4. **force-tpsd** (critical watermark): override the DSD policy to the
    two-phase set difference, which never builds a hash table on the
    monotonically growing full relation.
-4. **prefer-pbme** (critical watermark): let eligible TC/SG strata fall
+5. **prefer-pbme** (critical watermark): let eligible TC/SG strata fall
    back to the bit-matrix engine even when the density heuristic would
    keep them relational — the packed matrix is the lowest-footprint
    representation we have.
@@ -34,10 +39,22 @@ from __future__ import annotations
 from repro.obs.counters import NULL_COUNTERS
 
 #: Step names, in ladder order (also the obs counter suffixes).
-LADDER = ("shed-join-cache", "lean-dedup", "force-tpsd", "prefer-pbme")
+LADDER = (
+    "shed-join-cache",
+    "shed-partitioning",
+    "lean-dedup",
+    "force-tpsd",
+    "prefer-pbme",
+)
 
 #: Pressure level at which each step engages.
-_STEP_LEVEL = {"shed-join-cache": 1, "lean-dedup": 1, "force-tpsd": 2, "prefer-pbme": 2}
+_STEP_LEVEL = {
+    "shed-join-cache": 1,
+    "shed-partitioning": 1,
+    "lean-dedup": 1,
+    "force-tpsd": 2,
+    "prefer-pbme": 2,
+}
 
 
 class DegradationController:
@@ -78,6 +95,11 @@ class DegradationController:
     def shed_join_cache(self, planned_bytes: int = 0) -> bool:
         """Should the persistent join indexes be evicted and disabled?"""
         return self._engaged("shed-join-cache", planned_bytes)
+
+    def shed_partitioning(self, planned_bytes: int = 0) -> bool:
+        """Should an operator stay on the shared path instead of
+        allocating radix scatter scratch?"""
+        return self._engaged("shed-partitioning", planned_bytes)
 
     def lean_dedup(self, planned_bytes: int = 0) -> bool:
         """Should dedup take the memory-lean sort path?"""

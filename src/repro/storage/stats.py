@@ -87,6 +87,13 @@ class TableStats:
     #: describe a previous generation of the table entirely).
     table_version: int = -1
     table_epoch: int = -1
+    #: Version/epoch stamps of the last FULL collection that produced
+    #: ``columns``. A SIZE_ONLY refresh carries the column stats forward
+    #: (they are expensive and still useful to the optimizer) but leaves
+    #: these stamps at the FULL collection's values, so consumers can
+    #: tell how stale min/max/distinct are independently of ``num_rows``.
+    columns_table_version: int = -1
+    columns_table_epoch: int = -1
 
     def estimated_bytes(self) -> int:
         return self.num_rows * self.tuple_bytes
@@ -109,7 +116,15 @@ def collect_stats(table: Table, mode: StatsMode, previous: TableStats | None = N
         table_epoch=table.epoch,
     )
     if mode is StatsMode.SIZE_ONLY:
-        # Catalog lookup only: constant, tiny cost.
+        # Catalog lookup only: constant, tiny cost. Column statistics
+        # from an earlier FULL collection are carried forward instead of
+        # discarded (a size refresh says nothing about min/max/distinct);
+        # their staleness stamps keep the FULL collection's values.
+        if previous is not None and previous.analyzed_full:
+            stats.columns = dict(previous.columns)
+            stats.analyzed_full = True
+            stats.columns_table_version = previous.columns_table_version
+            stats.columns_table_epoch = previous.columns_table_epoch
         return stats, 2e-5
 
     data = table.data()
@@ -127,17 +142,30 @@ def collect_stats(table: Table, mode: StatsMode, previous: TableStats | None = N
         for column in table.columns:
             stats.columns[column.name] = ColumnStats()
     stats.analyzed_full = True
+    stats.columns_table_version = table.version
+    stats.columns_table_epoch = table.epoch
     # Full scan of every column: cost linear in cell count.
     cost = 2e-9 * max(1, table.num_rows) * table.arity + 5e-5
     return stats, cost
 
 
+#: Distinct-estimate sample budget: the bounded cost the OOF contract
+#: promises for FULL ANALYZE regardless of table size.
+DISTINCT_SAMPLE_TARGET = 4096
+
+
 def _distinct_estimate(values: np.ndarray) -> int:
-    """Sample-based distinct-count estimate (GEE-style scale-up)."""
+    """Sample-based distinct-count estimate (GEE-style scale-up).
+
+    The stride is ``ceil(n / target)`` so the sample never exceeds the
+    target: a floor stride (the old code) degenerated near the boundary —
+    n = 8191 gave stride 1, i.e. a "sample" of the whole array.
+    """
     n = values.shape[0]
-    if n <= 4096:
+    if n <= DISTINCT_SAMPLE_TARGET:
         return int(np.unique(values).size)
-    sample = values[:: max(1, n // 4096)]
+    stride = -(-n // DISTINCT_SAMPLE_TARGET)
+    sample = values[::stride]
     d_sample = int(np.unique(sample).size)
     scale = n / sample.shape[0]
     return min(n, int(d_sample * np.sqrt(scale)))

@@ -65,3 +65,59 @@ class TestRegimes:
         db.load_table("d", ["a"], np.array([[2], [3]]))
         assert db.set_difference("d", "r", "OPSD").intersection_size is None
         assert db.set_difference("d", "r", "TPSD").intersection_size == 1
+
+
+def dup_diff_cost(n_unique: int, repeat: int, strategy: str) -> float:
+    """Charged cost of a set difference whose delta has internal duplicates.
+
+    The raw delta always holds ``n_unique * repeat`` rows; only the
+    duplicate ratio varies. R is small and disjoint from the delta.
+    """
+    db = Database(enforce_budgets=False, join_cache=False)
+    base = np.column_stack(
+        [
+            np.arange(10_000_000, 10_001_000, dtype=np.int64),
+            np.arange(10_000_000, 10_001_000, dtype=np.int64),
+        ]
+    )
+    distinct = np.column_stack(
+        [np.arange(n_unique, dtype=np.int64), np.arange(n_unique, dtype=np.int64)]
+    )
+    db.load_table("r", ["a", "b"], base)
+    db.load_table("d", ["a", "b"], np.repeat(distinct, repeat, axis=0))
+    before = db.sim_seconds
+    outcome = db.set_difference("d", "r", strategy)
+    assert outcome.delta.shape[0] == n_unique
+    return db.sim_seconds - before
+
+
+class TestHonestAccounting:
+    """Regressions: charges must track the rows the strategies touch.
+
+    Before the fix, neither strategy charged the up-front sort-unique of
+    ``R_delta``, and the probe phases were charged on the *raw* delta row
+    count even though they probe the deduplicated rows — so two deltas
+    with the same raw size but wildly different duplicate ratios charged
+    identical costs.
+    """
+
+    def test_tpsd_probe_charged_on_unique_rows(self):
+        heavy_dup = dup_diff_cost(6_000, 10, "TPSD")
+        no_dup = dup_diff_cost(60_000, 1, "TPSD")
+        assert heavy_dup < no_dup
+
+    def test_opsd_probe_charged_on_unique_rows(self):
+        heavy_dup = dup_diff_cost(6_000, 10, "OPSD")
+        no_dup = dup_diff_cost(60_000, 1, "OPSD")
+        assert heavy_dup < no_dup
+
+    @pytest.mark.parametrize("strategy", ["OPSD", "TPSD"])
+    def test_unique_sort_appears_as_dedup_phase(self, strategy):
+        db = Database(enforce_budgets=False, join_cache=False)
+        rows = np.arange(20_000, dtype=np.int64).reshape(-1, 2)
+        db.load_table("r", ["a", "b"], rows)
+        db.load_table("d", ["a", "b"], rows + 1_000_000)
+        start = len(db.cost_model.history)
+        db.set_difference("d", "r", strategy)
+        phases = [name for name, _ in db.cost_model.history[start:]]
+        assert "dedup" in phases

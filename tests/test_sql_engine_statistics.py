@@ -32,6 +32,19 @@ class TestAnalyzeStatement:
         db.execute("ANALYZE t")
         assert not db.catalog.get_stats("t").analyzed_full
 
+    def test_size_only_keeps_earlier_full_columns(self, db):
+        """Regression: a plain ANALYZE after ANALYZE FULL used to throw
+        away the column statistics; now it refreshes the row count and
+        carries the (stale-stamped) column stats forward."""
+        db.execute("ANALYZE t FULL")
+        db.execute("INSERT INTO t VALUES (7, 70)")
+        db.execute("ANALYZE t")
+        stats = db.catalog.get_stats("t")
+        assert stats.num_rows == 4  # size refreshed
+        assert stats.analyzed_full
+        assert stats.columns["a"].minimum == 1  # columns preserved (stale)
+        assert stats.columns_table_version < stats.table_version
+
     def test_analyze_costs_time(self, db):
         before = db.sim_seconds
         db.execute("ANALYZE t FULL")

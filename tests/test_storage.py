@@ -200,6 +200,48 @@ class TestStats:
         estimate = stats.columns["a"].distinct_estimate
         assert 50 <= estimate <= 3000  # sampled scale-up, order of magnitude
 
+    def test_distinct_sample_capped_near_boundary(self):
+        """Regression: a floor stride let n = 8191 "sample" the whole
+        array (stride 1); the ceil stride keeps the sample within the
+        4096 budget, so the estimate is a GEE scale-up, not an exact
+        count."""
+        from repro.storage.stats import DISTINCT_SAMPLE_TARGET, _distinct_estimate
+
+        values = np.arange(DISTINCT_SAMPLE_TARGET * 2 - 1, dtype=np.int64)  # 8191
+        n = values.shape[0]
+        estimate = _distinct_estimate(values)
+        assert estimate < n  # pre-fix: exact 8191 (whole-array sample)
+        sample = values[:: -(-n // DISTINCT_SAMPLE_TARGET)]
+        assert sample.shape[0] <= DISTINCT_SAMPLE_TARGET
+        assert estimate == min(n, int(sample.shape[0] * np.sqrt(n / sample.shape[0])))
+
+    def test_size_only_carries_full_column_stats_forward(self):
+        """Regression: SIZE_ONLY used to discard an earlier FULL
+        collection's column statistics; now they ride along with their
+        original staleness stamps."""
+        table = make_table("t", ["a"])
+        table.append_tuples([(i,) for i in range(10)])
+        full, _ = collect_stats(table, StatsMode.FULL)
+        assert full.columns["a"].distinct_estimate == 10
+        table.append_tuples([(99,)] * 5)
+        refreshed, _ = collect_stats(table, StatsMode.SIZE_ONLY, previous=full)
+        assert refreshed.num_rows == 15  # the size is current...
+        assert refreshed.analyzed_full
+        assert refreshed.columns["a"].distinct_estimate == 10  # ...columns carried
+        # The row count's stamp tracks this collection; the column stamps
+        # keep the FULL collection's, so consumers can see their staleness.
+        assert refreshed.table_version == table.version
+        assert refreshed.columns_table_version == full.columns_table_version
+        assert refreshed.columns_table_version < table.version
+
+    def test_size_only_without_prior_full_has_no_columns(self):
+        table = make_table("t", ["a"])
+        table.append_tuples([(1,)] * 3)
+        stats, _ = collect_stats(table, StatsMode.SIZE_ONLY)
+        assert not stats.analyzed_full
+        assert stats.columns == {}
+        assert stats.columns_table_version == -1
+
 
 class TestStorageManager:
     def test_eost_defers_io(self):
