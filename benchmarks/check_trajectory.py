@@ -1,0 +1,254 @@
+"""Regression gate: fresh trajectory run vs the committed BENCH baselines.
+
+Re-runs the trajectory sweep (``--scope smoke`` in CI: the smallest rung
+of every ladder, with the exact seeds and repetition count the committed
+baseline used) and compares per-rung **medians** of the gated metrics
+against ``BENCH_engine.json`` / ``BENCH_server.json`` at the repo root.
+
+A metric fails when the fresh median leaves the noise band::
+
+    |fresh - base| > max(rel_tol * |base|, stddev_mult * base_stddev, floor)
+
+The gated metrics are simulated-clock deterministic (sim seconds,
+throughput in tuples per simulated second, peak modeled memory, service
+latency percentiles), so on an unchanged engine the fresh medians match
+the baseline exactly and the band only absorbs intentional noise-level
+drift. Wall-clock is never gated. A baseline produced under a different
+engine-config fingerprint (e.g. with ``REPRO_CHAOS_SEED`` armed) fails
+fast: the comparison would be meaningless. See EXPERIMENTS.md for the
+baseline-refresh policy.
+
+Usage (CI)::
+
+    PYTHONPATH=src python -m benchmarks.check_trajectory --scope smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from benchmarks.common import config_fingerprint
+from benchmarks.trajectory import (
+    ENGINE_GATED_METRICS,
+    REPO_ROOT,
+    REPS,
+    SERVER_GATED_METRICS,
+    run_sweeps,
+)
+
+#: Default noise band: 10% relative, 3 baseline standard deviations,
+#: whichever is larger (then the per-metric absolute floor).
+REL_TOL = 0.10
+STDDEV_MULT = 3.0
+
+#: Per-metric absolute floors so near-zero baselines don't demand
+#: impossible precision.
+ABS_FLOORS = {
+    "sim_seconds": 1e-3,
+    "throughput": 1.0,
+    "peak_memory_bytes": 4096.0,
+    "latency_p50": 1e-3,
+    "latency_p95": 1e-3,
+    "latency_p99": 1e-3,
+    "max_queue_depth": 0.5,
+}
+
+
+def band_for(metric: str, summary: dict, rel_tol: float, stddev_mult: float) -> float:
+    """The allowed |fresh - base| for one metric's baseline summary."""
+    return max(
+        rel_tol * abs(summary["median"]),
+        stddev_mult * summary.get("stddev", 0.0),
+        ABS_FLOORS.get(metric, 0.0),
+    )
+
+
+def compare_rung(
+    label: str,
+    fresh: dict,
+    base: dict,
+    metrics: tuple[str, ...],
+    rel_tol: float,
+    stddev_mult: float,
+) -> tuple[list[str], list[str]]:
+    """Compare one rung; returns (violations, checked lines)."""
+    violations, checked = [], []
+    for metric in metrics:
+        base_summary = base.get(metric)
+        fresh_summary = fresh.get(metric)
+        if base_summary is None:
+            continue
+        if fresh_summary is None:
+            violations.append(f"{label}: metric {metric} missing from fresh run")
+            continue
+        band = band_for(metric, base_summary, rel_tol, stddev_mult)
+        delta = fresh_summary["median"] - base_summary["median"]
+        line = (
+            f"{label}: {metric} base={base_summary['median']:g} "
+            f"fresh={fresh_summary['median']:g} delta={delta:+g} band=±{band:g}"
+        )
+        if abs(delta) > band:
+            violations.append("REGRESSION " + line)
+        else:
+            checked.append("ok " + line)
+    return violations, checked
+
+
+def compare_engine(
+    fresh: dict, baseline: dict, rel_tol: float = REL_TOL, stddev_mult: float = STDDEV_MULT
+) -> tuple[list[str], list[str]]:
+    """Gate every (program, dataset) rung present in both payloads."""
+    base_rungs = {
+        (program, rung["dataset"]): rung
+        for program, rungs in baseline["ladders"].items()
+        for rung in rungs
+    }
+    violations, checked = [], []
+    matched = 0
+    for program, rungs in fresh["ladders"].items():
+        for rung in rungs:
+            key = (program, rung["dataset"])
+            base = base_rungs.get(key)
+            if base is None:
+                continue
+            matched += 1
+            v, c = compare_rung(
+                f"engine {program}/{rung['dataset']}",
+                rung,
+                base,
+                ENGINE_GATED_METRICS,
+                rel_tol,
+                stddev_mult,
+            )
+            violations.extend(v)
+            checked.extend(c)
+    if matched == 0:
+        violations.append("engine: no fresh rung matches any baseline rung")
+    return violations, checked
+
+
+def compare_server(
+    fresh: dict, baseline: dict, rel_tol: float = REL_TOL, stddev_mult: float = STDDEV_MULT
+) -> tuple[list[str], list[str]]:
+    """Gate every burst size present in both payloads."""
+    base_bursts = {rung["burst"]: rung for rung in baseline["bursts"]}
+    violations, checked = [], []
+    matched = 0
+    for rung in fresh["bursts"]:
+        base = base_bursts.get(rung["burst"])
+        if base is None:
+            continue
+        matched += 1
+        v, c = compare_rung(
+            f"server burst={rung['burst']}",
+            rung,
+            base,
+            SERVER_GATED_METRICS,
+            rel_tol,
+            stddev_mult,
+        )
+        violations.extend(v)
+        checked.extend(c)
+    if matched == 0:
+        violations.append("server: no fresh burst matches any baseline burst")
+    return violations, checked
+
+
+def check_provenance(baseline: dict, label: str) -> list[str]:
+    """Fail fast when the baseline's engine-config fingerprint is stale."""
+    recorded = (
+        baseline.get("provenance", {}).get("config_fingerprint", {}).get("digest")
+    )
+    current = config_fingerprint()["digest"]
+    if recorded is None:
+        return [f"{label}: baseline has no config fingerprint (regenerate it)"]
+    if recorded != current:
+        return [
+            f"{label}: baseline config fingerprint {recorded} != current {current} "
+            "(engine defaults changed or REPRO_CHAOS_SEED is armed; "
+            "regenerate the baseline — see EXPERIMENTS.md)"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.check_trajectory",
+        description="Gate a fresh trajectory run against committed BENCH baselines",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the committed BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--scope",
+        choices=("full", "smoke"),
+        default="smoke",
+        help="fresh-run scope (CI uses 'smoke': smallest rung per ladder)",
+    )
+    parser.add_argument(
+        "--target", choices=("engine", "server", "both"), default="both"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="where the fresh BENCH_*.json land (default: a temp directory)",
+    )
+    parser.add_argument("--rel-tol", type=float, default=REL_TOL)
+    parser.add_argument("--stddev-mult", type=float, default=STDDEV_MULT)
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    out_dir = Path(args.out_dir) if args.out_dir else Path(tempfile.mkdtemp(prefix="trajectory-"))
+
+    targets = ("engine", "server") if args.target == "both" else (args.target,)
+    baselines = {}
+    failures: list[str] = []
+    for target in targets:
+        path = baseline_dir / f"BENCH_{target}.json"
+        if not path.exists():
+            failures.append(f"{target}: baseline {path} missing (run benchmarks.trajectory)")
+            continue
+        baselines[target] = json.loads(path.read_text())
+        failures.extend(check_provenance(baselines[target], target))
+    if failures:
+        for line in failures:
+            print(line)
+        return 1
+
+    # Reuse the baseline's repetition count so medians are comparable.
+    reps = min(
+        (b.get("config", {}).get("reps", REPS) for b in baselines.values()),
+        default=REPS,
+    )
+    fresh_paths = run_sweeps(out_dir, scope=args.scope, target=args.target, reps=reps)
+
+    violations: list[str] = []
+    checked: list[str] = []
+    for target, path in fresh_paths.items():
+        fresh = json.loads(path.read_text())
+        comparator = compare_engine if target == "engine" else compare_server
+        v, c = comparator(
+            fresh, baselines[target], rel_tol=args.rel_tol, stddev_mult=args.stddev_mult
+        )
+        violations.extend(v)
+        checked.extend(c)
+
+    for line in checked:
+        print(line)
+    if violations:
+        print()
+        for line in violations:
+            print(line)
+        print(f"\ntrajectory gate: FAILED ({len(violations)} violation(s))")
+        return 1
+    print(f"\ntrajectory gate: OK ({len(checked)} metric(s) within band)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,18 +16,25 @@ EXPERIMENTS.md for the paper-vs-measured record.
 
 from __future__ import annotations
 
+import enum
 import functools
+import hashlib
 import json
+import subprocess
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
 from repro.analysis.harness import run_workload
 from repro.common.records import EvaluationResult
+from repro.core.config import RecStepConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Version of the machine-readable result schema written next to every
 #: figure's text table. Bump when the record shape changes.
-RESULT_SCHEMA_VERSION = 1
+#: v2: payloads carry a ``provenance`` block (git SHA + engine-config
+#: fingerprint) and run records report ``peak_transient_bytes``.
+RESULT_SCHEMA_VERSION = 2
 
 #: Modeled server memory: the paper's 160 GB scaled by the ~1/100 dataset
 #: scale (DESIGN.md, Substitutions).
@@ -77,19 +84,63 @@ def engine_budget(engine: str) -> float:
     return BDD_TIME_BUDGET if engine == "bddbddb" else TIME_BUDGET
 
 
+def git_sha() -> str:
+    """The repository HEAD commit, or "unknown" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def config_fingerprint(config: RecStepConfig | None = None) -> dict:
+    """Every RecStepConfig knob plus a stable digest over them.
+
+    The digest makes "was this baseline produced under the same engine
+    configuration" a single string comparison — including the ambient
+    ``REPRO_CHAOS_SEED`` (it feeds the ``fault_seed`` default), so a
+    chaos-armed run can never silently pass for a clean one.
+    """
+    config = config or RecStepConfig()
+    knobs = {}
+    for field_info in dataclass_fields(config):
+        value = getattr(config, field_info.name)
+        knobs[field_info.name] = value.value if isinstance(value, enum.Enum) else value
+    digest = hashlib.sha256(
+        json.dumps(knobs, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return {"digest": digest[:16], "knobs": knobs}
+
+
+def provenance(engine_config: RecStepConfig | None = None) -> dict:
+    """The provenance block stamped into every result payload."""
+    return {
+        "git_sha": git_sha(),
+        "config_fingerprint": config_fingerprint(engine_config),
+    }
+
+
 def write_result(
     name: str,
     text: str,
     runs: list[dict] | None = None,
     config: dict | None = None,
+    engine_config: RecStepConfig | None = None,
 ) -> Path:
     """Persist a figure's rendered table and echo it for ``-s`` runs.
 
     Alongside the human-readable ``<name>.txt``, a machine-readable
     ``<name>.json`` is always written: figure id, the bench's config,
-    and one record per run (see :func:`run_record`). Benches whose
-    output is not built from evaluation runs (capability matrices,
-    registries) emit an empty ``runs`` list.
+    a provenance block (git SHA, engine-config fingerprint), and one
+    record per run (see :func:`run_record`). Benches whose output is
+    not built from evaluation runs (capability matrices, registries)
+    emit an empty ``runs`` list.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
@@ -98,6 +149,7 @@ def write_result(
         "figure": name,
         "schema_version": RESULT_SCHEMA_VERSION,
         "config": config or {},
+        "provenance": provenance(engine_config),
         "runs": runs or [],
     }
     json_path = RESULTS_DIR / f"{name}.json"
@@ -123,6 +175,7 @@ def run_record(result: EvaluationResult, **labels) -> dict:
         "wall_seconds": result.wall_seconds,
         "iterations": result.iterations,
         "peak_memory_bytes": result.peak_memory_bytes,
+        "peak_transient_bytes": result.peak_transient_bytes,
         "sizes": result.sizes(),
         "detail": dict(result.detail),
         "counters": dict(result.profile.counters) if result.profile is not None else {},

@@ -86,6 +86,7 @@ def run_datalog_file(
     partitioned_exec: bool = True,
     partitions: int | None = None,
     serve_trace: str | None = None,
+    metrics_out: str | None = None,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -165,10 +166,14 @@ def run_datalog_file(
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
-    if serve_trace is not None:
+    if serve_trace is not None or metrics_out is not None:
         if engine_name != "RecStep":
-            raise DatalogError("--serve-trace is only supported by the RecStep engine")
-        result = _run_via_service(engine.config, spec, edb_data, Path(path).stem, serve_trace)
+            raise DatalogError(
+                "--serve-trace/--metrics-out are only supported by the RecStep engine"
+            )
+        result = _run_via_service(
+            engine.config, spec, edb_data, Path(path).stem, serve_trace, metrics_out
+        )
     else:
         result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
 
@@ -180,13 +185,22 @@ def run_datalog_file(
     return result
 
 
-def _run_via_service(engine_config, spec, edb_data, dataset: str, trace_path: str):
-    """Route one evaluation through :class:`QueryService` (``--serve-trace``).
+def _run_via_service(
+    engine_config,
+    spec,
+    edb_data,
+    dataset: str,
+    trace_path: str | None,
+    metrics_path: str | None = None,
+):
+    """Route one evaluation through :class:`QueryService`.
 
     The query runs as a single-slot service session — same admission,
-    watchdog, and drain machinery as a busy server — and the shutdown
-    report (session lifecycle, admission state, breaker board, server
-    counters) is written to ``trace_path`` as JSON.
+    watchdog, and drain machinery as a busy server. ``--serve-trace``
+    writes the full shutdown report (session lifecycle, admission state,
+    breaker board, server counters); ``--metrics-out`` writes just the
+    telemetry export (``metrics_snapshot``: per-class latency histograms
+    and the admission-queue timeline). Either implies the service route.
     """
     import json
 
@@ -203,9 +217,20 @@ def _run_via_service(engine_config, spec, edb_data, dataset: str, trace_path: st
         raise DatalogError(f"service rejected the query: {response}")
     service.pump()
     report = service.drain()
-    Path(trace_path).write_text(
-        json.dumps(report, indent=2, sort_keys=True, default=_json_fallback) + "\n"
-    )
+    if trace_path is not None:
+        Path(trace_path).write_text(
+            json.dumps(report, indent=2, sort_keys=True, default=_json_fallback) + "\n"
+        )
+    if metrics_path is not None:
+        Path(metrics_path).write_text(
+            json.dumps(
+                service.metrics_snapshot(),
+                indent=2,
+                sort_keys=True,
+                default=_json_fallback,
+            )
+            + "\n"
+        )
     session = service.sessions.get(response["session_id"])
     if session.result is None:
         raise DatalogError(
@@ -316,6 +341,14 @@ def main(argv: list[str] | None = None) -> int:
         "service report to FILE as JSON (RecStep only)",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="route the evaluation through the query service and write its "
+        "telemetry export (per-class latency histograms, admission-queue "
+        "timeline) to FILE as JSON (RecStep only; implies the service route)",
+    )
+    parser.add_argument(
         "--no-join-cache",
         action="store_true",
         help="disable the iteration-persistent join-state cache (RecStep "
@@ -377,6 +410,7 @@ def main(argv: list[str] | None = None) -> int:
         partitioned_exec=not args.no_partitioned_exec,
         partitions=args.partitions,
         serve_trace=args.serve_trace,
+        metrics_out=args.metrics_out,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")
@@ -401,6 +435,9 @@ def main(argv: list[str] | None = None) -> int:
         if rules.count("\n") > 1:  # more than just the header/separator
             print()
             print(rules)
+        if result.profile.histograms:
+            print()
+            print(result.profile.render_histograms())
         if args.trace_out:
             from repro.obs import write_chrome_trace
 

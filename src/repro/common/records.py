@@ -77,6 +77,9 @@ class EvaluationResult:
     sim_seconds: float = 0.0
     iterations: int = 0
     peak_memory_bytes: int = 0
+    #: Peak of the transient (operator scratch) component alone — the
+    #: share of the peak that vanishes between statements.
+    peak_transient_bytes: int = 0
     memory_trace: Trace | None = None
     cpu_trace: Trace | None = None
     status: str = "ok"

@@ -335,6 +335,17 @@ def run_pbme_stratum(
             utilization=round(utilization, 4),
         )
         report.iterations += iterations
+    if profiler.enabled:
+        # PBME saturates the stratum in one batch pass, so its telemetry
+        # lands at the stratum boundary: one latency/size observation and
+        # one resource-timeline sample (the per-iteration cadence does
+        # not exist on this path).
+        profiler.histograms.observe("pbme.seconds", span.duration)
+        profiler.histograms.observe("pbme.rows", float(pairs.shape[0]))
+        database.sample_timeline(
+            stratum=decision.stratum.index if decision.stratum is not None else 0,
+            pbme_depth=iterations,
+        )
     # The bit matrix saturates the stratum in one batch pass (it cannot
     # diverge), so its budget accounting lands at the stratum boundary —
     # after the partial fixpoint is committed, mirroring where a deadline

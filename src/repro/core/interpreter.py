@@ -168,6 +168,9 @@ class SemiNaiveInterpreter:
                 span.set(delta_sizes=dict(record.delta_sizes))
             self.report.records.append(record)
             self.report.iterations += 1
+            self._db.note_iteration(
+                stratum.index, 0, sum(record.delta_sizes.values()), span.duration
+            )
             self._db.resilience.check_cancelled(stratum=stratum.index, iteration=0)
             self._db.resilience.check_guard(
                 stratum.index, 0, sum(record.delta_sizes.values())
@@ -210,6 +213,12 @@ class SemiNaiveInterpreter:
                 span.set(delta_sizes=dict(record.delta_sizes))
             self.report.records.append(record)
             self.report.iterations += 1
+            self._db.note_iteration(
+                stratum.index,
+                iteration,
+                sum(record.delta_sizes.values()),
+                span.duration,
+            )
             if all(size == 0 for size in record.delta_sizes.values()):
                 break
             self._db.resilience.check_cancelled(

@@ -200,6 +200,7 @@ class RecStep:
         result.wall_seconds = time.perf_counter() - wall_start
         result.sim_seconds = database.sim_seconds
         result.peak_memory_bytes = database.peak_memory_bytes
+        result.peak_transient_bytes = database.metrics.peak_transient_bytes
         result.memory_trace = database.metrics.memory_trace
         result.cpu_trace = database.metrics.cpu_trace
         if resilience.active or checkpoints is not None or resume_state is not None:

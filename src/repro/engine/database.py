@@ -255,7 +255,58 @@ class Database:
             if result is not None:
                 span.set(rows_out=int(result.shape[0]))
             self.profiler.counters.inc("statements_executed")
+        if self.profiler.enabled:
+            self.profiler.histograms.observe(f"statement.latency.{name}", span.duration)
+            if result is not None:
+                self.profiler.histograms.observe(
+                    f"statement.rows.{name}", float(result.shape[0])
+                )
         return result
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def sample_timeline(self, **marks) -> None:
+        """One resource-timeline sample at the current simulated time.
+
+        Captures the full "what did the run look like right now" vector:
+        resident/transient memory, degradation-ladder level, join-cache
+        and partitioning state. No-op (one attribute test) when profiling
+        is off.
+        """
+        profiler = self.profiler
+        if not profiler.enabled:
+            return
+        counters = profiler.counters
+        profiler.timeline.sample(
+            self.metrics.clock.now(),
+            resident_bytes=self.metrics.base_bytes,
+            transient_bytes=self.metrics.transient_bytes,
+            peak_bytes=self.metrics.peak_bytes,
+            degradation_level=self.resilience.degradation.level,
+            join_cache_entries=len(self.join_cache),
+            join_cache_bytes=self.join_cache.memory_bytes(),
+            join_cache_hits=counters.get("join_cache.hit"),
+            join_cache_extends=counters.get("join_cache.extend"),
+            partition_join_runs=counters.get("partition.join_runs"),
+            partition_scatter_rows=counters.get("partition.scatter_rows"),
+            **marks,
+        )
+
+    def note_iteration(
+        self, stratum: int, iteration: int, delta_rows: int, seconds: float
+    ) -> None:
+        """Iteration-boundary hook: distribution + timeline bookkeeping.
+
+        The interpreter calls this after every semi-naive iteration so
+        per-iteration latency and delta-size distributions accumulate and
+        the resource timeline gains a sample exactly at the boundary —
+        the sampling cadence the paper's memory-trajectory figures use.
+        """
+        if not self.profiler.enabled:
+            return
+        self.profiler.histograms.observe("iteration.seconds", seconds)
+        self.profiler.histograms.observe("iteration.delta_rows", float(delta_rows))
+        self.sample_timeline(stratum=stratum, iteration=iteration, delta_rows=delta_rows)
 
     def _execute_ast_inner(self, statement: ast.Statement) -> np.ndarray | None:
         if isinstance(statement, (ast.CreateTable, ast.DropTable)):

@@ -15,9 +15,21 @@ Disabled mode is the default everywhere: components hold
 """
 
 from repro.obs.counters import KNOWN_COUNTERS, NULL_COUNTERS, CounterRegistry
-from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.export import timeline_counter_events, to_chrome_trace, write_chrome_trace
+from repro.obs.histogram import (
+    NULL_HISTOGRAMS,
+    HistogramSet,
+    LogHistogram,
+    NullHistogramSet,
+)
 from repro.obs.profiler import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.report import ProfileReport, SpanRollup, predicate_of_table
+from repro.obs.timeline import (
+    NULL_TIMELINE,
+    NullResourceTimeline,
+    ResourceTimeline,
+    TimelineSample,
+)
 from repro.obs.tracer import (
     CATEGORY_ITERATION,
     CATEGORY_OPERATOR,
@@ -38,17 +50,26 @@ __all__ = [
     "CATEGORY_STATEMENT",
     "CATEGORY_STRATUM",
     "CounterRegistry",
+    "HistogramSet",
     "KNOWN_COUNTERS",
+    "LogHistogram",
     "NULL_COUNTERS",
+    "NULL_HISTOGRAMS",
     "NULL_PROFILER",
+    "NULL_TIMELINE",
     "NULL_TRACER",
+    "NullHistogramSet",
     "NullProfiler",
+    "NullResourceTimeline",
     "ProfileReport",
     "Profiler",
+    "ResourceTimeline",
     "Span",
     "SpanRollup",
     "SpanTracer",
+    "TimelineSample",
     "predicate_of_table",
+    "timeline_counter_events",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -37,6 +37,26 @@ KNOWN_COUNTERS = {
     "pbme_strata": "strata evaluated by the bit-matrix engine",
     "pbme_bit_ops": "bit-pair visits during PBME expansion",
     "transient_underflows": "release_transient calls driving the balance negative",
+    # -- simulated-executor phases (repro.engine.executor) -------------------
+    "phase_scan_runs": "parallel scan phases executed",
+    "phase_probe_runs": "parallel probe phases executed",
+    "phase_build_runs": "parallel hash-build phases executed",
+    "phase_dedup_runs": "parallel dedup phases executed",
+    "phase_aggregate_runs": "parallel aggregate phases executed",
+    "phase_bitmatrix_runs": "parallel bit-matrix phases executed",
+    "phase_partition_runs": "radix scatter phases executed",
+    "phase_p_build_runs": "per-partition build phases executed",
+    "phase_p_probe_runs": "per-partition probe phases executed",
+    "phase_p_dedup_runs": "per-partition dedup phases executed",
+    # -- radix partitioning (repro.engine.operators/dedup/setops) ------------
+    "partition.join_runs": "equi-joins executed on the radix-partitioned path",
+    "partition.dedup_runs": "dedups executed on the radix-partitioned path",
+    "partition.setdiff_runs": "set-differences executed on the radix-partitioned path",
+    "partition.setdiff_opsd": "partitioned set-difference OPSD probe phases",
+    "partition.setdiff_tpsd_intersect": "partitioned TPSD intersect phases",
+    "partition.setdiff_tpsd_subtract": "partitioned TPSD subtract phases",
+    "partition.scatter_rows": "tuples scattered into radix partitions",
+    "partition.shed": "partitioned plans shed to single-shot under degradation",
     # -- resilience (repro.resilience) -------------------------------------
     "faults_injected": "transient faults raised by the injection harness",
     "fault_retries": "operations re-run after an injected transient fault",
@@ -46,6 +66,7 @@ KNOWN_COUNTERS = {
     "memory_pressure_critical": "critical (95%) memory watermark crossings",
     "degradations_taken": "degradation-ladder steps that changed behaviour",
     "degradation_shed_join_cache": "join-state caches evicted under memory pressure",
+    "degradation_shed_partitioning": "radix partitioning disabled under memory pressure",
     "degradation_lean_dedup": "dedups rerouted to the memory-lean sort path",
     "degradation_force_tpsd": "OPSD set-differences overridden to TPSD",
     "degradation_prefer_pbme": "strata steered to PBME under memory pressure",

@@ -44,6 +44,64 @@ def _jsonable(value) -> bool:
         return False
 
 
+#: Timeline keys folded into one stacked "memory" counter track; the
+#: split shows whether pressure came from resident tables or transient
+#: operator scratch.
+_MEMORY_TRACK = ("resident_bytes", "transient_bytes")
+
+#: Timeline keys that get their own counter track (the "why it slowed"
+#: signals: degradation ladder, admission queue, cache/partition state).
+_SCALAR_TRACKS = (
+    "degradation_level",
+    "queue_depth",
+    "active",
+    "reserved_bytes",
+    "join_cache_entries",
+    "join_cache_bytes",
+    "partition_scatter_rows",
+    "delta_rows",
+)
+
+
+def timeline_counter_events(timeline: list[dict]) -> list[dict]:
+    """Trace counter events ("ph": "C") from resource-timeline records.
+
+    Each sample becomes one stacked memory event plus one event per
+    scalar track present, so the trace viewer renders continuous
+    resource tracks under the span forest — memory climbing into a
+    watermark, the degradation ladder stepping, the admission queue
+    backing up — aligned with the spans that caused it.
+    """
+    events = []
+    for record in timeline:
+        ts = record["time"] * 1e6
+        memory = {key: record[key] for key in _MEMORY_TRACK if key in record}
+        if memory:
+            events.append(
+                {
+                    "name": "memory",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": TRACE_PID,
+                    "tid": TRACE_TID,
+                    "args": memory,
+                }
+            )
+        for key in _SCALAR_TRACKS:
+            if key in record:
+                events.append(
+                    {
+                        "name": key,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": TRACE_PID,
+                        "tid": TRACE_TID,
+                        "args": {key: record[key]},
+                    }
+                )
+    return events
+
+
 def chrome_trace_events(roots: list[Span]) -> list[dict]:
     """Flatten a span forest into trace events (parents before children)."""
     events = [
@@ -63,13 +121,16 @@ def chrome_trace_events(roots: list[Span]) -> list[dict]:
 
 def to_chrome_trace(report: ProfileReport) -> dict:
     """The full Trace Event Format JSON object for one profile."""
+    events = chrome_trace_events(report.roots)
+    events.extend(timeline_counter_events(report.timeline))
     return {
-        "traceEvents": chrome_trace_events(report.roots),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "clock": "simulated seconds (exported as microseconds)",
             "total_sim_seconds": report.total_time,
             "counters": report.counters,
+            "histograms": report.histograms,
         },
     }
 

@@ -12,17 +12,21 @@ from __future__ import annotations
 
 from repro.common.timing import SimClock
 from repro.obs.counters import NULL_COUNTERS, CounterRegistry
+from repro.obs.histogram import NULL_HISTOGRAMS, HistogramSet
+from repro.obs.timeline import NULL_TIMELINE, ResourceTimeline
 from repro.obs.tracer import NULL_TRACER, SpanTracer
 
 
 class Profiler:
-    """An enabled profiler: real tracer, real counters."""
+    """An enabled profiler: real tracer, counters, histograms, timeline."""
 
     enabled = True
 
     def __init__(self, clock: SimClock | None = None) -> None:
         self.tracer = SpanTracer(clock)
         self.counters = CounterRegistry()
+        self.histograms = HistogramSet()
+        self.timeline = ResourceTimeline()
 
     def span(self, name: str, category: str = "operator", **attrs):
         return self.tracer.span(name, category, **attrs)
@@ -48,6 +52,8 @@ class NullProfiler:
     enabled = False
     tracer = NULL_TRACER
     counters = NULL_COUNTERS
+    histograms = NULL_HISTOGRAMS
+    timeline = NULL_TIMELINE
 
     def span(self, name: str, category: str = "operator", **attrs):
         return NULL_TRACER.span(name, category)

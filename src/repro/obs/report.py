@@ -57,6 +57,10 @@ class ProfileReport:
     roots: list[Span] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     total_time: float = 0.0
+    #: name -> LogHistogram.to_dict() records (latency/size distributions).
+    histograms: dict[str, dict] = field(default_factory=dict)
+    #: Resource-timeline samples as flat records (time, resident_bytes, ...).
+    timeline: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_profiler(cls, profiler, total_time: float) -> "ProfileReport":
@@ -64,6 +68,8 @@ class ProfileReport:
             roots=list(profiler.tracer.roots),
             counters=profiler.counters.snapshot(),
             total_time=total_time,
+            histograms=profiler.histograms.snapshot(),
+            timeline=profiler.timeline.to_records(),
         )
 
     # -- aggregation ---------------------------------------------------------
@@ -140,4 +146,18 @@ class ProfileReport:
         lines.append("-" * len(lines[0]))
         for name, rollup in self.per_rule().items():
             lines.append(f"{name:<24}{rollup.count:>11}{rollup.total_time:>10.4f}")
+        return "\n".join(lines)
+
+    def render_histograms(self) -> str:
+        """Latency/size distribution table (count, p50/p95/p99, max)."""
+        header = (
+            f"{'histogram':<32}{'count':>8}{'p50':>12}{'p95':>12}"
+            f"{'p99':>12}{'max':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, record in self.histograms.items():
+            lines.append(
+                f"{name:<32}{record['count']:>8}{record['p50']:>12.6f}"
+                f"{record['p95']:>12.6f}{record['p99']:>12.6f}{record['max']:>12.6f}"
+            )
         return "\n".join(lines)

@@ -41,6 +41,8 @@ from repro.core.config import RecStepConfig
 from repro.core.recstep import RecStep
 from repro.engine.metrics import CRITICAL_WATERMARK, DEFAULT_MEMORY_BUDGET
 from repro.obs.counters import CounterRegistry
+from repro.obs.histogram import NULL_HISTOGRAMS, HistogramSet
+from repro.obs.timeline import NULL_TIMELINE, ResourceTimeline
 from repro.server.admission import (
     DEFAULT_RETRY_AFTER,
     AdmissionController,
@@ -75,6 +77,7 @@ class ServerConfig:
     breaker_cooldown_seconds: float = 60.0
     watchdog_stall_timeout: float | None = None  # None: watchdog off
     drain_grace_seconds: float = 5.0  # per-query budget during drain
+    telemetry: bool = True           # latency histograms + queue timeline
 
 
 class QueryService:
@@ -107,6 +110,15 @@ class QueryService:
         self._active: list[tuple[float, Session, str]] = []
         self.draining = False
         self._drain_checkpoint_dir: str | None = None
+        # Per-query-class latency/queue-wait/rows distributions and the
+        # admission-queue timeline; null objects when telemetry is off so
+        # every observation site is one attribute test.
+        if self.config.telemetry:
+            self.histograms = HistogramSet()
+            self.queue_timeline = ResourceTimeline()
+        else:
+            self.histograms = NULL_HISTOGRAMS
+            self.queue_timeline = NULL_TIMELINE
 
     # -- submission --------------------------------------------------------------
 
@@ -145,6 +157,7 @@ class QueryService:
         session = self.sessions.create(request, now)
         session.reserved_bytes = self.admission.quota_for(request)
         self._queue.append(session)
+        self._sample_queue()
         return {"accepted": True, "session_id": session.id, "state": "queued"}
 
     _REJECT_COUNTERS = {
@@ -210,23 +223,29 @@ class QueryService:
             session.admitted_at = self.clock.now()
             self.counters.inc("server.admitted")
             self._execute(session)
+            self._sample_queue()
 
     def _release_due(self) -> None:
         now = self.clock.now()
         still_active = []
+        released = False
         for finish, session, status in self._active:
             if finish <= now:
                 self.admission.release(session.reserved_bytes)
                 self._finalize(session, status, finish)
+                released = True
             else:
                 still_active.append((finish, session, status))
         self._active = still_active
+        if released:
+            self._sample_queue()
 
     def _finalize(self, session: Session, status: str, finish: float) -> None:
         """Apply the terminal state and breaker observation at finish time."""
         session.finished_at = finish
         self.sessions.transition(session, _STATUS_TO_STATE[status])
         self.breakers.observe(session.klass, status, finish)
+        self._observe_session(session, finish)
         failure = session.failure or {}
         if failure.get("kind") == "watchdog":
             self.counters.inc("server.watchdog_cancels")
@@ -237,6 +256,66 @@ class QueryService:
             and session.result.resilience.get("checkpoints_written", 0) > 0
         ):
             self.counters.inc("server.checkpointed_on_drain")
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _sample_queue(self) -> None:
+        """One admission-timeline sample at the current service time.
+
+        Taken at every event that changes the admission picture (accepted
+        submit, admit, slot release), which in a discrete-event service
+        is exactly the set of instants where the series can change.
+        """
+        if not self.queue_timeline.enabled:
+            return
+        self.queue_timeline.sample(
+            self.clock.now(),
+            queue_depth=len(self._queue),
+            active=len(self._active),
+            reserved_bytes=self.admission.reserved_bytes,
+        )
+
+    def _observe_session(self, session: Session, finish: float) -> None:
+        """Latency/queue-wait/rows distributions, per class and overall."""
+        if not self.histograms.enabled:
+            return
+        latency = max(0.0, finish - session.submitted_at)
+        started = session.started_at
+        queue_wait = max(0.0, started - session.submitted_at) if started is not None else 0.0
+        rows = 0
+        if session.result is not None:
+            rows = sum(session.result.sizes().values())
+        for klass in (session.klass, "all"):
+            self.histograms.observe(f"latency.{klass}", latency)
+            self.histograms.observe(f"queue_wait.{klass}", queue_wait)
+            self.histograms.observe(f"rows_served.{klass}", float(rows))
+
+    #: Version stamp of the ``metrics_snapshot`` document; the golden
+    #: schema test pins the key set, bump on any shape change.
+    METRICS_SCHEMA_VERSION = 1
+
+    def metrics_snapshot(self) -> dict:
+        """Machine-readable telemetry export (histograms + timeline).
+
+        Deterministic on the service's simulated clock: two runs with the
+        same submission history produce byte-identical snapshots.
+        """
+        return {
+            "schema_version": self.METRICS_SCHEMA_VERSION,
+            "now": round(self.clock.now(), 6),
+            "telemetry": self.config.telemetry,
+            "histograms": self.histograms.snapshot(),
+            "queue_timeline": {
+                "samples": len(self.queue_timeline),
+                "max_queue_depth": self.queue_timeline.peak("queue_depth"),
+                "max_active": self.queue_timeline.peak("active"),
+                "max_reserved_bytes": self.queue_timeline.peak("reserved_bytes"),
+                "series": self.queue_timeline.to_records(),
+            },
+            "counters": self.counters.snapshot(),
+            "session_counts": self.sessions.counts(),
+            "admission": self.admission.to_dict(),
+        }
 
     # -- isolated execution ------------------------------------------------------
 
@@ -377,6 +456,7 @@ class QueryService:
             "admission": self.admission.to_dict(),
             "breakers": self.breakers.to_dict(),
             "counters": self.counters.snapshot(),
+            "metrics": self.metrics_snapshot(),
         }
 
 

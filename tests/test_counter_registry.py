@@ -1,0 +1,127 @@
+"""Counter-registry drift guard.
+
+Scans ``src/`` for every counter name the code can increment — literal
+``inc("...")`` sites, the named ``COUNTER_*`` constants, and each
+dynamic f-string site expanded over its finite domain — and asserts the
+set exactly matches :data:`repro.obs.counters.KNOWN_COUNTERS`: no
+unregistered counter, no dead registry entry. A new ``inc`` site fails
+this test until the name is registered (and documented) in
+KNOWN_COUNTERS; a removed site fails it until the stale entry is
+deleted.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.engine import joincache
+from repro.obs.counters import KNOWN_COUNTERS
+from repro.resilience.degradation import LADDER
+
+SRC = Path(__file__).parent.parent / "src"
+
+#: Literal first-argument counter names: inc("name") / inc("name", n).
+_LITERAL_INC = re.compile(r"""\.inc\(\s*["']([^"']+)["']""")
+
+#: f-string first arguments: inc(f"...") — every one must be expandable
+#: through the tables below. Quote types are matched separately so an
+#: f-string may contain the other quote (f"...{x.replace('-', '_')}...").
+_FSTRING_INC = re.compile(r"""\.inc\(\s*(?:f"([^"]+)"|f'([^']+)')""")
+
+#: Conditional-expression sites: inc("a" if ... else "b").
+_CONDITIONAL_INC = re.compile(
+    r"""\.inc\(\s*\n?\s*["']([^"']+)["']\s+if\s+.*?\s+else\s+["']([^"']+)["']""",
+    re.DOTALL,
+)
+
+#: Dict-indexed sites are resolved through the dict's literal values
+#: (currently QueryService._REJECT_COUNTERS).
+_REJECT_DICT = re.compile(r"_REJECT_COUNTERS\s*=\s*\{(.*?)\}", re.DOTALL)
+_DICT_VALUES = re.compile(r"""["'][\w-]+["']\s*:\s*["']([\w.]+)["']""")
+
+#: Expansion domains for each dynamic f-string placeholder expression.
+#: When a new dynamic site appears, its placeholder must get a finite
+#: domain here — that is the point: unbounded counter names don't pass.
+_PHASE_KINDS = (
+    "scan",
+    "probe",
+    "build",
+    "dedup",
+    "aggregate",
+    "bitmatrix",
+    "partition",
+    "p_build",
+    "p_probe",
+    "p_dedup",
+)
+_FSTRING_DOMAINS: dict[str, tuple[str, ...]] = {
+    "kind.name": _PHASE_KINDS,
+    "strategy.lower()": ("opsd", "tpsd"),
+    "phase_label": ("opsd", "tpsd_intersect", "tpsd_subtract"),
+    "step.replace('-', '_')": tuple(step.replace("-", "_") for step in LADDER),
+    "kind": ("max_iterations", "max_total_rows"),
+}
+
+_PLACEHOLDER = re.compile(r"\{([^{}]+)\}")
+
+
+def _expand_fstring(template: str) -> set[str]:
+    placeholders = _PLACEHOLDER.findall(template)
+    assert placeholders, f"f-string inc with no placeholder: {template!r}"
+    expanded = {template}
+    for placeholder in placeholders:
+        domain = _FSTRING_DOMAINS.get(placeholder)
+        assert domain is not None, (
+            f"dynamic counter site uses unknown placeholder {placeholder!r} "
+            f"in {template!r}; add its finite domain to _FSTRING_DOMAINS"
+        )
+        expanded = {
+            name.replace("{" + placeholder + "}", value)
+            for name in expanded
+            for value in domain
+        }
+    return expanded
+
+
+def incremented_counter_names() -> set[str]:
+    """Every counter name any inc() site in src/ can produce."""
+    names: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        names.update(_LITERAL_INC.findall(text))
+        for a, b in _CONDITIONAL_INC.findall(text):
+            names.update((a, b))
+        for double_quoted, single_quoted in _FSTRING_INC.findall(text):
+            names.update(_expand_fstring(double_quoted or single_quoted))
+        if "_REJECT_COUNTERS[" in text:
+            for body in _REJECT_DICT.findall(text):
+                names.update(_DICT_VALUES.findall(body))
+    # COUNTER_* constants (the join-cache site passes them by name).
+    names.update(
+        value
+        for key, value in vars(joincache).items()
+        if key.startswith("COUNTER_") and isinstance(value, str)
+    )
+    return names
+
+
+def test_every_incremented_counter_is_registered():
+    unregistered = incremented_counter_names() - set(KNOWN_COUNTERS)
+    assert not unregistered, (
+        "counters incremented in src/ but missing from KNOWN_COUNTERS "
+        f"(register and describe them): {sorted(unregistered)}"
+    )
+
+
+def test_no_dead_registry_entries():
+    dead = set(KNOWN_COUNTERS) - incremented_counter_names()
+    assert not dead, (
+        "KNOWN_COUNTERS entries no code increments any more "
+        f"(delete the stale entries): {sorted(dead)}"
+    )
+
+
+def test_registry_descriptions_are_nonempty():
+    for name, description in KNOWN_COUNTERS.items():
+        assert description.strip(), f"counter {name!r} has an empty description"

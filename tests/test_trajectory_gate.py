@@ -1,0 +1,200 @@
+"""The trajectory regression gate: band math, comparisons, provenance.
+
+Unit-level coverage of ``benchmarks.check_trajectory`` against synthetic
+payloads (no full sweeps in tier-1), plus one miniature end-to-end pass:
+a real two-rep engine rung on the cheapest dataset, gated against
+itself, must come out clean — and must fail once the baseline is
+perturbed beyond the band.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.check_trajectory import (
+    band_for,
+    check_provenance,
+    compare_engine,
+    compare_rung,
+    compare_server,
+)
+from benchmarks.common import config_fingerprint, provenance
+from benchmarks.trajectory import (
+    ENGINE_GATED_METRICS,
+    run_engine_rung,
+    scope_bursts,
+    scope_ladders,
+    summarize,
+)
+
+
+def _summary(median: float, stddev: float = 0.0) -> dict:
+    return {
+        "median": median,
+        "stddev": stddev,
+        "min": median,
+        "max": median,
+        "values": [median],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Band math
+# ---------------------------------------------------------------------------
+
+
+def test_band_takes_the_widest_component():
+    # 10% of 100 = 10 beats 3 * 1 = 3 and the 1e-3 floor.
+    assert band_for("sim_seconds", _summary(100.0, 1.0), 0.10, 3.0) == 10.0
+    # 3 * 10 = 30 beats 10% of 100.
+    assert band_for("sim_seconds", _summary(100.0, 10.0), 0.10, 3.0) == 30.0
+    # Near-zero baselines fall back to the absolute floor.
+    assert band_for("sim_seconds", _summary(0.0), 0.10, 3.0) == 1e-3
+    assert band_for("peak_memory_bytes", _summary(0.0), 0.10, 3.0) == 4096.0
+
+
+def test_compare_rung_flags_only_out_of_band():
+    base = {"sim_seconds": _summary(10.0), "throughput": _summary(1000.0)}
+    fresh_ok = {"sim_seconds": _summary(10.5), "throughput": _summary(1050.0)}
+    violations, checked = compare_rung(
+        "engine X/Y", fresh_ok, base, ("sim_seconds", "throughput"), 0.10, 3.0
+    )
+    assert violations == []
+    assert len(checked) == 2
+    fresh_bad = {"sim_seconds": _summary(12.0), "throughput": _summary(1050.0)}
+    violations, checked = compare_rung(
+        "engine X/Y", fresh_bad, base, ("sim_seconds", "throughput"), 0.10, 3.0
+    )
+    assert len(violations) == 1
+    assert "sim_seconds" in violations[0]
+    assert len(checked) == 1
+
+
+def test_compare_rung_missing_fresh_metric_is_a_violation():
+    base = {"sim_seconds": _summary(10.0)}
+    violations, _ = compare_rung("engine X/Y", {}, base, ("sim_seconds",), 0.10, 3.0)
+    assert violations and "missing" in violations[0]
+
+
+def test_compare_rung_skips_metrics_absent_from_baseline():
+    # An OOM rung records no summaries; the gate has nothing to check.
+    violations, checked = compare_rung(
+        "engine CSPA/cspa-linux", {}, {"statuses": ["oom"]}, ENGINE_GATED_METRICS, 0.10, 3.0
+    )
+    assert violations == [] and checked == []
+
+
+# ---------------------------------------------------------------------------
+# Payload-level comparison
+# ---------------------------------------------------------------------------
+
+
+def _engine_payload(throughput: float) -> dict:
+    return {
+        "ladders": {
+            "TC": [
+                {
+                    "dataset": "G500",
+                    "sim_seconds": _summary(1.0),
+                    "throughput": _summary(throughput, stddev=5.0),
+                    "peak_memory_bytes": _summary(1e6),
+                }
+            ]
+        }
+    }
+
+
+def test_compare_engine_matches_rungs_by_program_and_dataset():
+    violations, checked = compare_engine(_engine_payload(1000.0), _engine_payload(1001.0))
+    assert violations == []
+    assert len(checked) == 3
+    violations, _ = compare_engine(_engine_payload(500.0), _engine_payload(1000.0))
+    assert any("throughput" in v for v in violations)
+
+
+def test_compare_engine_requires_an_overlap():
+    fresh = {"ladders": {"SG": [{"dataset": "G9K", "sim_seconds": _summary(1.0)}]}}
+    violations, _ = compare_engine(fresh, _engine_payload(1000.0))
+    assert any("no fresh rung" in v for v in violations)
+
+
+def test_compare_server_matches_by_burst():
+    def payload(p99: float) -> dict:
+        return {
+            "bursts": [
+                {
+                    "burst": 4,
+                    "sim_seconds": _summary(2.0),
+                    "throughput": _summary(2.0),
+                    "latency_p50": _summary(0.5),
+                    "latency_p95": _summary(0.9),
+                    "latency_p99": _summary(p99),
+                    "max_queue_depth": _summary(4.0),
+                }
+            ]
+        }
+
+    violations, checked = compare_server(payload(1.0), payload(1.0))
+    assert violations == []
+    assert len(checked) == 6
+    violations, _ = compare_server(payload(2.0), payload(1.0))
+    assert any("latency_p99" in v for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+
+
+def test_provenance_fingerprint_round_trip():
+    payload = {"provenance": provenance()}
+    assert check_provenance(payload, "engine") == []
+    stale = {"provenance": {"config_fingerprint": {"digest": "0" * 16}}}
+    problems = check_provenance(stale, "engine")
+    assert problems and "fingerprint" in problems[0]
+    assert check_provenance({}, "engine")  # no provenance at all
+
+
+def test_fingerprint_tracks_chaos_seed(monkeypatch):
+    clean = config_fingerprint()["digest"]
+    monkeypatch.setenv("REPRO_CHAOS_SEED", "77")
+    armed = config_fingerprint()["digest"]
+    assert clean != armed
+
+
+# ---------------------------------------------------------------------------
+# Scopes and a miniature real gate pass
+# ---------------------------------------------------------------------------
+
+
+def test_scopes():
+    full = scope_ladders("full")
+    smoke = scope_ladders("smoke")
+    assert set(full) == set(smoke)
+    for program in smoke:
+        assert smoke[program] == full[program][:1]
+        assert len(full[program]) >= 3
+    assert scope_bursts("smoke") == scope_bursts("full")[:1]
+
+
+def test_summarize_median_and_stddev():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert s["median"] == 3.0
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    assert s["stddev"] > 0
+    assert summarize([5.0])["stddev"] == 0.0
+
+
+def test_gate_clean_against_itself_and_fails_when_perturbed():
+    rung = run_engine_rung("AA", "andersen-2", reps=2)
+    payload = {"ladders": {"AA": [rung]}}
+    # Determinism: the same seeds must gate cleanly against themselves.
+    violations, checked = compare_engine(payload, json.loads(json.dumps(payload)))
+    assert violations == []
+    assert checked
+    perturbed = json.loads(json.dumps(payload))
+    base_rung = perturbed["ladders"]["AA"][0]
+    base_rung["throughput"]["median"] *= 2.0
+    base_rung["throughput"]["stddev"] = 0.0
+    violations, _ = compare_engine(payload, perturbed)
+    assert any("throughput" in v for v in violations)
