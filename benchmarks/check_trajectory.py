@@ -127,6 +127,30 @@ def compare_engine(
             checked.extend(c)
     if matched == 0:
         violations.append("engine: no fresh rung matches any baseline rung")
+    # Constrained-budget rungs (the spill-tier canary): gate the spilled
+    # run's metrics like any other rung, plus the qualitative contract —
+    # OOM without the tier, done with it.
+    base_constrained = {
+        (rung["program"], rung["dataset"]): rung
+        for rung in baseline.get("constrained", [])
+    }
+    for rung in fresh.get("constrained", []):
+        key = (rung["program"], rung["dataset"])
+        base = base_constrained.get(key)
+        if base is None:
+            continue
+        label = f"engine constrained {key[0]}/{key[1]}"
+        for field in ("status_without_spill", "statuses"):
+            if rung.get(field) != base.get(field):
+                violations.append(
+                    f"REGRESSION {label}: {field} {base.get(field)!r} "
+                    f"-> {rung.get(field)!r}"
+                )
+        v, c = compare_rung(
+            label, rung, base, ENGINE_GATED_METRICS, rel_tol, stddev_mult
+        )
+        violations.extend(v)
+        checked.extend(c)
     return violations, checked
 
 

@@ -70,6 +70,17 @@ RUNG_REPS: dict[tuple[str, str], int] = {
     ("CSPA", "cspa-linux"): 1,
 }
 
+#: The constrained-budget rung (the cspa-linux class, but rescued): a
+#: base-dominated workload under a memory budget its fixpoint cannot fit
+#: in resident. Without the spill tier the full degradation ladder sheds
+#: it (``status_without_spill: "oom"``); with a spill directory it
+#: completes, strictly slower — the committed record that the memory
+#: envelope degrades to disk, not to shed work. The cycle dataset is
+#: deterministic, so one repetition replays exactly.
+CONSTRAINED_RUNGS: list[dict] = [
+    {"program": "TC", "dataset": "cycle-300", "memory_budget": 550_000},
+]
+
 #: Server sweep: submission burst sizes, smallest first. Each burst is a
 #: round-robin mix of the cheap queries below; queue_limit tracks the
 #: burst so no submission is rejected and every query's latency counts.
@@ -182,6 +193,7 @@ def run_engine_sweep(
         out_ladders[program] = rungs
     return {
         "kind": "engine-trajectory",
+        "constrained": run_constrained_sweep(),
         "schema_version": RESULT_SCHEMA_VERSION,
         "provenance": provenance(),
         "config": {
@@ -195,6 +207,93 @@ def run_engine_sweep(
         },
         "ladders": out_ladders,
     }
+
+
+def run_constrained_rung(entry: dict) -> dict:
+    """The memory-envelope rung: OOM without the spill tier, done with.
+
+    Both halves run under the same tight ``memory_budget`` with the
+    degradation ladder armed; only the second gets a spill directory.
+    The spilled run's gated metrics land in the baseline like any other
+    rung's; the no-spill status documents the envelope being exceeded.
+    """
+    import tempfile
+
+    program, dataset = entry["program"], entry["dataset"]
+    budget = entry["memory_budget"]
+    without = run_workload(
+        "RecStep",
+        program,
+        dataset,
+        memory_budget=budget,
+        time_budget=TIME_BUDGET,
+        seed=BASE_SEED,
+        degradation=True,
+    )
+    with tempfile.TemporaryDirectory(prefix="trajectory-spill-") as spill_dir:
+        spilled = run_workload(
+            "RecStep",
+            program,
+            dataset,
+            memory_budget=budget,
+            time_budget=TIME_BUDGET,
+            seed=BASE_SEED,
+            degradation=True,
+            spill_dir=spill_dir,
+        )
+    rung = {
+        "program": program,
+        "dataset": dataset,
+        "memory_budget": budget,
+        "reps": 1,
+        "status_without_spill": without.status,
+        "statuses": [spilled.status],
+        "ok_runs": 1 if spilled.status == "ok" else 0,
+    }
+    if spilled.status == "ok":
+        out = sum(spilled.sizes().values())
+        recap = (spilled.resilience or {}).get("spill", {})
+        rung.update(
+            {
+                "tuples_out": summarize([float(out)]),
+                "iterations": summarize([float(spilled.iterations)]),
+                "sim_seconds": summarize([spilled.sim_seconds]),
+                "wall_seconds": summarize([spilled.wall_seconds or 0.0]),
+                "throughput": summarize(
+                    [out / spilled.sim_seconds if spilled.sim_seconds else 0.0]
+                ),
+                "peak_memory_bytes": summarize([float(spilled.peak_memory_bytes)]),
+                "peak_transient_bytes": summarize(
+                    [float(spilled.peak_transient_bytes)]
+                ),
+                "peak_spilled_bytes": summarize(
+                    [float(recap.get("peak_spilled_bytes", 0))]
+                ),
+            }
+        )
+    return rung
+
+
+def run_constrained_sweep(rungs: list[dict] | None = None) -> list[dict]:
+    """Every constrained-budget rung, printed like the ladder rungs."""
+    out = []
+    for entry in rungs if rungs is not None else CONSTRAINED_RUNGS:
+        rung = run_constrained_rung(entry)
+        out.append(rung)
+        spilled_mb = (
+            rung["peak_spilled_bytes"]["median"] / 1e6
+            if "peak_spilled_bytes" in rung
+            else 0.0
+        )
+        print(
+            f"[engine] {rung['program']}/{rung['dataset']} "
+            f"@ {rung['memory_budget']:,}B: "
+            f"without spill {rung['status_without_spill']}, "
+            f"with spill {rung['statuses'][0]} "
+            f"({spilled_mb:.2f} MB spilled): {_rung_line(rung)}",
+            flush=True,
+        )
+    return out
 
 
 def _rung_line(rung: dict) -> str:

@@ -71,6 +71,7 @@ def run_datalog_file(
     path: str | Path,
     engine_name: str = "RecStep",
     threads: int = 20,
+    memory_budget: int | None = None,
     enforce_budgets: bool = True,
     profile: bool = False,
     fault_seed: int | None = None,
@@ -85,6 +86,7 @@ def run_datalog_file(
     join_cache: bool = True,
     partitioned_exec: bool = True,
     partitions: int | None = None,
+    spill_dir: str | None = None,
     serve_trace: str | None = None,
     metrics_out: str | None = None,
 ):
@@ -122,6 +124,8 @@ def run_datalog_file(
         outputs=tuple(sorted(datalog_file.outputs)),
     )
     extra = {}
+    if memory_budget is not None:
+        extra["memory_budget"] = memory_budget
     if profile:
         if engine_name != "RecStep":
             raise DatalogError("--profile is only supported by the RecStep engine")
@@ -143,6 +147,7 @@ def run_datalog_file(
     resilience_options = {
         "fault_seed": fault_seed,
         "degradation": degrade or None,
+        "spill_dir": spill_dir,
         "checkpoint_dir": checkpoint_dir,
         "resume_from": resume_from,
         "deadline": deadline,
@@ -156,7 +161,9 @@ def run_datalog_file(
                 "resilience options are only supported by the RecStep engine: "
                 + ", ".join(sorted(wanted))
             )
-        if degrade:
+        if degrade or spill_dir is not None:
+            # The spill rung lives on the degradation ladder: asking for a
+            # spill directory implies arming the ladder.
             wanted["degradation"] = True
         if fault_rate is not None:
             wanted["fault_rate"] = fault_rate
@@ -203,11 +210,17 @@ def _run_via_service(
     and the admission-queue timeline). Either implies the service route.
     """
     import json
+    from dataclasses import replace
 
     from repro.server import QueryRequest, QueryService, ServerConfig
 
+    # A session-scoped engine knob like --spill-dir becomes the service's
+    # spill root: the service hands each session its own subdirectory.
+    spill_root = engine_config.spill_dir
+    if spill_root is not None:
+        engine_config = replace(engine_config, spill_dir=None)
     service = QueryService(
-        ServerConfig(max_concurrent=1, queue_limit=1),
+        ServerConfig(max_concurrent=1, queue_limit=1, spill_root=spill_root),
         engine_config=engine_config,
     )
     response = service.submit(
@@ -260,6 +273,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--threads", type=int, default=20, help="simulated workers")
     parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="modeled memory budget (default: the scaled server budget); "
+        "tighten it to exercise the degradation ladder and spill tier",
+    )
+    parser.add_argument(
         "--no-enforce-budgets",
         action="store_true",
         help="disable the modeled memory/time budgets (budgets are enforced "
@@ -286,6 +307,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="enable the memory-pressure degradation ladder (lean dedup -> "
         "forced TPSD -> PBME fallback) instead of failing at the OOM line",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="enable the spill-to-disk storage tier: under memory pressure "
+        "the degradation ladder evicts cold table prefixes to segment files "
+        "in DIR instead of shedding work (RecStep only; implies --degrade "
+        "semantics for the spill rung; results are bit-identical to an "
+        "in-memory run)",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -395,11 +426,13 @@ def main(argv: list[str] | None = None) -> int:
         args.file,
         engine_name=args.engine,
         threads=args.threads,
+        memory_budget=args.memory_budget,
         enforce_budgets=not args.no_enforce_budgets,
         profile=args.profile or args.trace_out is not None,
         fault_seed=args.inject_faults,
         fault_rate=args.fault_rate,
         degrade=args.degrade,
+        spill_dir=args.spill_dir,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume_from=args.resume_from,

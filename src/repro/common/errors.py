@@ -137,6 +137,17 @@ class FaultRetriesExhausted(RecStepError):
     """The retry policy gave up on a repeatedly faulting operation."""
 
 
+class SpillError(RecStepError):
+    """A spilled segment file is torn, corrupt, or unreadable.
+
+    Raised only after the segment has been quarantined (renamed aside, so
+    it can never be silently re-read) — the spill tier's contract is
+    *slower, never wrong*: data that fails its checksum is surfaced as a
+    structured storage failure, and recovery goes through checkpoint
+    resume, not through trusting the bytes.
+    """
+
+
 class DatalogError(ReproError):
     """A Datalog program failed to parse or validate."""
 

@@ -256,6 +256,20 @@ def pbme_applicability(
                 reason=f"bit matrix ({(matrix_bytes + index_bytes) / 1e6:.0f} MB) "
                 "does not fit the memory budget",
             )
+        # A spill tier changes the calculus: the packed matrix is small,
+        # but the materialized closure it hands back must be fully
+        # resident — the relational path can evict cold prefixes to disk
+        # while PBME cannot. When the worst-case output alone overflows
+        # the budget, degrade to disk rather than to a path that is
+        # guaranteed to OOM on extraction.
+        if database.spill is not None:
+            tuple_bytes = database.catalog.get_table(decision.idb).tuple_bytes()
+            if n * n * tuple_bytes > 0.8 * budget:
+                return PbmeDecision(
+                    applicable=False,
+                    reason="projected closure cannot stay resident; the "
+                    "spill tier keeps the relational path safe",
+                )
         # Degradation ladder, last rung: under critical memory pressure an
         # eligible stratum takes the matrix path even when the density
         # heuristic would keep it relational — the packed matrix is the

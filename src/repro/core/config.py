@@ -74,6 +74,8 @@ class RecStepConfig:
     retries: int = 4                 # retry attempts per faulting operation
     retry_backoff: float = 0.05      # base backoff (simulated seconds)
     degradation: bool = False        # memory-pressure degradation ladder
+    spill_dir: str | None = None     # spill-to-disk tier (needs degradation)
+    spill_disk_budget: int | None = None  # modeled disk bytes for spilling
     checkpoint_dir: str | None = None  # write checkpoints here
     checkpoint_every: int = 1        # iteration checkpoint interval
     resume_from: str | None = None   # checkpoint file/dir to resume from

@@ -255,15 +255,18 @@ class SemiNaiveInterpreter:
         """
         if self._checkpoints is None:
             return
+        # table_snapshot, not table_array: snapshotting a spilled full
+        # relation streams its on-disk prefix instead of faulting it back
+        # in — checkpointing must relieve memory pressure, not recreate it.
         tables: dict[str, np.ndarray] = {
-            f"full:{name}": self._db.table_array(compiler.full_table(name))
+            f"full:{name}": self._db.table_snapshot(compiler.full_table(name))
             for name in sorted(self._analyzed.idb)
         }
         dsd_mu: dict[str, float] = {}
         if iteration >= 0:
             for predicate in predicates:
                 name = predicate.predicate
-                tables[f"delta:{name}"] = self._db.table_array(
+                tables[f"delta:{name}"] = self._db.table_snapshot(
                     compiler.delta_table(name)
                 )
                 dsd_mu[name] = self._policies[name].prev_mu
@@ -334,6 +337,7 @@ class SemiNaiveInterpreter:
                 self._db.table_size(full),
                 dedup_outcome.output_rows,
                 cached_extension=self._db.join_cache_extension(full),
+                spilled_bytes=self._db.table_spilled_bytes(full),
             )
             outcome = self._db.set_difference(mdelta, full, strategy)
             if outcome.intersection_size is not None:

@@ -28,6 +28,7 @@ from repro.common.errors import (
     EvaluationTimeout,
     FaultRetriesExhausted,
     OutOfMemoryError,
+    SpillError,
 )
 from repro.common.records import EvaluationResult
 from repro.core.config import RecStepConfig
@@ -109,6 +110,8 @@ class RecStep:
             join_cache=self.config.join_cache,
             partitioned_exec=self.config.partitioned_exec,
             partitions=self.config.partitions,
+            spill_dir=self.config.spill_dir,
+            spill_disk_budget=self.config.spill_disk_budget,
         )
         tokens = []
         if self.config.deadline is not None:
@@ -157,8 +160,8 @@ class RecStep:
         wall_start = time.perf_counter()
         try:
             # The program span wraps *everything* — EDB load, table setup,
-            # and the fixpoint — so the span forest accounts for all
-            # simulated time (attributed_fraction ≈ 1).
+            # the fixpoint, and result extraction — so the span forest
+            # accounts for all simulated time (attributed_fraction ≈ 1).
             with database.profiler.span(
                 f"program {program_name}",
                 CATEGORY_PROGRAM,
@@ -168,6 +171,17 @@ class RecStep:
                 interpreter.load_edb(edb_data)
                 interpreter.create_idb_tables()
                 report = interpreter.run()
+                # Extraction streams spilled prefixes (table_snapshot)
+                # instead of faulting them in: a fixpoint that only fits
+                # under budget *because* it spilled must not OOM while
+                # being read out.
+                fixpoint = {
+                    name: {
+                        tuple(int(value) for value in row)
+                        for row in database.table_snapshot(name)
+                    }
+                    for name in sorted(analyzed.idb)
+                }
         except OutOfMemoryError as error:
             result.status = "oom"
             result.failure = self._failure(error, interpreter)
@@ -184,12 +198,16 @@ class RecStep:
         except FaultRetriesExhausted as error:
             result.status = "fault"
             result.failure = self._failure(error, interpreter)
+        except SpillError as error:
+            result.status = "storage"
+            result.failure = self._failure(error, interpreter)
         else:
             result.iterations = report.iterations
             result.detail["pbme_strata"] = float(len(report.pbme_strata))
-            for name in sorted(analyzed.idb):
-                result.tuples[name] = database.catalog.get_table(name).to_set()
+            result.tuples.update(fixpoint)
             self.last_report = report
+        finally:
+            database.release_spill()
         if result.failure is not None:
             # Every failed run carries a `kind` discriminator; errors that
             # set one at the raise site (the divergence guard's budget
@@ -203,8 +221,27 @@ class RecStep:
         result.peak_transient_bytes = database.metrics.peak_transient_bytes
         result.memory_trace = database.metrics.memory_trace
         result.cpu_trace = database.metrics.cpu_trace
-        if resilience.active or checkpoints is not None or resume_state is not None:
+        if (
+            resilience.active
+            or checkpoints is not None
+            or resume_state is not None
+            or database.spill is not None
+        ):
             recap = resilience.summary()
+            if database.spill is not None:
+                recap["spill"] = {
+                    "peak_spilled_bytes": database.metrics.peak_spilled_bytes,
+                    "capacity_exhausted": database.spill.capacity_exhausted,
+                }
+                if database.profiler.enabled:
+                    counters = database.profiler.counters
+                    recap["spill"].update(
+                        tables_spilled=counters.get("spill.tables_spilled"),
+                        segments_written=counters.get("spill.segments_written"),
+                        segment_reads=counters.get("spill.segment_reads"),
+                        fault_ins=counters.get("spill.fault_ins"),
+                        torn_quarantined=counters.get("spill.torn_quarantined"),
+                    )
             if checkpoints is not None:
                 recap["checkpoints_written"] = checkpoints.written
                 if checkpoints.last_path is not None:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.common.rng import make_rng
 from repro.engine.executor import COST_BUILD, COST_PROBE
+from repro.storage.manager import SPILL_READ_BANDWIDTH
 
 
 def cost_opsd(r_size: int, delta_size: int, cb: float = COST_BUILD, cp: float = COST_PROBE) -> float:
@@ -58,7 +59,11 @@ class DsdPolicy:
         return 2.0 * self.alpha / (self.alpha - 1.0)
 
     def choose(
-        self, r_size: int, delta_size: int, cached_extension: int | None = None
+        self,
+        r_size: int,
+        delta_size: int,
+        cached_extension: int | None = None,
+        spilled_bytes: int = 0,
     ) -> str:
         """Pick the strategy for this iteration.
 
@@ -68,15 +73,31 @@ class DsdPolicy:
         appended rows, so the Appendix A comparison prices the build at
         the extension instead of ``|R|`` — which flips most late
         iterations back to OPSD.
+
+        ``spilled_bytes`` is the modeled size of R's on-disk prefix.
+        Executing either strategy must read those bytes back — TPSD
+        streams them through bounded chunks, while an *uncached* OPSD
+        faults the whole prefix in (and the rung will likely re-evict
+        it), so OPSD is charged the read twice: rehydrate + re-spill.
+        An OPSD that runs purely against a whole-row cache index never
+        touches R's rows and pays nothing.
         """
         if not self.enabled:
             # QuickStep's default translation is the single-query OPSD.
             self.decisions.append("OPSD")
             return "OPSD"
+        spill_io = spilled_bytes / SPILL_READ_BANDWIDTH if spilled_bytes > 0 else 0.0
         if cached_extension is not None and cached_extension < r_size:
             opsd = cost_opsd(cached_extension, delta_size)
             mu = max(self.prev_mu, 1.0)
-            tpsd = cost_tpsd(r_size, delta_size, int(delta_size / mu))
+            tpsd = cost_tpsd(r_size, delta_size, int(delta_size / mu)) + spill_io
+            choice = "OPSD" if opsd <= tpsd else "TPSD"
+            self.decisions.append(choice)
+            return choice
+        if spill_io > 0.0:
+            opsd = cost_opsd(r_size, delta_size) + 2.0 * spill_io
+            mu = max(self.prev_mu, 1.0)
+            tpsd = cost_tpsd(r_size, delta_size, int(delta_size / mu)) + spill_io
             choice = "OPSD" if opsd <= tpsd else "TPSD"
             self.decisions.append(choice)
             return choice

@@ -4,6 +4,7 @@ One naming scheme across tests, examples, and every bench:
 
 * ``G500``, ``G1K``, ``G1K-0.01`` ...        — Gn-p graphs (``arc``)
 * ``RMAT-10K`` ... ``RMAT-1M``               — R-MAT graphs (``arc``)
+* ``cycle-300`` / ``cycle-400``              — directed n-cycles (``arc``)
 * ``livejournal`` / ``orkut`` / ...          — real-world proxies (``arc``)
 * ``andersen-1`` .. ``andersen-7``           — AA EDBs
 * ``csda-linux`` / ``cspa-httpd`` / ...      — program-analysis EDBs
@@ -38,6 +39,20 @@ GNP_SIZES: dict[str, tuple[int, float]] = {
     "G8K": (8000, 0.01),
 }
 
+#: Directed n-cycles: the TC fixpoint is all n^2 pairs, reached in ~n
+#: iterations of small deltas — base-dominated growth, the spill tier's
+#: home turf. Deterministic (seed-independent) by construction.
+CYCLE_SIZES: dict[str, int] = {
+    "cycle-300": 300,
+    "cycle-400": 400,
+}
+
+
+def cycle_graph(n: int) -> np.ndarray:
+    src = np.arange(n, dtype=np.int64)
+    return np.stack([src, (src + 1) % n], axis=1)
+
+
 #: Scaled stand-ins for RMAT-1M .. RMAT-128M (1/100 vertex scale).
 RMAT_SIZES: dict[str, int] = {
     "RMAT-10K": 10_000,
@@ -57,6 +72,8 @@ def _build_registry() -> dict[str, Callable[[int], dict[str, np.ndarray]]]:
         registry[name] = lambda seed, n=n, p=p: {"arc": gnp_graph(n, p, seed=seed)}
     for name, n in RMAT_SIZES.items():
         registry[name] = lambda seed, n=n: {"arc": rmat_graph(n, seed=seed)}
+    for name, n in CYCLE_SIZES.items():
+        registry[name] = lambda seed, n=n: {"arc": cycle_graph(n)}
     for name in REALWORLD_SPECS:
         registry[name] = lambda seed, name=name: {"arc": realworld_graph(name, seed=seed)}
     for number in range(1, 8):

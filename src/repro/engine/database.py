@@ -22,12 +22,13 @@ from repro.engine.dedup import (
     rows_packable,
 )
 from repro.engine.executor import QUERY_DISPATCH_OVERHEAD, ParallelCostModel
-from repro.engine.joincache import COUNTER_EVICT, JoinStateCache
+from repro.engine.joincache import COUNTER_EVICT, INDEX_ROW_BYTES, JoinStateCache
 from repro.engine.metrics import DEFAULT_MEMORY_BUDGET, DEFAULT_TIME_BUDGET, MetricsRecorder
 from repro.engine.operators import ExecutionContext, run_query
 from repro.engine.setops import (
     SetDifferenceOutcome,
     one_phase_set_difference,
+    streaming_two_phase_set_difference,
     two_phase_set_difference,
 )
 from repro.obs import CATEGORY_STATEMENT, NULL_PROFILER, Profiler
@@ -37,8 +38,22 @@ from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog
 from repro.storage.column import ColumnSchema, ColumnType
 from repro.storage.manager import StorageManager
+from repro.storage.spill import MIN_SPILL_BYTES, SpillManager
 from repro.storage.stats import StatsMode
 from repro.storage.table import Table
+
+#: Dispatches since a table was last *scanned* before it counts as cold
+#: for the spill rung. Delta/EDB tables are touched every iteration (a
+#: semi-naive iteration is a handful of dispatches) and never qualify;
+#: full relations — appended to but rarely scanned — go cold fast.
+SPILL_COLD_AFTER_DISPATCHES = 8
+
+#: Once the spill rung engages (sticky pressure level >= soft), cold
+#: tables are evicted until the resident footprint is back under this
+#: fraction of the budget — deliberately well below the soft watermark,
+#: so the freed headroom absorbs the transient spikes (hash builds,
+#: dedup scratch) that triggered the pressure in the first place.
+SPILL_TARGET_FRACTION = 0.5
 
 
 class Database:
@@ -67,6 +82,14 @@ class Database:
         resilience: the evaluation's resilience context (fault injector,
             retry policy, degradation ladder, cancellation token). The
             default context is inert: every hook is one ``is None`` test.
+        spill_dir: directory for the spill-to-disk tier. ``None`` (the
+            default) disables spilling entirely; with a directory and the
+            degradation ladder enabled, cold full-relation prefixes are
+            evicted to checksummed segment files under memory pressure
+            and streamed back through the kernels.
+        spill_disk_budget: modeled disk bytes available to the spill
+            tier; ``None`` means unbounded. Exhausting it is not an
+            error — the rung simply stops and the ladder proceeds.
     """
 
     def __init__(
@@ -82,6 +105,8 @@ class Database:
         partitions: int = 256,
         profile: bool = False,
         resilience: ResilienceContext | None = None,
+        spill_dir: str | None = None,
+        spill_disk_budget: int | None = None,
     ) -> None:
         self.catalog = Catalog()
         self.storage = StorageManager(eost=eost)
@@ -104,6 +129,16 @@ class Database:
         self.resilience = resilience if resilience is not None else ResilienceContext()
         self.cost_model.injector = self.resilience.injector
         self.resilience.bind(self.metrics, self.profiler.counters)
+        self.spill: SpillManager | None = (
+            SpillManager(spill_dir, disk_budget=spill_disk_budget)
+            if spill_dir is not None
+            else None
+        )
+        #: Coldness ledger for the spill rung: dispatch sequence number
+        #: and, per table, the sequence at which it was last scanned.
+        self._touch_seq = 0
+        self._last_touch: dict[str, int] = {}
+        self._bind_spill()
         if profile:
             self.enable_profiling()
 
@@ -116,10 +151,21 @@ class Database:
             self.cost_model.profiler = self.profiler
             self.metrics.counters = self.profiler.counters
             self.resilience.bind(self.metrics, self.profiler.counters)
+            self._bind_spill()
         return self.profiler
+
+    def _bind_spill(self) -> None:
+        if self.spill is not None:
+            self.spill.bind(
+                self.metrics,
+                self.profiler.counters,
+                resilience=self.resilience,
+                on_change=self._refresh_base_bytes,
+            )
 
     def _context(self) -> ExecutionContext:
         self._maybe_shed_join_cache()
+        self._maybe_spill_cold_tables()
         return ExecutionContext(
             catalog=self.catalog,
             metrics=self.metrics,
@@ -130,16 +176,17 @@ class Database:
             degradation=self.resilience.degradation,
         )
 
-    def _maybe_shed_join_cache(self) -> None:
+    def _maybe_shed_join_cache(self, planned_bytes: int = 0) -> None:
         """Degradation ladder, rung 1: under memory pressure the
         persistent join indexes are evicted and the cache disabled for
         the rest of the run — they trade memory for speed, so they are
-        the first thing given back."""
+        the first thing given back. ``planned_bytes`` lets a caller
+        about to *build* an index pre-flight that allocation."""
         degradation = self.resilience.degradation
         if (
             self.join_cache.enabled
             and degradation.enabled
-            and degradation.shed_join_cache()
+            and degradation.shed_join_cache(planned_bytes)
         ):
             degradation.note("shed-join-cache")
             evicted = self.join_cache.invalidate_all()
@@ -147,6 +194,92 @@ class Database:
                 self.profiler.counters.inc(COUNTER_EVICT, evicted)
             self.join_cache.enabled = False
             self._refresh_base_bytes()
+
+    @staticmethod
+    def _query_source_tables(query: ast.Query) -> list[str]:
+        """Every table a query scans (UNION ALL arms included)."""
+        selects = query.selects if isinstance(query, ast.UnionAll) else (query,)
+        return [ref.table for select in selects for ref in select.tables]
+
+    def _touch(self, *names: str) -> None:
+        """Mark tables as scanned *now* (spill-rung coldness ledger).
+
+        Touch points are reads of row content — query sources, dedup and
+        aggregate targets, replace/restore. Appends deliberately do not
+        touch: ``R <- R U delta`` lands in the resident tail of a spilled
+        table, so a full relation can stay cold (and on disk) while it
+        grows. The set-difference base is also not touched — TPSD streams
+        it chunk-wise without rehydrating.
+        """
+        for name in names:
+            self._last_touch[name] = self._touch_seq
+
+    def _maybe_spill_cold_tables(self) -> None:
+        """Degradation ladder: evict cold table prefixes to disk.
+
+        Engaged at the soft watermark like the shedding rungs, but
+        instead of giving up speed-for-memory state it moves *relation
+        bytes themselves* out of RAM: candidates are tables whose rows
+        have not been scanned for :data:`SPILL_COLD_AFTER_DISPATCHES`
+        dispatches, coldest first (ties broken by name, so the eviction
+        order is deterministic). Eviction continues until the footprint
+        is under :data:`SPILL_TARGET_FRACTION` of the budget (hysteresis
+        below the watermark), or until the disk budget — real or
+        injected ENOSPC — is exhausted, in which case the ladder simply
+        proceeds to its next rung.
+        """
+        spill = self.spill
+        if spill is None or spill.capacity_exhausted:
+            return
+        degradation = self.resilience.degradation
+        if not (degradation.enabled and degradation.spill_cold_tables()):
+            return
+        metrics = self.metrics
+        if metrics.memory_budget <= 0:
+            return
+        if metrics.budget_fraction() < SPILL_TARGET_FRACTION:
+            return
+        candidates = []
+        for name in self.catalog.table_names():
+            table = self.catalog.get_table(name)
+            if table.memory_bytes() < MIN_SPILL_BYTES:
+                continue
+            age = self._touch_seq - self._last_touch.get(name, 0)
+            if age < SPILL_COLD_AFTER_DISPATCHES:
+                continue
+            candidates.append((-age, name, table))
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        for _neg_age, _name, table in candidates:
+            if metrics.budget_fraction() < SPILL_TARGET_FRACTION:
+                break
+            table.bind_spill(spill)
+            if spill.spill_table(table):
+                degradation.note("spill-cold-tables")
+            if spill.capacity_exhausted:
+                break
+
+    def _maybe_spill_restored(self, table: Table) -> None:
+        """Pre-flight spill during checkpoint restore.
+
+        The restore path materializes whole relations before any query
+        runs, so the watermark machinery would fire *after* the OOM. This
+        is the ladder's planned-bytes pre-flight applied to the restore:
+        if the refreshed footprint would breach the soft watermark, the
+        just-restored (by definition cold) table spills immediately.
+        """
+        spill = self.spill
+        if spill is None or spill.capacity_exhausted:
+            return
+        metrics = self.metrics
+        if metrics.memory_budget <= 0 or table.memory_bytes() < MIN_SPILL_BYTES:
+            return
+        projected = self.catalog.total_memory_bytes() + self.join_cache.memory_bytes()
+        planned = max(0, projected - metrics.base_bytes)
+        if not self.resilience.degradation.spill_cold_tables(planned):
+            return
+        table.bind_spill(spill)
+        if spill.spill_table(table):
+            self.resilience.degradation.note("spill-cold-tables")
 
     def _statement_span(self, name: str, table: str | None = None, **attrs):
         if table is not None:
@@ -159,6 +292,7 @@ class Database:
 
     def _charge_dispatch(self) -> None:
         self.queries_executed += 1
+        self._touch_seq += 1
         self.profiler.counters.inc("queries_dispatched")
         self.resilience.maybe_spike()
         self.metrics.advance(QUERY_DISPATCH_OVERHEAD, utilization=1.0 / max(1, self.cost_model.threads))
@@ -211,8 +345,19 @@ class Database:
         with self._statement_span("REHYDRATE_JOIN_CACHE", tables=len(names)):
             ctx = self._context()
             for name in names:
-                columns = self.catalog.get_table(name).column_names
-                self.join_cache.acquire(ctx, name, columns)
+                table = self.catalog.get_table(name)
+                if table.spilled_rows:
+                    # A table the restore spilled stays cold: building an
+                    # index would fault the prefix back in and recreate
+                    # exactly the pressure the spill relieved.
+                    continue
+                # Pre-flight the index build's sort scratch — a restore
+                # into a tight budget must shed the cache, not OOM.
+                self._maybe_shed_join_cache(table.num_rows * INDEX_ROW_BYTES)
+                if not self.join_cache.enabled:
+                    break
+                self._touch(name)
+                self.join_cache.acquire(ctx, name, table.column_names)
 
     def join_cache_extension(self, name: str) -> int | None:
         """Rows a whole-row index over ``name`` still needs to ingest.
@@ -282,6 +427,7 @@ class Database:
             resident_bytes=self.metrics.base_bytes,
             transient_bytes=self.metrics.transient_bytes,
             peak_bytes=self.metrics.peak_bytes,
+            spilled_bytes=self.metrics.spilled_bytes,
             degradation_level=self.resilience.degradation.level,
             join_cache_entries=len(self.join_cache),
             join_cache_bytes=self.join_cache.memory_bytes(),
@@ -331,6 +477,7 @@ class Database:
             self._after_mutation(table, len(statement.rows) * table.tuple_bytes())
             return None
         if isinstance(statement, ast.InsertSelect):
+            self._touch(*self._query_source_tables(statement.query))
             rows = self.resilience.run(
                 "insert_select", lambda: run_query(statement.query, self._context())
             )
@@ -351,6 +498,7 @@ class Database:
             self.metrics.advance(cost, utilization=0.5)
             return None
         if isinstance(statement, ast.SelectStatement):
+            self._touch(*self._query_source_tables(statement.query))
             return run_query(statement.query, self._context())
         raise PlanError(f"unsupported statement {statement!r}")
 
@@ -375,6 +523,7 @@ class Database:
     def load_table(self, name: str, columns: Sequence[str], rows: np.ndarray) -> Table:
         """Create a table and bulk-load rows (dataset ingest path)."""
         with self._statement_span("LOAD", table=name) as span:
+            self._touch(name)
             table = self.create_table(name, columns)
             table.append_array(np.asarray(rows, dtype=np.int64).reshape(-1, len(columns)))
             self._after_mutation(table, table.memory_bytes())
@@ -387,6 +536,39 @@ class Database:
 
     def table_size(self, name: str) -> int:
         return self.catalog.get_table(name).num_rows
+
+    def table_spilled_bytes(self, name: str) -> int:
+        """Modeled bytes of ``name``'s on-disk prefix (0 when resident).
+
+        The DSD policy consumes this to price rehydration I/O into the
+        OPSD-vs-TPSD decision.
+        """
+        return self.catalog.get_table(name).spilled_bytes()
+
+    def table_snapshot(self, name: str) -> np.ndarray:
+        """Full logical contents *without* changing residency.
+
+        Checkpoints use this instead of :meth:`table_array`: saving
+        state must not fault a cold table back in — the checkpoint is
+        supposed to relieve pressure, not recreate it.
+        """
+        table = self.catalog.get_table(name)
+        if table.spilled_rows and self.spill is not None:
+            prefix = self.spill.snapshot_prefix(table)
+            resident = table.resident_data()
+            if resident.shape[0] == 0:
+                return prefix
+            return np.vstack([prefix, resident])
+        return table.to_array()
+
+    def release_spill(self) -> None:
+        """Delete every live spill segment (end of evaluation).
+
+        Called after results are extracted; quarantined files are left
+        behind as evidence of torn reads.
+        """
+        if self.spill is not None:
+            self.spill.cleanup()
 
     def analyze(self, name: str, full: bool = False) -> None:
         """Refresh optimizer statistics (Algorithm 1's ``analyze``)."""
@@ -405,6 +587,7 @@ class Database:
         """
         with self._statement_span("DEDUP", table=name) as span:
             self._charge_dispatch()
+            self._touch(name)
             table = self.catalog.get_table(name)
             estimated_rows = self.catalog.get_stats(name).num_rows
             degradation = self.resilience.degradation
@@ -452,11 +635,21 @@ class Database:
     def set_difference(
         self, new_table: str, base_table: str, strategy: str = "OPSD"
     ) -> SetDifferenceOutcome:
-        """Compute ``new_table - base_table`` with the given strategy."""
+        """Compute ``new_table - base_table`` with the given strategy.
+
+        A spilled base relation is handled without rehydration wherever
+        the strategy allows: TPSD streams the on-disk prefix chunk by
+        chunk through :func:`streaming_two_phase_set_difference`, and an
+        OPSD backed by a whole-row cache index never reads base rows at
+        all. Only the uncached OPSD genuinely needs R materialized and
+        faults it back in (``Table.data``) — the DSD policy prices that
+        rehydration, so it rarely picks this path for a spilled base.
+        """
         from repro.engine.operators import HASH_ENTRY_OVERHEAD
 
         new_rows = self.catalog.get_table(new_table).data()
-        base_rows = self.catalog.get_table(base_table).data()
+        self._touch(new_table)
+        base = self.catalog.get_table(base_table)
         ctx = self._context()
         if strategy not in ("OPSD", "TPSD"):
             raise PlanError(f"unknown set-difference strategy {strategy!r}")
@@ -466,7 +659,7 @@ class Database:
             # OPSD's hash table covers all of R; under pressure (or when
             # that build alone would breach the soft watermark) fall back
             # to TPSD, which only ever builds on the smaller side.
-            planned = base_rows.shape[0] * (8 + HASH_ENTRY_OVERHEAD)
+            planned = base.num_rows * (8 + HASH_ENTRY_OVERHEAD)
             forced = degradation.force_tpsd(planned)
             if forced:
                 strategy = "TPSD"
@@ -482,15 +675,40 @@ class Database:
                     # Whole-row index over R: the anti-probe for ``Δ = R_Δ - R``
                     # is a semi-join on every column, so the same persistent
                     # index the join operators maintain serves OPSD too.
-                    base_columns = self.catalog.get_table(base_table).column_names
+                    base_columns = base.column_names
                     cache_entry, _ = self.join_cache.acquire(ctx, base_table, base_columns)
+                if cache_entry is not None and base.spilled_rows:
+                    # The anti-probe runs entirely against the sorted
+                    # index; R's rows are never read, so the spilled
+                    # prefix stays on disk. Only R's size is needed.
+                    outcome = self.resilience.run(
+                        "set_difference",
+                        lambda: one_phase_set_difference(
+                            new_rows,
+                            base.resident_data(),
+                            ctx,
+                            cache_entry=cache_entry,
+                            build_rows=base.num_rows,
+                        ),
+                    )
+                else:
+                    base_rows = base.data()
+                    outcome = self.resilience.run(
+                        "set_difference",
+                        lambda: one_phase_set_difference(
+                            new_rows, base_rows, ctx, cache_entry=cache_entry
+                        ),
+                    )
+            elif base.spilled_rows and self.spill is not None:
+                self.profiler.counters.inc("spill.streamed_setdiffs")
                 outcome = self.resilience.run(
                     "set_difference",
-                    lambda: one_phase_set_difference(
-                        new_rows, base_rows, ctx, cache_entry=cache_entry
+                    lambda: streaming_two_phase_set_difference(
+                        new_rows, self._spilled_base_chunks(base), ctx
                     ),
                 )
             else:
+                base_rows = base.data()
                 outcome = self.resilience.run(
                     "set_difference",
                     lambda: two_phase_set_difference(new_rows, base_rows, ctx),
@@ -499,6 +717,27 @@ class Database:
             if forced:
                 span.set(forced_tpsd=True)
         return outcome
+
+    def _spilled_base_chunks(self, table: Table):
+        """Yield R as bounded chunks: spilled segments one at a time
+        (the SpillManager charges each read's I/O; this generator ledgers
+        the chunk as a transient while a kernel holds it), then the
+        resident tail. Residency is unchanged throughout — R is never
+        materialized in memory at once.
+        """
+        spill = self.spill
+        tuple_bytes = table.tuple_bytes()
+        for segment in spill.segments(table.name):
+            rows = spill.read_segment(table, segment)
+            chunk_bytes = int(rows.shape[0]) * tuple_bytes
+            self.metrics.allocate_transient(chunk_bytes)
+            try:
+                yield rows
+            finally:
+                self.metrics.release_transient(chunk_bytes)
+        resident = table.resident_data()
+        if resident.shape[0]:
+            yield resident
 
     def aggregate_merge(
         self, name: str, candidates: np.ndarray, func: str
@@ -527,6 +766,7 @@ class Database:
         from repro.engine.executor import AGGREGATE_PHASE, COST_AGGREGATE
 
         self._charge_dispatch()
+        self._touch(name)
         table = self.catalog.get_table(name)
         existing = table.data()
         candidates = np.asarray(candidates, dtype=np.int64).reshape(-1, table.arity)
@@ -565,6 +805,7 @@ class Database:
         rows = np.asarray(rows, dtype=np.int64)
         with self._statement_span("REPLACE", table=name, rows_out=int(rows.shape[0])):
             self._charge_dispatch()
+            self._touch(name)
             table = self.catalog.get_table(name)
             table.replace_contents(rows)
             self._note_table_rewrite(name)
@@ -593,6 +834,11 @@ class Database:
             table = self.catalog.get_table(name)
             table.replace_contents(rows)
             self._note_table_rewrite(name)
+            # Deliberately NOT touched: a restored table has not been
+            # scanned, so it is immediately spillable — which matters,
+            # because restoring a checkpoint whose run was only viable
+            # *because* it spilled must re-spill rather than OOM.
+            self._maybe_spill_restored(table)
             self._after_mutation(table, table.memory_bytes())
 
     def explain(self, sql_text: str) -> str:

@@ -230,7 +230,10 @@ class JoinStateCache:
     def _extend(self, ctx, table, entry: JoinIndexEntry) -> bool:
         """Index the appended tail; False when the codec must be rebuilt."""
         indices = [table.column_index(name) for name in entry.key_columns]
-        tail = table.data()[entry.rows_indexed :]
+        # tail_data never faults in a spilled prefix: appends land in the
+        # resident region, so the un-indexed tail is in memory by
+        # construction and a cold spilled table can stay on disk.
+        tail = table.tail_data(entry.rows_indexed)
         tail_matrix = self._key_matrix(tail, indices)
         columns = [tail_matrix[:, i] for i in range(tail_matrix.shape[1])]
         if entry.codec is not None and not entry.codec.fits(columns):

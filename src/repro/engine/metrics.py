@@ -47,6 +47,10 @@ class MetricsRecorder:
     transient_bytes: int = 0
     peak_bytes: int = 0
     peak_transient_bytes: int = 0
+    #: Modeled bytes currently held in spill segment files (on disk, not
+    #: counted against the memory budget) and the high-water mark.
+    spilled_bytes: int = 0
+    peak_spilled_bytes: int = 0
     transient_underflows: int = 0
     enforce_budgets: bool = True
     counters: CounterRegistry = field(default=NULL_COUNTERS)
@@ -112,6 +116,17 @@ class MetricsRecorder:
             )
             self.transient_bytes = 0
         self._sample_memory()
+
+    def note_spilled(self, delta: int) -> None:
+        """Track bytes moving between the resident and spilled tiers.
+
+        Spilled bytes live on disk: they never count toward the memory
+        budget (that is the point of spilling), but they are ledgered so
+        profiles, recaps, and the server's admission split can report
+        resident vs spilled honestly.
+        """
+        self.spilled_bytes = max(0, self.spilled_bytes + delta)
+        self.peak_spilled_bytes = max(self.peak_spilled_bytes, self.spilled_bytes)
 
     def _sample_memory(self) -> None:
         total = self.base_bytes + self.transient_bytes

@@ -143,6 +143,7 @@ def one_phase_set_difference(
     existing_rows: np.ndarray,
     ctx: ExecutionContext,
     cache_entry=None,
+    build_rows: int | None = None,
 ) -> SetDifferenceOutcome:
     """OPSD: hash ``existing_rows`` (R), anti-probe with ``new_rows``.
 
@@ -152,8 +153,14 @@ def one_phase_set_difference(
     the appended rows only), so this call pays the sort-unique of
     ``R_delta`` plus the anti-probe alone — the cost that made OPSD lose
     to TPSD on late iterations.
+
+    ``build_rows`` overrides R's row count. The cached path never reads
+    R's row *content* — only its size — so a caller holding a spilled
+    table can pass the resident tail plus the true logical count and the
+    on-disk prefix stays on disk.
     """
-    build_rows = existing_rows.shape[0]
+    if build_rows is None:
+        build_rows = existing_rows.shape[0]
     _charge_unique_sort(ctx, new_rows.shape[0])
     new_unique = kernels.unique_rows(new_rows)
     probe_rows = new_unique.shape[0]
@@ -183,6 +190,59 @@ def one_phase_set_difference(
         )
         delta = new_unique[~mask]
     return SetDifferenceOutcome(delta=delta, strategy="OPSD", intersection_size=None)
+
+
+def streaming_two_phase_set_difference(
+    new_rows: np.ndarray,
+    base_chunks,
+    ctx: ExecutionContext,
+) -> SetDifferenceOutcome:
+    """TPSD over a base relation streamed in chunks (spilled tables).
+
+    ``base_chunks`` yields row arrays whose concatenation is R — spilled
+    segments read back one at a time (the producer charges the read I/O
+    and a bounded per-chunk transient) followed by the resident tail.
+    Phase 1 ORs the per-chunk membership masks: a row of ``R_delta`` is
+    in R iff it is in some chunk, and every mask indexes the same
+    ``new_unique`` array, so the intersection — and therefore the final
+    delta — is bit-identical to the non-streamed TPSD. R itself is never
+    materialized in memory at once.
+    """
+    _charge_unique_sort(ctx, new_rows.shape[0])
+    new_unique = kernels.unique_rows(new_rows)
+    n_unique = new_unique.shape[0]
+
+    if n_unique == 0:
+        return SetDifferenceOutcome(
+            delta=new_unique, strategy="TPSD", intersection_size=0
+        )
+
+    # Phase 1: r = R_delta ∩ R, one bounded chunk of R at a time.
+    mask = np.zeros(n_unique, dtype=bool)
+    for chunk in base_chunks:
+        rows = chunk.shape[0]
+        if rows == 0:
+            continue
+        mask |= _semi_mask(
+            new_unique,
+            chunk,
+            min(n_unique, rows),
+            max(n_unique, rows),
+            ctx,
+            "tpsd_intersect",
+        )
+    intersection = new_unique[mask]
+
+    # Phase 2: delta = R_delta - r, building on (the usually tiny) r.
+    r_rows = intersection.shape[0]
+    if r_rows == 0:
+        delta = new_unique
+    else:
+        subtract_mask = _semi_mask(
+            new_unique, intersection, r_rows, n_unique, ctx, "tpsd_subtract"
+        )
+        delta = new_unique[~subtract_mask]
+    return SetDifferenceOutcome(delta=delta, strategy="TPSD", intersection_size=r_rows)
 
 
 def two_phase_set_difference(

@@ -69,11 +69,24 @@ KNOWN_COUNTERS = {
     "degradation_shed_partitioning": "radix partitioning disabled under memory pressure",
     "degradation_lean_dedup": "dedups rerouted to the memory-lean sort path",
     "degradation_force_tpsd": "OPSD set-differences overridden to TPSD",
+    "degradation_spill_cold_tables": "cold table prefixes evicted to the disk tier",
     "degradation_prefer_pbme": "strata steered to PBME under memory pressure",
     "degradation_pbme_fallback": "PBME density checks bypassed under pressure",
+    # -- spill-to-disk tier (repro.storage.spill) ----------------------------
+    "spill.tables_spilled": "spill_table calls that moved at least one segment",
+    "spill.segments_written": "spill segment files durably published",
+    "spill.bytes_written": "file bytes written to spill segments",
+    "spill.segment_reads": "spill segments read back (streamed or faulted)",
+    "spill.bytes_read": "file bytes read back from spill segments",
+    "spill.fault_ins": "whole-prefix rehydrations via Table.data()",
+    "spill.streamed_setdiffs": "TPSD set-differences streaming a spilled base",
+    "spill.discarded_segments": "segments dropped unread (rewrite/truncate)",
+    "spill.torn_quarantined": "corrupt spill segments quarantined on read",
+    "spill.enospc": "spill writes refused by a full disk (real or injected)",
     "checkpoints_written": "evaluation checkpoints saved to disk",
     "checkpoint_bytes_written": "bytes of table state written to checkpoints",
     "checkpoint_corrupt_skipped": "torn/corrupt checkpoint files skipped on load",
+    "checkpoint_corrupt_pruned": "checksum-failing checkpoint files deleted during prune",
     # -- runtime divergence guard (repro.resilience.guards) -----------------
     "guard.soft_warnings": "divergence budgets crossing their soft fraction",
     "guard.max_iterations_tripped": "evaluations killed by the iteration budget",
@@ -92,6 +105,8 @@ KNOWN_COUNTERS = {
     "server.breaker_closed": "circuit-breaker recoveries to the closed state",
     "server.watchdog_cancels": "sessions cancelled by the stuck-fixpoint watchdog",
     "server.checkpointed_on_drain": "in-flight sessions checkpointed during drain",
+    "server.spill_released_bytes": "reservation bytes returned early because sessions spilled to disk",
+    "server.spill_dirs_cleaned": "per-session spill directories removed at finalize/drain",
 }
 
 

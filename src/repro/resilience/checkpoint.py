@@ -164,12 +164,36 @@ class CheckpointManager:
         return path
 
     def _prune(self) -> None:
+        """Retain the newest ``keep`` *valid* checkpoints.
+
+        Corrupt files must not count toward ``keep``: a torn file
+        occupying a retention slot would let repeated crashes evict
+        every good snapshot. The retained window is validated (newest
+        first) and checksum-failing files are deleted outright, with a
+        ``checkpoint_corrupt_pruned`` bump each, so the window always
+        holds loadable state.
+        """
         checkpoints = sorted(
             (p for p in self.directory.glob("ckpt-*.npz") if _CHECKPOINT_NAME.search(p.name)),
             key=_sort_key,
+            reverse=True,
         )
-        for stale in checkpoints[: -self.keep]:
-            stale.unlink(missing_ok=True)
+        kept = 0
+        for path in checkpoints:
+            if kept >= self.keep:
+                path.unlink(missing_ok=True)
+                continue
+            if path == self.last_path:
+                # The file this save just wrote and fsynced; skip re-reading.
+                kept += 1
+                continue
+            try:
+                self._load_file(path)
+            except CheckpointError:
+                path.unlink(missing_ok=True)
+                self.profiler.counters.inc("checkpoint_corrupt_pruned")
+                continue
+            kept += 1
 
     # -- loading -----------------------------------------------------------------
 

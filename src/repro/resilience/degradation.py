@@ -18,10 +18,14 @@ Ladder (in escalation order):
    if pressure recedes below the sticky level).
 3. **lean-dedup** (soft watermark): deduplicate with the in-place
    sort-based path — slower per tuple, but no hash-bucket array.
-4. **force-tpsd** (critical watermark): override the DSD policy to the
+4. **spill-cold-tables** (soft watermark): evict cold full-relation
+   prefixes to checksummed segment files on disk and stream them back
+   through the kernels — the footprint leaves RAM entirely instead of
+   being shed, so work degrades to disk before anything is refused.
+5. **force-tpsd** (critical watermark): override the DSD policy to the
    two-phase set difference, which never builds a hash table on the
    monotonically growing full relation.
-5. **prefer-pbme** (critical watermark): let eligible TC/SG strata fall
+6. **prefer-pbme** (critical watermark): let eligible TC/SG strata fall
    back to the bit-matrix engine even when the density heuristic would
    keep them relational — the packed matrix is the lowest-footprint
    representation we have.
@@ -43,6 +47,7 @@ LADDER = (
     "shed-join-cache",
     "shed-partitioning",
     "lean-dedup",
+    "spill-cold-tables",
     "force-tpsd",
     "prefer-pbme",
 )
@@ -52,6 +57,7 @@ _STEP_LEVEL = {
     "shed-join-cache": 1,
     "shed-partitioning": 1,
     "lean-dedup": 1,
+    "spill-cold-tables": 1,
     "force-tpsd": 2,
     "prefer-pbme": 2,
 }
@@ -104,6 +110,10 @@ class DegradationController:
     def lean_dedup(self, planned_bytes: int = 0) -> bool:
         """Should dedup take the memory-lean sort path?"""
         return self._engaged("lean-dedup", planned_bytes)
+
+    def spill_cold_tables(self, planned_bytes: int = 0) -> bool:
+        """Should cold full-relation prefixes be evicted to disk?"""
+        return self._engaged("spill-cold-tables", planned_bytes)
 
     def force_tpsd(self, planned_bytes: int = 0) -> bool:
         """Should an OPSD set difference be overridden to TPSD?"""

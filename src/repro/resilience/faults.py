@@ -32,6 +32,11 @@ FAULT_SITES = {
     "append": "Database.append_rows (the R <- R U delta step)",
     "aggregate": "Database.aggregate_merge entry",
     "commit": "Database.commit (EOST flush)",
+    "spill_write": "SpillManager segment write (transient, retried; raised "
+    "before the tmp file is opened so a retry re-runs cleanly)",
+    "spill_read": "SpillManager segment read (transient, retried)",
+    "spill_enospc": "disk-full at a segment write: non-retryable, the table "
+    "stays resident and the ladder proceeds to its next rung",
     "spike": "transient memory-pressure spike at query dispatch",
     "phase:*": "per-task worker failure inside a parallel phase "
     "(scan/probe/build/dedup/aggregate/bitmatrix)",
@@ -105,6 +110,15 @@ class FaultInjector:
             return 0
         site = f"phase:{phase_name}"
         return 1 if self._fires(site, self.worker_rate) else 0
+
+    def disk_full(self) -> bool:
+        """Injected ENOSPC at a spill segment write.
+
+        Returned as a boolean rather than raised: running out of disk is
+        not retryable, so the SpillManager treats it exactly like a real
+        exhausted disk budget (structured in-memory fallback).
+        """
+        return self._fires("spill_enospc", self.rate)
 
     def spike_fraction(self) -> float | None:
         """Budget fraction to spike the footprint to, or None (no spike)."""

@@ -31,6 +31,15 @@ from repro.engine.metrics import CRITICAL_WATERMARK
 #: derive a better estimate from.
 DEFAULT_RETRY_AFTER = 1.0
 
+#: Smallest per-session default quota the controller will hand out.
+#: Without the floor, ``watermarked_budget // max_concurrent`` reaches 0
+#: on small budgets and sessions would be admitted with no reservation —
+#: an unenforceable budget. With it, a service too small to give every
+#: slot a real quota rejects default-quota submissions with a structured
+#: ``memory-pressure`` Overloaded instead of admitting unbudgeted work.
+#: Explicit ``memory_quota`` requests are never floored.
+MIN_SESSION_QUOTA = 1 << 20
+
 
 @dataclass
 class QueryRequest:
@@ -116,8 +125,12 @@ class AdmissionController:
         self.high_watermark = high_watermark
         self.reserved_bytes = 0
         #: Default per-query quota: an even split of the watermarked
-        #: budget across executor slots.
-        self.default_quota = int(memory_budget * high_watermark) // max_concurrent
+        #: budget across executor slots, floored at MIN_SESSION_QUOTA so
+        #: a tiny budget can never admit a session with no reservation.
+        self.default_quota = max(
+            MIN_SESSION_QUOTA,
+            int(memory_budget * high_watermark) // max_concurrent,
+        )
 
     def quota_for(self, request: QueryRequest) -> int:
         quota = request.memory_quota

@@ -32,6 +32,7 @@ The stability disciplines, in the order a submission meets them:
 
 from __future__ import annotations
 
+import shutil
 from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -62,6 +63,7 @@ _STATUS_TO_STATE = {
     "timeout": SessionState.FAILED,
     "fault": SessionState.FAILED,
     "guard": SessionState.FAILED,
+    "storage": SessionState.FAILED,
 }
 
 
@@ -78,6 +80,9 @@ class ServerConfig:
     watchdog_stall_timeout: float | None = None  # None: watchdog off
     drain_grace_seconds: float = 5.0  # per-query budget during drain
     telemetry: bool = True           # latency histograms + queue timeline
+    #: Root of the spill-to-disk tier; each session spills into its own
+    #: ``<spill_root>/<session-id>`` directory (None: spilling off).
+    spill_root: str | None = None
 
 
 class QueryService:
@@ -231,7 +236,10 @@ class QueryService:
         released = False
         for finish, session, status in self._active:
             if finish <= now:
-                self.admission.release(session.reserved_bytes)
+                # The spilled slice (if any) was already released early.
+                self.admission.release(
+                    session.reserved_bytes - session.spill_released_bytes
+                )
                 self._finalize(session, status, finish)
                 released = True
             else:
@@ -256,6 +264,22 @@ class QueryService:
             and session.result.resilience.get("checkpoints_written", 0) > 0
         ):
             self.counters.inc("server.checkpointed_on_drain")
+        self._cleanup_spill_dir(session)
+
+    def _cleanup_spill_dir(self, session: Session) -> None:
+        """Remove a finished session's spill directory, if one remains.
+
+        The evaluation's own ``release_spill`` already deletes live
+        segments; what can survive it are quarantined torn files and the
+        directory itself — service-level state that must not outlive the
+        session.
+        """
+        if self.config.spill_root is None:
+            return
+        path = Path(self.config.spill_root) / session.id
+        if path.exists():
+            shutil.rmtree(path, ignore_errors=True)
+            self.counters.inc("server.spill_dirs_cleaned")
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -273,6 +297,7 @@ class QueryService:
             queue_depth=len(self._queue),
             active=len(self._active),
             reserved_bytes=self.admission.reserved_bytes,
+            spilled_bytes=sum(s.spilled_bytes for _, s, _ in self._active),
         )
 
     def _observe_session(self, session: Session, finish: float) -> None:
@@ -289,10 +314,14 @@ class QueryService:
             self.histograms.observe(f"latency.{klass}", latency)
             self.histograms.observe(f"queue_wait.{klass}", queue_wait)
             self.histograms.observe(f"rows_served.{klass}", float(rows))
+            if session.spilled_bytes:
+                self.histograms.observe(
+                    f"spill_bytes.{klass}", float(session.spilled_bytes)
+                )
 
     #: Version stamp of the ``metrics_snapshot`` document; the golden
     #: schema test pins the key set, bump on any shape change.
-    METRICS_SCHEMA_VERSION = 1
+    METRICS_SCHEMA_VERSION = 2
 
     def metrics_snapshot(self) -> dict:
         """Machine-readable telemetry export (histograms + timeline).
@@ -310,6 +339,7 @@ class QueryService:
                 "max_queue_depth": self.queue_timeline.peak("queue_depth"),
                 "max_active": self.queue_timeline.peak("active"),
                 "max_reserved_bytes": self.queue_timeline.peak("reserved_bytes"),
+                "max_spilled_bytes": self.queue_timeline.peak("spilled_bytes"),
                 "series": self.queue_timeline.to_records(),
             },
             "counters": self.counters.snapshot(),
@@ -342,8 +372,30 @@ class QueryService:
                 if engine.last_database is not None
                 else 0.0
             )
+        self._note_spill(session)
         finish = session.started_at + duration
         self._active.append((finish, session, status))
+
+    def _note_spill(self, session: Session) -> None:
+        """Account a finished evaluation's spill tier against admission.
+
+        Bytes the evaluation degraded to disk were never resident at
+        peak: that slice of the session's reservation is returned to the
+        admission pool immediately (the slot itself stays occupied until
+        the finish time), so spilling frees headroom for queued work
+        instead of holding phantom memory.
+        """
+        result = session.result
+        recap = getattr(result, "resilience", None) or {}
+        spilled = int((recap.get("spill") or {}).get("peak_spilled_bytes", 0))
+        if spilled <= 0:
+            return
+        session.spilled_bytes = spilled
+        released = min(session.reserved_bytes, spilled)
+        if released:
+            session.spill_released_bytes = released
+            self.admission.release(released)
+            self.counters.inc("server.spill_released_bytes", released)
 
     def _session_config(self, session: Session) -> RecStepConfig:
         request: QueryRequest = session.request
@@ -352,6 +404,14 @@ class QueryService:
             value = getattr(request, knob)
             if value is not None:
                 overrides[knob] = value
+        if self.config.spill_root is not None:
+            # Per-session spill directory: spilled segments are part of
+            # the session's failure domain, cleaned with the session.
+            overrides["spill_dir"] = str(
+                Path(self.config.spill_root) / session.id
+            )
+            # The spill rung lives on the degradation ladder.
+            overrides["degradation"] = True
         if self.draining and self._drain_checkpoint_dir is not None:
             # Drain contract: bound the remaining work and leave a
             # resumable snapshot if the bound fires first.
@@ -415,10 +475,21 @@ class QueryService:
                 session = self._queue.popleft()
                 self._shed(session, "drain")
         self.flush()
+        self._sweep_spill_root()
         report = self.report()
         report["drained"] = True
         report["drain_checkpoint_dir"] = checkpoint_dir
         return report
+
+    def _sweep_spill_root(self) -> None:
+        """Drain-time backstop: no spill state survives the shutdown."""
+        root = self.config.spill_root
+        if root is None or not Path(root).exists():
+            return
+        for child in Path(root).iterdir():
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+                self.counters.inc("server.spill_dirs_cleaned")
 
     def _shed(self, session: Session, reason: str) -> None:
         self.sessions.transition(session, SessionState.SHED)
@@ -450,6 +521,9 @@ class QueryService:
             "now": round(self.clock.now(), 6),
             "draining": self.draining,
             "session_counts": self.sessions.counts(),
+            "spilled_bytes_total": sum(
+                s.spilled_bytes for s in self.sessions.all()
+            ),
             "sessions": [s.to_dict() for s in self.sessions.all()],
             "queue_depth": len(self._queue),
             "active": len(self._active),

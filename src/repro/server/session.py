@@ -88,6 +88,12 @@ class Session:
     finished_at: float | None = None
     #: Memory reserved against the service budget while active (bytes).
     reserved_bytes: int = 0
+    #: Peak modeled bytes this session's evaluation held on the spill
+    #: tier (0 when the spill rung never engaged).
+    spilled_bytes: int = 0
+    #: Reservation headroom returned to admission early because the
+    #: session degraded part of its footprint to disk.
+    spill_released_bytes: int = 0
     #: The evaluation outcome (an EvaluationResult), set on completion.
     result: object | None = None
     #: Structured failure document for FAILED/CANCELLED/SHED sessions.
@@ -117,6 +123,9 @@ class Session:
             value = getattr(self, key)
             if value is not None:
                 doc[key] = round(value, 6)
+        if self.spilled_bytes:
+            doc["spilled_bytes"] = self.spilled_bytes
+            doc["spill_released_bytes"] = self.spill_released_bytes
         if self.result is not None:
             doc["status"] = self.result.status
             doc["iterations"] = self.result.iterations

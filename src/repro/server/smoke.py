@@ -27,6 +27,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -51,33 +52,71 @@ def _edb(kind: str, seed: int) -> dict[str, np.ndarray]:
     }
 
 
-def build_workload(queries: int) -> list[QueryRequest]:
+#: Quota for the spill-heavy TC entries: tight enough that the cycle
+#: fixpoint (90000 rows) only completes by evicting cold prefixes.
+SPILL_QUOTA = 550_000
+SPILL_CYCLE_NODES = 300
+
+
+def _cycle(n: int) -> np.ndarray:
+    src = np.arange(n, dtype=np.int64)
+    return np.stack([src, (src + 1) % n], axis=1)
+
+
+def build_workload(
+    queries: int, memory_quota: int = int(128e6), spill_heavy: bool = False
+) -> list[QueryRequest]:
     programs = ("TC", "SG", "AA")
     workload = []
     for index in range(queries):
         name = programs[index % len(programs)]
+        edb = _edb(name, seed=1000 + index)
+        quota = memory_quota
+        if spill_heavy and name == "TC":
+            # Base-dominated workload under a quota it cannot fit in
+            # resident: OOM without a spill tier, done with one.
+            edb = {"arc": _cycle(SPILL_CYCLE_NODES)}
+            quota = SPILL_QUOTA
         workload.append(
             QueryRequest(
                 program=get_program(name),
-                edb_data=_edb(name, seed=1000 + index),
+                edb_data=edb,
                 dataset=f"smoke-{index}",
                 # Modest explicit quotas: enough for these graphs, small
                 # enough that the bounded queue (not just the memory
                 # watermark) shapes the burst.
-                memory_quota=int(128e6),
+                memory_quota=quota,
             )
         )
     return workload
 
 
-def run_smoke(queries: int = 9, queue_limit: int = 4, verbose: bool = True) -> dict:
-    """Run the smoke workload; returns the report with a ``violations`` list."""
+def run_smoke(
+    queries: int = 9,
+    queue_limit: int = 4,
+    verbose: bool = True,
+    spill_root: str | None = None,
+    memory_quota: int | None = None,
+) -> dict:
+    """Run the smoke workload; returns the report with a ``violations`` list.
+
+    With ``spill_root`` the service hands every session a per-session
+    spill directory (pair it with a tight ``memory_quota`` so the spill
+    rung actually engages); solo reruns get their own spill directory so
+    the fixpoint-identity check compares like with like.
+    """
     engine_config = RecStepConfig()  # fault_seed defaults from REPRO_CHAOS_SEED
     service = QueryService(
-        ServerConfig(max_concurrent=2, queue_limit=queue_limit),
+        ServerConfig(
+            max_concurrent=2, queue_limit=queue_limit, spill_root=spill_root
+        ),
         engine_config=engine_config,
     )
-    workload = build_workload(queries)
+    workload = build_workload(
+        queries,
+        memory_quota=memory_quota if memory_quota is not None else int(128e6),
+        spill_heavy=spill_root is not None,
+    )
     violations: list[str] = []
     accepted: list[tuple[str, QueryRequest]] = []
     rejected = 0
@@ -116,9 +155,13 @@ def run_smoke(queries: int = 9, queue_limit: int = 4, verbose: bool = True) -> d
                     f"structured failure document: {failure!r}"
                 )
             continue
-        solo = RecStep(
-            replace(engine_config, memory_budget=doc["reserved_bytes"])
-        ).evaluate(request.program, request.edb_data, dataset=request.dataset)
+        overrides: dict = {"memory_budget": doc["reserved_bytes"]}
+        if spill_root is not None:
+            overrides["spill_dir"] = str(Path(spill_root) / f"solo-{session_id}")
+            overrides["degradation"] = True
+        solo = RecStep(replace(engine_config, **overrides)).evaluate(
+            request.program, request.edb_data, dataset=request.dataset
+        )
         session = service.sessions.get(session_id)
         if solo.status != "ok":
             violations.append(
@@ -129,12 +172,17 @@ def run_smoke(queries: int = 9, queue_limit: int = 4, verbose: bool = True) -> d
                 f"{session_id}: fixpoint diverges from the solo run"
             )
 
+    spilled_sessions = sum(
+        1 for s in service.sessions.all() if s.spilled_bytes > 0
+    )
     report["smoke"] = {
         "queries": queries,
         "accepted": len(accepted),
         "rejected": rejected,
         "violations": violations,
         "fault_seed": engine_config.fault_seed,
+        "spill_root": spill_root,
+        "spilled_sessions": spilled_sessions,
     }
     if verbose:
         print(json.dumps(report["smoke"], indent=2))
@@ -149,8 +197,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--queries", type=int, default=9)
     parser.add_argument("--queue-limit", type=int, default=4)
+    parser.add_argument(
+        "--spill-root",
+        default=None,
+        metavar="DIR",
+        help="give every session a per-session spill directory under DIR",
+    )
+    parser.add_argument(
+        "--memory-quota",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="explicit per-query quota (tighten it so the spill rung engages)",
+    )
     args = parser.parse_args(argv)
-    report = run_smoke(queries=args.queries, queue_limit=args.queue_limit)
+    report = run_smoke(
+        queries=args.queries,
+        queue_limit=args.queue_limit,
+        spill_root=args.spill_root,
+        memory_quota=args.memory_quota,
+    )
     return 1 if report["smoke"]["violations"] else 0
 
 

@@ -6,20 +6,24 @@ storage manager models persistence so the EOST optimization has an I/O
 cost to remove.
 """
 
-from repro.storage.block import BLOCK_ROWS, iter_blocks
+from repro.storage.block import BLOCK_ROWS, BlockResidency, iter_blocks
 from repro.storage.catalog import Catalog
 from repro.storage.column import ColumnSchema, ColumnType
 from repro.storage.manager import StorageManager
+from repro.storage.spill import SpillManager, SpillSegment
 from repro.storage.stats import StatsMode, TableStats, collect_stats
 from repro.storage.table import Table
 
 __all__ = [
     "BLOCK_ROWS",
+    "BlockResidency",
     "iter_blocks",
     "Catalog",
     "ColumnSchema",
     "ColumnType",
     "StorageManager",
+    "SpillManager",
+    "SpillSegment",
     "StatsMode",
     "TableStats",
     "collect_stats",

@@ -8,6 +8,7 @@ block size is the unit of intra-operator parallelism.
 
 from __future__ import annotations
 
+import enum
 from collections.abc import Iterator
 
 import numpy as np
@@ -18,6 +19,19 @@ import numpy as np
 #: genuinely small deltas stay single-block — reproducing the paper's
 #: observation that small per-iteration inputs underutilize the cores.
 BLOCK_ROWS = 1 << 12
+
+
+class BlockResidency(enum.Enum):
+    """Where a row range of a table currently lives.
+
+    ``RESIDENT`` ranges are in the table's in-memory array; ``SPILLED``
+    ranges live in checksummed segment files owned by the
+    :class:`~repro.storage.spill.SpillManager` and must be streamed or
+    faulted back in before a kernel can touch them.
+    """
+
+    RESIDENT = "resident"
+    SPILLED = "spilled"
 
 
 def iter_blocks(rows: np.ndarray, block_rows: int = BLOCK_ROWS) -> Iterator[np.ndarray]:

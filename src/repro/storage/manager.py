@@ -19,6 +19,10 @@ COMMIT_WRITE_BANDWIDTH = 1.2e9
 #: Fixed transaction bookkeeping cost per committed query (log record,
 #: page-table walk); this accumulates over the ~1000 iterations of CSDA.
 PER_QUERY_COMMIT_OVERHEAD = 4e-4
+#: Sequential read bandwidth for rehydrating/streaming spilled segments
+#: (the spill tier shares the commit device, so writes reuse
+#: COMMIT_WRITE_BANDWIDTH; reads are the same class of sequential I/O).
+SPILL_READ_BANDWIDTH = 1.2e9
 
 
 @dataclass

@@ -35,6 +35,13 @@ class Table:
         self.columns: tuple[ColumnSchema, ...] = tuple(columns)
         self._rows = np.empty((_INITIAL_CAPACITY, len(columns)), dtype=np.int64)
         self._count = 0
+        #: Rows [0, _spilled_rows) live in spill segment files; the
+        #: in-memory array holds only the resident tail, so buffer index i
+        #: is logical row ``i + _spilled_rows``. Residency transitions go
+        #: through the bound SpillManager and never touch version/epoch —
+        #: the logical contents are unchanged.
+        self._spilled_rows = 0
+        self._spill_manager = None
         #: Bumped on *every* mutation; lets caches detect any change.
         self.version = 0
         #: Bumped only on rewrites (replace/truncate) — appends keep the
@@ -71,19 +78,54 @@ class Table:
     def num_rows(self) -> int:
         return self._count
 
+    @property
+    def spilled_rows(self) -> int:
+        return self._spilled_rows
+
+    @property
+    def resident_rows(self) -> int:
+        return self._count - self._spilled_rows
+
     def data(self) -> np.ndarray:
-        """A read-only view of the live rows (no copy)."""
+        """A read-only view of the live rows (no copy).
+
+        The correctness backstop for spilling: a spilled table is faulted
+        back in (charging the modeled read I/O) before the view is
+        handed out, so every consumer always sees the full relation.
+        """
+        if self._spilled_rows:
+            self._spill_manager.fault_in(self)
         view = self._rows[: self._count]
+        view.flags.writeable = False
+        return view
+
+    def resident_data(self) -> np.ndarray:
+        """A read-only view of only the resident tail (no fault-in)."""
+        view = self._rows[: self.resident_rows]
+        view.flags.writeable = False
+        return view
+
+    def tail_data(self, start_row: int) -> np.ndarray:
+        """Rows ``[start_row, num_rows)`` without fault-in when possible.
+
+        Incremental consumers (the join-cache extension) only ever need
+        the appended tail, which by construction lives in the resident
+        region; asking for rows inside the spilled prefix falls back to
+        the fault-in path.
+        """
+        if start_row < self._spilled_rows:
+            return self.data()[start_row:]
+        view = self._rows[start_row - self._spilled_rows : self.resident_rows]
         view.flags.writeable = False
         return view
 
     def to_array(self) -> np.ndarray:
         """A copy of the live rows, safe to mutate."""
-        return self._rows[: self._count].copy()
+        return self.data().copy()
 
     def to_set(self) -> set[tuple[int, ...]]:
         """Rows as a Python set of tuples (tests and small results only)."""
-        return {tuple(int(value) for value in row) for row in self._rows[: self._count]}
+        return {tuple(int(value) for value in row) for row in self.data()}
 
     def blocks(self, block_rows: int = BLOCK_ROWS):
         return iter_blocks(self.data(), block_rows)
@@ -92,20 +134,24 @@ class Table:
         return block_count(self._count, block_rows)
 
     def memory_bytes(self) -> int:
-        """Modeled resident size: logical tuple width times row count."""
-        return self.tuple_bytes() * self._count
+        """Modeled resident size: logical tuple width times resident rows."""
+        return self.tuple_bytes() * self.resident_rows
+
+    def spilled_bytes(self) -> int:
+        """Modeled bytes of the spilled prefix (on disk, not in memory)."""
+        return self.tuple_bytes() * self._spilled_rows
 
     # -- mutation ----------------------------------------------------------
 
     def _reserve(self, extra: int) -> None:
-        needed = self._count + extra
+        needed = self.resident_rows + extra
         if needed <= self._rows.shape[0]:
             return
         capacity = max(self._rows.shape[0], _INITIAL_CAPACITY)
         while capacity < needed:
             capacity *= 2
         grown = np.empty((capacity, self.arity), dtype=np.int64)
-        grown[: self._count] = self._rows[: self._count]
+        grown[: self.resident_rows] = self._rows[: self.resident_rows]
         self._rows = grown
 
     def append_array(self, rows: np.ndarray) -> None:
@@ -118,7 +164,8 @@ class Table:
         if rows.shape[0] == 0:
             return
         self._reserve(rows.shape[0])
-        self._rows[self._count : self._count + rows.shape[0]] = rows
+        resident = self.resident_rows
+        self._rows[resident : resident + rows.shape[0]] = rows
         self._count += rows.shape[0]
         self.version += 1
 
@@ -135,15 +182,59 @@ class Table:
                 f"cannot load shape {rows.shape} into table {self.name!r} "
                 f"of arity {self.arity}"
             )
+        self._discard_spill()
         self._rows = np.ascontiguousarray(rows, dtype=np.int64)
         self._count = rows.shape[0]
         self.version += 1
         self.epoch += 1
 
     def truncate(self) -> None:
+        self._discard_spill()
         self._count = 0
         self.version += 1
         self.epoch += 1
+
+    # -- residency (driven by the SpillManager) ----------------------------
+
+    def bind_spill(self, manager) -> None:
+        self._spill_manager = manager
+
+    def drop_spilled_prefix(self, rows: int) -> None:
+        """Release the first ``rows`` resident rows; they are now on disk.
+
+        Called by the SpillManager only after every covering segment has
+        been durably written. The buffer is reallocated so the memory is
+        genuinely freed, not just re-labelled.
+        """
+        resident = self.resident_rows
+        if not 0 < rows <= resident:
+            raise ValueError(
+                f"cannot spill {rows} of {resident} resident rows in {self.name!r}"
+            )
+        remaining = resident - rows
+        shrunk = np.empty((max(remaining, _INITIAL_CAPACITY), self.arity), dtype=np.int64)
+        shrunk[:remaining] = self._rows[rows:resident]
+        self._rows = shrunk
+        self._spilled_rows += rows
+
+    def absorb_spilled_prefix(self, prefix: np.ndarray) -> None:
+        """Rehydrate the spilled prefix in front of the resident tail."""
+        if prefix.shape != (self._spilled_rows, self.arity):
+            raise ValueError(
+                f"prefix shape {prefix.shape} does not match "
+                f"{(self._spilled_rows, self.arity)} for {self.name!r}"
+            )
+        resident = self.resident_rows
+        grown = np.empty((max(self._count, _INITIAL_CAPACITY), self.arity), dtype=np.int64)
+        grown[: self._spilled_rows] = prefix
+        grown[self._spilled_rows : self._count] = self._rows[:resident]
+        self._rows = grown
+        self._spilled_rows = 0
+
+    def _discard_spill(self) -> None:
+        if self._spilled_rows and self._spill_manager is not None:
+            self._spill_manager.discard(self.name)
+        self._spilled_rows = 0
 
     # -- misc ----------------------------------------------------------------
 

@@ -265,6 +265,7 @@ GOLDEN_QUEUE_TIMELINE_KEYS = {
     "max_queue_depth",
     "max_active",
     "max_reserved_bytes",
+    "max_spilled_bytes",
     "series",
 }
 

@@ -397,6 +397,28 @@ class TestCrashSafeCheckpoints:
         with pytest.raises(CheckpointError):
             CheckpointManager.load(tmp_path)
 
+    def test_prune_deletes_corrupt_instead_of_counting_toward_keep(self, tmp_path):
+        """Regression: a torn file must not occupy a retention slot.
+
+        Before the fix, ``_prune`` counted checksum-failing files toward
+        ``keep``, so repeated crashes could evict every good snapshot.
+        """
+        from repro.obs.profiler import Profiler
+
+        profiler = Profiler()
+        manager = CheckpointManager(tmp_path, every=1, keep=2, profiler=profiler)
+        manager.save(self._state(1))
+        torn = manager.save(self._state(2))
+        torn.write_bytes(torn.read_bytes()[:64])  # crashed writer
+        manager.save(self._state(3))
+
+        survivors = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        # The torn i2 was deleted; the *valid* predecessor i1 kept its slot.
+        assert survivors == ["ckpt-s000-i00001.npz", "ckpt-s000-i00003.npz"]
+        assert profiler.counters.get("checkpoint_corrupt_pruned") == 1
+        # And the retained window resumes cleanly.
+        assert CheckpointManager.load(tmp_path).iteration == 3
+
     def test_crashed_writer_resume_matches_uninterrupted(self, tmp_path, tc_edb):
         """The satellite acceptance: truncate the newest checkpoint as a
         crashed writer would leave it; resume must fall back to the

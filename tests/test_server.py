@@ -34,7 +34,7 @@ from repro.server import (
     SessionState,
     WatchdogToken,
 )
-from repro.server.admission import DEFAULT_RETRY_AFTER
+from repro.server.admission import DEFAULT_RETRY_AFTER, MIN_SESSION_QUOTA
 
 RELATIONAL = dict(pbme=PbmeMode.OFF)
 QUOTA = int(128e6)
@@ -139,12 +139,46 @@ class TestAdmissionController:
         assert controller.try_reserve(100)
 
     def test_default_quota_splits_watermarked_budget(self):
+        budget = 400 << 20
+        controller = AdmissionController(
+            queue_limit=8, memory_budget=budget, max_concurrent=4, high_watermark=0.8
+        )
+        split = int(budget * 0.8) // 4
+        assert controller.default_quota == split
+        assert controller.quota_for(_tc_request(memory_quota=None)) == split
+        assert controller.quota_for(_tc_request(memory_quota=123)) == 123
+
+    def test_default_quota_floored_on_tiny_budget(self):
+        """Regression: the watermarked-budget split must never reach 0.
+
+        A 1000-byte budget over 4 slots used to hand out 200-byte (or,
+        smaller still, zero-byte) default quotas — sessions admitted with
+        no enforceable reservation. The floor turns that into a
+        structured memory-pressure rejection at the front door.
+        """
         controller = AdmissionController(
             queue_limit=8, memory_budget=1000, max_concurrent=4, high_watermark=0.8
         )
-        assert controller.default_quota == 200
-        assert controller.quota_for(_tc_request(memory_quota=None)) == 200
+        assert controller.default_quota == MIN_SESSION_QUOTA
+        # Explicit quotas are never floored.
         assert controller.quota_for(_tc_request(memory_quota=123)) == 123
+        # The floored default cannot fit the tiny watermark: a structured
+        # Overloaded, not an unbudgeted admission.
+        overload = controller.check_submit(
+            _tc_request(memory_quota=None), queue_depth=0, retry_hint=1.0
+        )
+        assert overload is not None
+        doc = overload.to_dict()
+        assert doc["reason"] == "memory-pressure"
+        assert doc["requested_bytes"] == MIN_SESSION_QUOTA
+
+    def test_tiny_budget_service_rejects_structurally(self):
+        service = _service(memory_budget=1000, queue_limit=8)
+        response = service.submit(_tc_request(memory_quota=None))
+        assert not response["accepted"]
+        assert response["overloaded"] is True
+        assert response["reason"] == "memory-pressure"
+        assert response["retry_after_seconds"] > 0
 
 
 # ---------------------------------------------------------------------------
@@ -475,6 +509,102 @@ class TestDrain:
         service.pump()
         service.drain()
         assert service.status(first["session_id"])["state"] == "done"
+
+
+# ---------------------------------------------------------------------------
+# The spill tier at the service layer
+# ---------------------------------------------------------------------------
+
+
+class TestServiceSpill:
+    #: Calibrated with tests/test_spill.py: the 300-cycle TC fixpoint
+    #: (90000 rows) cannot stay resident at this quota, but completes
+    #: by evicting cold prefixes — ~13.7 simulated seconds, with blocks
+    #: on disk from ~5s in.
+    BUDGET = 550_000
+
+    @staticmethod
+    def _cycle_request(**kwargs) -> QueryRequest:
+        src = np.arange(300, dtype=np.int64)
+        arc = np.stack([src, (src + 1) % 300], axis=1)
+        kwargs.setdefault("memory_quota", TestServiceSpill.BUDGET)
+        return QueryRequest(
+            program=get_program("TC"),
+            edb_data={"arc": arc},
+            dataset="tc-cycle",
+            **kwargs,
+        )
+
+    def _service(self, tmp_path, **overrides) -> QueryService:
+        config = dict(
+            max_concurrent=1,
+            queue_limit=2,
+            spill_root=str(tmp_path / "spill"),
+        )
+        config.update(overrides)
+        return QueryService(
+            ServerConfig(**config), engine_config=RecStepConfig(**RELATIONAL)
+        )
+
+    def test_spilled_session_releases_headroom_and_cleans_up(self, tmp_path):
+        service = self._service(tmp_path)
+        response = service.submit(self._cycle_request())
+        assert response["accepted"]
+        service.flush()
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "done"
+        # The spilled slice was never resident at peak: that part of the
+        # reservation went back to the admission pool early.
+        assert doc["spilled_bytes"] > 0
+        assert doc["spill_released_bytes"] > 0
+        snap = service.counters.snapshot()
+        assert snap["server.spill_released_bytes"] == doc["spill_released_bytes"]
+        # The per-session spill directory died with the session (the
+        # engine's own cleanup; the service sweep is a crash backstop).
+        assert not (tmp_path / "spill" / response["session_id"]).exists()
+        # Telemetry: the spill shows up in histograms and the report.
+        metrics = service.metrics_snapshot()
+        assert metrics["histograms"]["spill_bytes.TC"]["count"] == 1
+        assert service.report()["spilled_bytes_total"] == doc["spilled_bytes"]
+
+    def test_drain_cancels_spilled_session_resume_identical(self, tmp_path):
+        # Drain grace lands mid-fixpoint, *after* blocks went to disk:
+        # the session checkpoint-cancels with spilled bytes on the books,
+        # the spill root is swept, and the checkpoint resumes (with its
+        # own spill tier) to the exact reference fixpoint.
+        # 10s grace: past spill onset (~7.5s under per-iteration
+        # checkpoint overhead), well before the ~14s completion.
+        service = self._service(tmp_path, drain_grace_seconds=10.0)
+        response = service.submit(self._cycle_request())
+        assert response["accepted"]
+        report = service.drain(checkpoint_dir=str(tmp_path / "ckpt"))
+
+        doc = service.status(response["session_id"])
+        assert doc["state"] == "cancelled"
+        assert doc["failure"]["kind"] == "deadline"
+        assert doc["spilled_bytes"] > 0
+        assert service.counters.snapshot()["server.checkpointed_on_drain"] == 1
+        # The shutdown report accounts the spilled bytes, and no spill
+        # state survives the drain sweep.
+        assert report["spilled_bytes_total"] == doc["spilled_bytes"]
+        spill_root = tmp_path / "spill"
+        assert not spill_root.exists() or not any(spill_root.iterdir())
+
+        request = self._cycle_request()
+        resumed = RecStep(
+            RecStepConfig(
+                **RELATIONAL,
+                memory_budget=self.BUDGET,
+                degradation=True,
+                spill_dir=str(tmp_path / "resume-spill"),
+                resume_from=doc["checkpoint_dir"],
+            )
+        ).evaluate(request.program, request.edb_data, dataset="tc-cycle")
+        reference = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            request.program, request.edb_data, dataset="tc-cycle"
+        )
+        assert resumed.status == reference.status == "ok"
+        assert resumed.tuples == reference.tuples
 
 
 # ---------------------------------------------------------------------------
