@@ -36,6 +36,8 @@ from benchmarks.trajectory import (
     REPO_ROOT,
     REPS,
     SERVER_GATED_METRICS,
+    UPDATE_GATED_METRICS,
+    UPDATE_SPEEDUP_FLOOR,
     run_sweeps,
 )
 
@@ -54,6 +56,8 @@ ABS_FLOORS = {
     "latency_p95": 1e-3,
     "latency_p99": 1e-3,
     "max_queue_depth": 0.5,
+    "maintain_sim_seconds": 1e-4,
+    "recompute_sim_seconds": 1e-3,
 }
 
 
@@ -148,6 +152,43 @@ def compare_engine(
                 )
         v, c = compare_rung(
             label, rung, base, ENGINE_GATED_METRICS, rel_tol, stddev_mult
+        )
+        violations.extend(v)
+        checked.extend(c)
+    # Update rungs (the incremental-maintenance canary): noise-band the
+    # maintain/recompute timings like any other rung, plus two hard
+    # qualitative contracts — the maintained fixpoint stays identical to
+    # a from-scratch recompute, and small insert-dominant batches stay
+    # at least UPDATE_SPEEDUP_FLOOR times faster than recomputing.
+    base_update = {
+        (rung["program"], rung["dataset"]): rung
+        for rung in baseline.get("update", [])
+    }
+    for rung in fresh.get("update", []):
+        key = (rung["program"], rung["dataset"])
+        base = base_update.get(key)
+        if base is None:
+            continue
+        label = f"engine update {key[0]}/{key[1]}"
+        if rung.get("statuses") != base.get("statuses"):
+            violations.append(
+                f"REGRESSION {label}: statuses {base.get('statuses')!r} "
+                f"-> {rung.get('statuses')!r}"
+            )
+        if not rung.get("identity", False):
+            violations.append(
+                f"REGRESSION {label}: maintained fixpoint diverged from "
+                "the from-scratch recompute"
+            )
+        floor = base.get("speedup_floor", UPDATE_SPEEDUP_FLOOR)
+        speedup = rung.get("speedup", 0.0)
+        line = f"{label}: speedup {speedup:g}x (floor {floor:g}x)"
+        if speedup < floor:
+            violations.append("REGRESSION " + line)
+        else:
+            checked.append("ok " + line)
+        v, c = compare_rung(
+            label, rung, base, UPDATE_GATED_METRICS, rel_tol, stddev_mult
         )
         violations.extend(v)
         checked.extend(c)

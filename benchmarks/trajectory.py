@@ -12,7 +12,9 @@ Two sweeps, two files at the repo root:
 
 * ``BENCH_engine.json`` — RecStep over the TC/SG/CSPA/Andersen ladders
   (roughly 20 k to 2 M derived tuples per rung), with per-rung scaling
-  efficiency relative to the smallest rung;
+  efficiency relative to the smallest rung, plus two canary rungs: the
+  constrained-budget spill record and the incremental-maintenance
+  (warm ``maintain`` vs cold recompute) speedup;
 * ``BENCH_server.json`` — :class:`~repro.server.service.QueryService`
   under growing submission bursts, with per-class latency percentiles
   from the service's own histograms and the admission-queue peak.
@@ -31,6 +33,8 @@ import argparse
 import json
 import statistics
 from pathlib import Path
+
+import numpy as np
 
 from repro.analysis.harness import prepare_edb, run_workload
 from repro.core.config import RecStepConfig
@@ -80,6 +84,29 @@ RUNG_REPS: dict[tuple[str, str], int] = {
 CONSTRAINED_RUNGS: list[dict] = [
     {"program": "TC", "dataset": "cycle-300", "memory_budget": 550_000},
 ]
+
+#: The incremental-maintenance rung: materialize a fixpoint, replay a
+#: seeded stream of small insert-dominant EDB batches through
+#: ``MaterializedFixpoint.maintain``, then recompute the final EDB state
+#: from scratch. Gated on the per-batch maintain time, the recompute
+#: time, and their ratio staying above :data:`UPDATE_SPEEDUP_FLOOR` —
+#: delta propagation from a warm fixpoint must beat re-running the
+#: closure. Deletions (DRed over-delete/rederive, which on a dense
+#: closure approaches recompute cost by design) are covered for
+#: correctness in tests/test_ivm.py, not priced here; see EXPERIMENTS.md.
+#: G2K (wide and shallow: 4 M tuples in 4 iterations) rather than a
+#: cycle: on an n-cycle the left-linear TC rule crawls one hop per
+#: iteration, so a single-arc delta replays the full n-iteration ladder
+#: and fixed per-statement dispatch — which maintenance cannot avoid —
+#: swamps the per-iteration delta savings the rung is meant to price.
+UPDATE_RUNGS: list[dict] = [
+    {"program": "TC", "dataset": "G2K", "batches": 8, "batch_rows": 4},
+]
+
+#: Minimum required recompute/maintain speedup for the update rungs.
+UPDATE_SPEEDUP_FLOOR = 5.0
+
+UPDATE_GATED_METRICS = ("maintain_sim_seconds", "recompute_sim_seconds")
 
 #: Server sweep: submission burst sizes, smallest first. Each burst is a
 #: round-robin mix of the cheap queries below; queue_limit tracks the
@@ -194,6 +221,7 @@ def run_engine_sweep(
     return {
         "kind": "engine-trajectory",
         "constrained": run_constrained_sweep(),
+        "update": run_update_sweep(),
         "schema_version": RESULT_SCHEMA_VERSION,
         "provenance": provenance(),
         "config": {
@@ -204,6 +232,8 @@ def run_engine_sweep(
             "memory_budget": MEMORY_BUDGET,
             "time_budget": TIME_BUDGET,
             "gated_metrics": list(ENGINE_GATED_METRICS),
+            "update_gated_metrics": list(UPDATE_GATED_METRICS),
+            "update_speedup_floor": UPDATE_SPEEDUP_FLOOR,
         },
         "ladders": out_ladders,
     }
@@ -293,6 +323,104 @@ def run_constrained_sweep(rungs: list[dict] | None = None) -> list[dict]:
             f"({spilled_mb:.2f} MB spilled): {_rung_line(rung)}",
             flush=True,
         )
+    return out
+
+
+def run_update_rung(entry: dict) -> dict:
+    """The incremental-maintenance rung: warm maintain vs cold recompute.
+
+    Materializes the fixpoint once, applies ``batches`` seeded
+    insert-dominant churn batches through the live view, then evaluates
+    the *final* EDB state from scratch on a fresh engine. Every batch's
+    simulated maintain time is summarized; the speedup is the recompute
+    time over the median batch. The maintained fixpoint is compared
+    tuple-for-tuple against the recompute (``identity``) so the rung
+    never reports a speedup for a wrong answer.
+    """
+    program = get_program(entry["program"])
+    dataset = entry["dataset"]
+    batches, batch_rows = entry["batches"], entry["batch_rows"]
+    edb = prepare_edb(program, dataset, seed=BASE_SEED)
+    arcs = edb["arc"]
+    node_span = int(arcs.max()) + 65  # fresh ids beyond the cycle join in
+    engine = RecStep(RecStepConfig(memory_budget=MEMORY_BUDGET))
+    view = engine.materialize(
+        program, {name: rows.copy() for name, rows in edb.items()}, dataset
+    )
+    rung = {
+        "program": entry["program"],
+        "dataset": dataset,
+        "batches": batches,
+        "batch_rows": batch_rows,
+        "reps": 1,
+        "speedup_floor": UPDATE_SPEEDUP_FLOOR,
+    }
+    if view.status != "ready":
+        rung.update({"statuses": [view.result.status], "ok_runs": 0})
+        view.release()
+        return rung
+    rng = np.random.default_rng(BASE_SEED)
+    maintain_sim, delta_rows, statuses = [], [], []
+    current = arcs
+    for _ in range(batches):
+        fresh = rng.integers(0, node_span, size=(batch_rows, 2), dtype=np.int64)
+        result = view.maintain({"arc": fresh}, None)
+        statuses.append(result.status)
+        if result.status != "ok":
+            continue
+        maintain_sim.append(result.sim_seconds)
+        delta_rows.append(float(result.delta_rows))
+        current = np.unique(np.concatenate([current, fresh]), axis=0)
+    final_edb = {name: rows.copy() for name, rows in edb.items()}
+    final_edb["arc"] = current.copy()
+    recompute = RecStep(RecStepConfig(memory_budget=MEMORY_BUDGET)).evaluate(
+        program, final_edb, dataset
+    )
+    reference = {
+        name: {tuple(int(v) for v in row) for row in rows}
+        for name, rows in recompute.tuples.items()
+    }
+    identity = recompute.status == "ok" and view.fixpoint() == reference
+    view.release()
+    rung.update({"statuses": statuses, "ok_runs": len(maintain_sim)})
+    if maintain_sim and recompute.status == "ok":
+        median = statistics.median(maintain_sim)
+        rung.update(
+            {
+                "identity": identity,
+                "maintain_sim_seconds": summarize(maintain_sim),
+                "recompute_sim_seconds": summarize([recompute.sim_seconds]),
+                "delta_rows": summarize(delta_rows),
+                "speedup": round(
+                    recompute.sim_seconds / median if median else 0.0, 3
+                ),
+            }
+        )
+    return rung
+
+
+def run_update_sweep(rungs: list[dict] | None = None) -> list[dict]:
+    """Every incremental-maintenance rung, printed like the ladder rungs."""
+    out = []
+    for entry in rungs if rungs is not None else UPDATE_RUNGS:
+        rung = run_update_rung(entry)
+        out.append(rung)
+        if "speedup" in rung:
+            maintain = rung["maintain_sim_seconds"]["median"]
+            recompute = rung["recompute_sim_seconds"]["median"]
+            print(
+                f"[engine] {rung['program']}/{rung['dataset']} update: "
+                f"maintain {maintain:.6f}s/batch vs recompute {recompute:.3f}s "
+                f"-> {rung['speedup']:.1f}x (floor {rung['speedup_floor']:.0f}x, "
+                f"identity {rung['identity']})",
+                flush=True,
+            )
+        else:
+            print(
+                f"[engine] {rung['program']}/{rung['dataset']} update: "
+                f"no ok runs ({rung['statuses']})",
+                flush=True,
+            )
     return out
 
 

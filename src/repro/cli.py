@@ -89,6 +89,7 @@ def run_datalog_file(
     spill_dir: str | None = None,
     serve_trace: str | None = None,
     metrics_out: str | None = None,
+    serve_updates: str | None = None,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -173,13 +174,20 @@ def run_datalog_file(
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
-    if serve_trace is not None or metrics_out is not None:
+    if serve_trace is not None or metrics_out is not None or serve_updates is not None:
         if engine_name != "RecStep":
             raise DatalogError(
-                "--serve-trace/--metrics-out are only supported by the RecStep engine"
+                "--serve-trace/--metrics-out/--serve-updates are only "
+                "supported by the RecStep engine"
             )
         result = _run_via_service(
-            engine.config, spec, edb_data, Path(path).stem, serve_trace, metrics_out
+            engine.config,
+            spec,
+            edb_data,
+            Path(path).stem,
+            serve_trace,
+            metrics_out,
+            serve_updates,
         )
     else:
         result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
@@ -199,6 +207,7 @@ def _run_via_service(
     dataset: str,
     trace_path: str | None,
     metrics_path: str | None = None,
+    updates_path: str | None = None,
 ):
     """Route one evaluation through :class:`QueryService`.
 
@@ -208,11 +217,19 @@ def _run_via_service(
     breaker board, server counters); ``--metrics-out`` writes just the
     telemetry export (``metrics_snapshot``: per-class latency histograms
     and the admission-queue timeline). Either implies the service route.
+
+    ``--serve-updates FILE`` additionally materializes the fixpoint and
+    replays FILE as an update log — JSON lines, each
+    ``{"inserts": {rel: [[...], ...]}, "deletes": {...}}`` — against the
+    live view, so the written outputs are the *maintained* fixpoint
+    after the whole log, not the cold-start one.
     """
     import json
     from dataclasses import replace
 
     from repro.server import QueryRequest, QueryService, ServerConfig
+
+    updates = _load_update_log(updates_path) if updates_path is not None else []
 
     # A session-scoped engine knob like --spill-dir becomes the service's
     # spill root: the service hands each session its own subdirectory.
@@ -220,15 +237,53 @@ def _run_via_service(
     if spill_root is not None:
         engine_config = replace(engine_config, spill_dir=None)
     service = QueryService(
-        ServerConfig(max_concurrent=1, queue_limit=1, spill_root=spill_root),
+        ServerConfig(
+            max_concurrent=1,
+            queue_limit=max(1, len(updates) + 1),
+            spill_root=spill_root,
+        ),
         engine_config=engine_config,
     )
     response = service.submit(
-        QueryRequest(program=spec, edb_data=edb_data, dataset=dataset)
+        QueryRequest(
+            program=spec,
+            edb_data=edb_data,
+            dataset=dataset,
+            materialize=updates_path is not None,
+        )
     )
     if not response["accepted"]:  # single-slot idle service: cannot happen
         raise DatalogError(f"service rejected the query: {response}")
+    view_id = response["session_id"]
+    update_ids: list[str] = []
+    for index, (inserts, deletes) in enumerate(updates):
+        ack = service.submit(
+            QueryRequest(
+                program=spec,
+                edb_data={},
+                dataset=dataset,
+                kind="update",
+                target_session=view_id,
+                inserts=inserts,
+                deletes=deletes,
+            )
+        )
+        if not ack["accepted"]:
+            raise DatalogError(
+                f"service rejected update batch {index}: {ack}"
+            )
+        update_ids.append(ack["session_id"])
     service.pump()
+    maintained = None
+    if updates_path is not None:
+        service.flush()
+        for update_id in update_ids:
+            update = service.sessions.get(update_id)
+            if update.result is None or update.result.status != "ok":
+                raise DatalogError(
+                    f"update batch session {update_id} failed: {update.failure}"
+                )
+        maintained = service._views[view_id].fixpoint()
     report = service.drain()
     if trace_path is not None:
         Path(trace_path).write_text(
@@ -250,7 +305,41 @@ def _run_via_service(
             f"service session {session.id} ended without a result: "
             f"{session.failure}"
         )
+    if maintained is not None:
+        # Outputs reflect the post-churn fixpoint the updates produced.
+        session.result.tuples = maintained
     return session.result
+
+
+def _load_update_log(path: str | Path) -> list[tuple[dict, dict]]:
+    """Parse a JSONL update log into (inserts, deletes) batches."""
+    import json
+
+    batches: list[tuple[dict, dict]] = []
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise DatalogError(
+                f"{path}:{line_number}: malformed update batch: {error}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise DatalogError(
+                f"{path}:{line_number}: update batch must be a JSON object"
+            )
+        def _rows(side: str) -> dict:
+            out = {}
+            for name, rows in (doc.get(side) or {}).items():
+                out[name] = np.asarray(rows, dtype=np.int64)
+            return out
+
+        batches.append((_rows("inserts"), _rows("deletes")))
+    return batches
 
 
 def _json_fallback(value):
@@ -380,6 +469,16 @@ def main(argv: list[str] | None = None) -> int:
         "timeline) to FILE as JSON (RecStep only; implies the service route)",
     )
     parser.add_argument(
+        "--serve-updates",
+        metavar="FILE",
+        default=None,
+        help="route the evaluation through the query service, keep the "
+        "fixpoint materialized, and replay FILE as an update log (JSON "
+        "lines of {\"inserts\": {rel: [[..]]}, \"deletes\": ...}) against "
+        "it via incremental maintenance; outputs are the post-churn "
+        "fixpoint (RecStep only; implies the service route)",
+    )
+    parser.add_argument(
         "--no-join-cache",
         action="store_true",
         help="disable the iteration-persistent join-state cache (RecStep "
@@ -444,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         partitions=args.partitions,
         serve_trace=args.serve_trace,
         metrics_out=args.metrics_out,
+        serve_updates=args.serve_updates,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")

@@ -40,6 +40,40 @@ def tmp_table(predicate: str, index: int) -> str:
     return f"{predicate}_tmp_mdelta{index}"
 
 
+# IVM working tables (core/ivm.py). The ``_ivm_`` infix keeps them out of
+# the way of the semi-naive ``_delta``/``_mdelta`` namespace.
+
+
+def ivm_ins_table(predicate: str) -> str:
+    """Effective insertions of one maintenance batch."""
+    return f"{predicate}_ivm_ins"
+
+
+def ivm_del_table(predicate: str) -> str:
+    """Effective deletions of one maintenance batch."""
+    return f"{predicate}_ivm_del"
+
+
+def ivm_old_table(predicate: str) -> str:
+    """Pre-batch snapshot of a mutated relation (old-state reads)."""
+    return f"{predicate}_ivm_old"
+
+
+def ivm_overdel_table(predicate: str) -> str:
+    """Accumulated over-deleted tuples of a DRed stratum."""
+    return f"{predicate}_ivm_overdel"
+
+
+def ivm_odelta_table(predicate: str) -> str:
+    """The Δ of the over-deletion fixpoint (DRed's deletion frontier)."""
+    return f"{predicate}_ivm_odelta"
+
+
+def ivm_count_table(predicate: str) -> str:
+    """Derivation-count table of a counting-maintained relation."""
+    return f"{predicate}_ivm_cnt"
+
+
 def columns_for(arity: int) -> tuple[str, ...]:
     return tuple(f"c{i}" for i in range(arity))
 
@@ -116,12 +150,34 @@ class QueryGenerator:
 
     # -- per-rule compilation --------------------------------------------------------
 
-    def _compile_rule(self, rule: dast.Rule, delta_atom: int | None) -> sast.Select:
+    def compile_rule_with_sources(
+        self, rule: dast.Rule, source_overrides: dict[int, str]
+    ) -> sast.Select:
+        """Compile ``rule`` with selected positive atoms redirected.
+
+        ``source_overrides`` maps positive-atom index → table name; atoms
+        not listed read their full relation. This is the maintenance
+        (core/ivm.py) entry point: delta-propagation subqueries point one
+        atom at a batch's ``_ivm_ins``/``_ivm_del`` table and the others
+        at old snapshots or current fulls. Negation always reads the full
+        relation — negated predicates live in strictly lower strata, so
+        by the time a stratum is maintained they are already current.
+        """
+        return self._compile_rule(rule, delta_atom=None, source_overrides=source_overrides)
+
+    def _compile_rule(
+        self,
+        rule: dast.Rule,
+        delta_atom: int | None,
+        source_overrides: dict[int, str] | None = None,
+    ) -> sast.Select:
         """Translate one rule to a SELECT.
 
         ``delta_atom`` is the index (among positive atoms) reading the
         ∆-table in this semi-naive subquery, or ``None`` for the init
-        form where all atoms read full relations.
+        form where all atoms read full relations. ``source_overrides``
+        (mutually exclusive with ``delta_atom``) redirects individual
+        positive atoms to arbitrary tables.
         """
         positive = rule.positive_atoms()
         if not positive:
@@ -131,11 +187,15 @@ class QueryGenerator:
         where: list[sast.Predicate] = []
         tables: list[sast.TableRef] = []
 
+        overrides = source_overrides or {}
         for index, atom in enumerate(positive):
             alias = f"b{index}"
-            source = (
-                delta_table(atom.predicate) if index == delta_atom else full_table(atom.predicate)
-            )
+            if index in overrides:
+                source = overrides[index]
+            elif index == delta_atom:
+                source = delta_table(atom.predicate)
+            else:
+                source = full_table(atom.predicate)
             tables.append(sast.TableRef(source, alias))
             for position, term in enumerate(atom.terms):
                 column_ref = sast.ColumnRef(alias, f"c{position}")

@@ -22,7 +22,11 @@ from repro.core.setdiff_policy import DsdPolicy
 from repro.datalog.analyzer import AnalyzedProgram
 from repro.engine.database import Database
 from repro.obs import CATEGORY_ITERATION, CATEGORY_STRATUM
-from repro.resilience.checkpoint import CheckpointManager, CheckpointState
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CheckpointState,
+    edb_fingerprint,
+)
 from repro.sql import ast as sast
 
 
@@ -67,6 +71,16 @@ class SemiNaiveInterpreter:
         #: Where the evaluation currently is, for failure-report context.
         self.current_stratum = -1
         self.current_iteration = -1
+        #: True while a maintenance batch is running: suppresses
+        #: checkpointing (snapshots mid-maintenance would mix old and new
+        #: state) and keeps the join cache warm across stratum cleanup.
+        self._maintaining = False
+        #: Content fingerprint of the loaded EDB; stamped into checkpoints
+        #: so a resume can reject snapshots of a different input.
+        self.edb_fingerprint = ""
+        #: Count tables (``<pred>_ivm_cnt``) built by past maintenance
+        #: batches; they persist across batches.
+        self._ivm_count_tables: set[str] = set()
 
     # -- setup -----------------------------------------------------------------
 
@@ -75,11 +89,14 @@ class SemiNaiveInterpreter:
         missing = self._analyzed.edb - set(edb_data)
         if missing:
             raise DatalogError(f"missing EDB relations: {sorted(missing)}")
+        loaded: dict[str, np.ndarray] = {}
         for name in sorted(self._analyzed.edb):
             arity = self._analyzed.arities[name]
             columns = self._edb_schemas.get(name, compiler.columns_for(arity))
             rows = np.asarray(edb_data[name], dtype=np.int64).reshape(-1, arity)
             self._db.load_table(name, columns, rows)
+            loaded[name] = rows
+        self.edb_fingerprint = edb_fingerprint(loaded)
 
     def create_idb_tables(self) -> None:
         for name in sorted(self._analyzed.idb):
@@ -129,6 +146,34 @@ class SemiNaiveInterpreter:
             self._maybe_checkpoint(stratum.index, -1, [])
         self._db.commit()
         return self.report
+
+    def maintain(
+        self,
+        inserts: dict[str, np.ndarray] | None = None,
+        deletes: dict[str, np.ndarray] | None = None,
+    ):
+        """Apply one EDB update batch from the warm fixpoint.
+
+        ``run()`` must have completed on this interpreter; the full IDB
+        tables then hold the fixpoint and this re-establishes it under
+        the batch — bit-identical to a recompute from the mutated EDB —
+        via counting/DRed/per-stratum recompute (see ``core.ivm``).
+        Returns the :class:`~repro.core.ivm.MaintenanceReport`.
+        """
+        from repro.core.ivm import MaintenanceRun
+
+        self._maintaining = True
+        try:
+            report = MaintenanceRun(self, inserts or {}, deletes or {}).run()
+        finally:
+            self._maintaining = False
+        self.edb_fingerprint = edb_fingerprint(
+            {
+                name: self._db.table_array(name)
+                for name in sorted(self._analyzed.edb)
+            }
+        )
+        return report
 
     def _maybe_run_pbme(self, compiled_stratum: CompiledStratum) -> bool:
         """Delegate a TC/SG-shaped stratum to the bit-matrix evaluator."""
@@ -236,7 +281,11 @@ class SemiNaiveInterpreter:
             self._db.execute_ast(sast.DropTable(compiler.mdelta_table(predicate.predicate)))
         # Stratum boundary: the next stratum joins different tables, so
         # the persistent join indexes built for this one are dead weight.
-        self._db.invalidate_join_cache()
+        # During maintenance the full-table indexes stay valuable across
+        # batches; dropping the working tables above already evicted
+        # theirs, so keep the rest warm.
+        if not self._maintaining:
+            self._db.invalidate_join_cache()
 
     # -- checkpoint/resume --------------------------------------------------------
 
@@ -253,7 +302,7 @@ class SemiNaiveInterpreter:
         Algorithm 1 loop state. ``iteration=-1`` marks a stratum
         boundary (working tables already dropped; only fulls survive).
         """
-        if self._checkpoints is None:
+        if self._checkpoints is None or self._maintaining:
             return
         # table_snapshot, not table_array: snapshotting a spilled full
         # relation streams its on-disk prefix instead of faulting it back
@@ -280,6 +329,7 @@ class SemiNaiveInterpreter:
                 iterations_total=self.report.iterations,
                 pbme_strata=list(self.report.pbme_strata),
                 sim_seconds=self._db.sim_seconds,
+                edb_fingerprint=self.edb_fingerprint,
             )
         )
 

@@ -1,0 +1,673 @@
+"""Incremental view maintenance: serve EDB churn from the warm fixpoint.
+
+``MaintenanceRun`` applies one batch of EDB insertions/deletions to a
+database that already holds a program's fixpoint and re-establishes that
+fixpoint without recomputing from scratch. Strata are revisited in
+topological order and each is maintained by the cheapest sound method
+for its shape:
+
+* **skip** — none of the stratum's body relations changed; its fulls are
+  still exact.
+* **counting** — non-recursive, negation- and aggregate-free strata keep
+  a derivation-count table (``<pred>_ivm_cnt``). A batch contributes
+  signed count deltas via the standard bag decomposition
+  ``Δ(A ⋈ B) = ΔA ⋈ B_old + A_new ⋈ ΔB``: position ``p`` reads the
+  batch table, positions before it the new state, positions after it
+  the old snapshot. Tuples whose count crosses zero enter/leave the
+  full relation.
+* **DRed** — recursive monotone strata over-delete (every derivation
+  touching a deleted tuple, to a fixpoint over old state), apply the
+  deletions, then warm-start the ordinary semi-naive loop with a seed Δ
+  of rederivation candidates plus insertion-derived tuples. When the
+  batch carries no deletions into the stratum the over-deletion and the
+  O(|full|) rederivation scan are skipped entirely — insert-only
+  maintenance costs only the delta propagation.
+* **recompute** — strata with negation or aggregation fall back to a
+  from-scratch re-evaluation of just that stratum (inputs are already
+  maintained), reusing ``_run_stratum`` unchanged.
+
+Everything runs through the ``Database`` primitives, so maintenance is
+metered, spill-aware, fault-injectable and cancellable exactly like a
+cold evaluation; the join-state cache is kept warm across maintenance
+(appends extend indexes incrementally, deletions evict via the
+unconditional epoch bump).
+
+Batch semantics: insertions and deletions are sets; a tuple listed in
+both is a no-op if already present and an insertion if absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import DatalogError
+from repro.core import compiler
+from repro.core.compiler import CompiledPredicate, CompiledStratum
+from repro.core.setdiff_policy import DsdPolicy
+from repro.engine import kernels
+from repro.obs import CATEGORY_ITERATION, CATEGORY_STRATUM
+from repro.sql import ast as sast
+
+#: How a stratum was (or would be) maintained.
+CLASS_SKIP = "skip"
+CLASS_COUNTING = "counting"
+CLASS_DRED = "dred"
+CLASS_RECOMPUTE = "recompute"
+
+
+@dataclass
+class MaintenanceReport:
+    """What one maintenance batch did."""
+
+    #: Semi-naive iterations spent across all maintained strata.
+    iterations: int = 0
+    #: Stratum index → maintenance class applied this batch.
+    strata: dict[int, str] = field(default_factory=dict)
+    #: EDB relation → effective tuples applied ({"inserted", "deleted"}).
+    applied: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: IDB relation → net fixpoint change ({"inserted", "deleted"}).
+    idb_deltas: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def delta_rows(self) -> int:
+        """Total net rows the batch moved (EDB and IDB, both directions)."""
+        total = 0
+        for sizes in (*self.applied.values(), *self.idb_deltas.values()):
+            total += sizes["inserted"] + sizes["deleted"]
+        return total
+
+
+def classify_stratum(compiled: CompiledStratum) -> str:
+    """The maintenance class a stratum's *shape* admits (batch-independent)."""
+    if any(rule.negative_atoms() for rule in compiled.stratum.rules) or any(
+        predicate.aggregate for predicate in compiled.predicates
+    ):
+        return CLASS_RECOMPUTE
+    return CLASS_DRED if compiled.stratum.recursive else CLASS_COUNTING
+
+
+class MaintenanceRun:
+    """One maintenance batch against a warm interpreter.
+
+    The run borrows the interpreter's private machinery (generator,
+    policies, ``_evaluate_predicate``/``_run_stratum``) — this module is
+    the interpreter's maintenance half, split out for size.
+    """
+
+    def __init__(
+        self,
+        interpreter,
+        inserts: dict[str, np.ndarray],
+        deletes: dict[str, np.ndarray],
+    ) -> None:
+        self._interp = interpreter
+        self._db = interpreter._db
+        self._analyzed = interpreter._analyzed
+        self._generator = interpreter._generator
+        self._inserts = inserts
+        self._deletes = deletes
+        #: relation → (net inserted rows, net deleted rows), EDB and IDB.
+        self._net: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        #: Work tables to drop when the batch is done.
+        self._work_tables: list[str] = []
+        self.report = MaintenanceReport()
+
+    # -- top level ---------------------------------------------------------
+
+    def run(self) -> MaintenanceReport:
+        counters = self._db.profiler.counters
+        counters.inc("ivm.maintain_runs")
+        compiled = self._generator.compile()
+        self._classes = {cs.stratum.index: classify_stratum(cs) for cs in compiled}
+        effective = self._effective_edb_batch()
+        #: Deletions anywhere in the batch, or a dirty recompute stratum
+        #: (negation can delete downstream even from pure insertions):
+        #: only then do DRed readers need old-state snapshots.
+        dirty = self._dirty_closure(compiled, effective)
+        self._deletes_possible = any(
+            dels.shape[0] for _, dels in effective.values()
+        ) or any(
+            self._classes[cs.stratum.index] == CLASS_RECOMPUTE
+            and (cs.stratum.predicates & dirty)
+            for cs in compiled
+        )
+        self._init_count_tables(compiled, dirty)
+        self._apply_edb_batch(compiled, effective)
+        try:
+            for cs in compiled:
+                index = cs.stratum.index
+                if not self._inputs_changed(cs):
+                    self.report.strata[index] = CLASS_SKIP
+                    counters.inc("ivm.strata_skipped")
+                    continue
+                self._db.resilience.check_cancelled(stratum=index)
+                cls = self._classes[index]
+                self.report.strata[index] = cls
+                self._snapshot_before(cs, compiled)
+                with self._db.profiler.span(
+                    f"maintain stratum {index}",
+                    CATEGORY_STRATUM,
+                    predicates=sorted(cs.stratum.predicates),
+                    maintenance=cls,
+                ):
+                    if cls == CLASS_COUNTING:
+                        counters.inc("ivm.strata_counting")
+                        self._maintain_counting(cs)
+                    elif cls == CLASS_DRED:
+                        counters.inc("ivm.strata_dred")
+                        self._maintain_dred(cs)
+                    else:
+                        counters.inc("ivm.strata_recomputed")
+                        self._recompute(cs)
+                self._publish_deltas(cs)
+        finally:
+            self._cleanup()
+        self._db.commit()
+        return self.report
+
+    # -- batch normalization and EDB mutation ------------------------------
+
+    def _effective_edb_batch(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Normalize the request against the current EDB contents."""
+        effective: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in sorted(set(self._inserts) | set(self._deletes)):
+            if name not in self._analyzed.edb:
+                raise DatalogError(f"unknown EDB relation {name!r} in update batch")
+            arity = self._analyzed.arities[name]
+            ins = self._as_rows(self._inserts.get(name), arity)
+            dels = self._as_rows(self._deletes.get(name), arity)
+            existing = self._db.table_array(name)
+            if dels.shape[0]:
+                if ins.shape[0]:
+                    dels = kernels.rows_difference(dels, ins)
+                if dels.shape[0]:
+                    dels = kernels.rows_intersection(dels, existing)
+            if ins.shape[0]:
+                ins = kernels.rows_difference(ins, existing)
+            if ins.shape[0] or dels.shape[0]:
+                effective[name] = (ins, dels)
+        return effective
+
+    @staticmethod
+    def _as_rows(rows, arity: int) -> np.ndarray:
+        if rows is None:
+            return np.empty((0, arity), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64).reshape(-1, arity)
+
+    def _apply_edb_batch(
+        self,
+        compiled: list[CompiledStratum],
+        effective: dict[str, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        for name, (ins, dels) in effective.items():
+            self._net[name] = (ins, dels)
+            if self._need_old(name, compiled, from_stratum=0):
+                self._make_work_table(
+                    compiler.ivm_old_table(name), self._db.table_array(name)
+                )
+            if dels.shape[0]:
+                self._db.delete_rows(name, dels)
+                self._make_work_table(compiler.ivm_del_table(name), dels)
+            if ins.shape[0]:
+                self._db.append_rows(name, ins)
+                self._make_work_table(compiler.ivm_ins_table(name), ins)
+            self.report.applied[name] = {
+                "inserted": int(ins.shape[0]),
+                "deleted": int(dels.shape[0]),
+            }
+
+    def _publish_deltas(self, cs: CompiledStratum) -> None:
+        """Expose a maintained stratum's net deltas to downstream strata."""
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            ins, dels = self._net.get(name, (None, None))
+            if ins is None:
+                continue
+            if ins.shape[0]:
+                self._make_work_table(compiler.ivm_ins_table(name), ins)
+            if dels.shape[0]:
+                self._make_work_table(compiler.ivm_del_table(name), dels)
+            self.report.idb_deltas[name] = {
+                "inserted": int(ins.shape[0]),
+                "deleted": int(dels.shape[0]),
+            }
+
+    # -- change tracking and old-state snapshots ---------------------------
+
+    def _changed(self, name: str) -> bool:
+        entry = self._net.get(name)
+        return entry is not None and bool(entry[0].shape[0] or entry[1].shape[0])
+
+    def _body_predicates(self, cs: CompiledStratum, positive_only: bool = False):
+        for rule in cs.stratum.rules:
+            for atom in rule.positive_atoms():
+                yield atom.predicate
+            if not positive_only:
+                for atom in rule.negative_atoms():
+                    yield atom.predicate
+
+    def _inputs_changed(self, cs: CompiledStratum) -> bool:
+        return any(self._changed(name) for name in self._body_predicates(cs))
+
+    def _dirty_closure(self, compiled, effective) -> set[str]:
+        """Relations that *may* change this batch (reachability, not data)."""
+        dirty = {name for name in effective}
+        for cs in compiled:
+            if any(name in dirty for name in self._body_predicates(cs)):
+                dirty |= cs.stratum.predicates
+        return dirty
+
+    def _need_old(
+        self, name: str, compiled: list[CompiledStratum], from_stratum: int
+    ) -> bool:
+        """Does a downstream stratum read ``name``'s pre-batch state?
+
+        Counting readers always evaluate minus/plus rows against old
+        state at later join positions; DRed readers only consult old
+        state while over-deleting, which a deletion-free batch never
+        does.
+        """
+        for cs in compiled:
+            if cs.stratum.index < from_stratum:
+                continue
+            cls = self._classes[cs.stratum.index]
+            if cls == CLASS_COUNTING or (cls == CLASS_DRED and self._deletes_possible):
+                if any(
+                    read == name
+                    for read in self._body_predicates(cs, positive_only=True)
+                ):
+                    return True
+        return False
+
+    def _snapshot_before(self, cs: CompiledStratum, compiled) -> None:
+        """Snapshot this stratum's relations before mutating them."""
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            if self._need_old(name, compiled, from_stratum=cs.stratum.index + 1):
+                self._make_work_table(
+                    compiler.ivm_old_table(name), self._db.table_array(name)
+                )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _make_work_table(self, table: str, rows: np.ndarray) -> None:
+        self._db.load_table(table, compiler.columns_for(rows.shape[1]), rows)
+        self._work_tables.append(table)
+
+    def _fresh_table(self, name: str, columns) -> None:
+        if name in self._db.catalog:
+            self._db.execute_ast(sast.DropTable(name))
+        self._db.create_table(name, columns)
+
+    def _eval_rows(self, select: sast.Select, arity: int) -> np.ndarray:
+        """Evaluate one subquery to raw (bag) rows."""
+        rows = self._db.execute_ast(sast.SelectStatement(select))
+        if rows is None or rows.size == 0:
+            return np.empty((0, arity), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64).reshape(-1, arity)
+
+    @staticmethod
+    def _group_sum(tuples: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if tuples.shape[0] == 0:
+            return tuples, counts.astype(np.int64)
+        uniq, inverse = np.unique(tuples, axis=0, return_inverse=True)
+        sums = np.bincount(
+            inverse.reshape(-1), weights=counts, minlength=uniq.shape[0]
+        ).astype(np.int64)
+        return uniq, sums
+
+    def _cleanup(self) -> None:
+        for table in self._work_tables:
+            if table in self._db.catalog:
+                self._db.execute_ast(sast.DropTable(table))
+        self._work_tables.clear()
+
+    # -- counting maintenance ----------------------------------------------
+
+    def _init_count_tables(self, compiled: list[CompiledStratum], dirty: set[str]) -> None:
+        """Lazily build count tables for counting strata this batch may touch.
+
+        Runs *before* any mutation, so the initial counts describe the
+        pre-batch state the signed deltas are applied to. One O(stratum)
+        evaluation on first touch; the table persists across batches.
+        """
+        tracked = self._interp._ivm_count_tables
+        for cs in compiled:
+            if self._classes[cs.stratum.index] != CLASS_COUNTING:
+                continue
+            if not (cs.stratum.predicates & dirty):
+                continue
+            for predicate in cs.predicates:
+                name = predicate.predicate
+                cnt = compiler.ivm_count_table(name)
+                if cnt in tracked:
+                    continue
+                parts = [
+                    self._eval_rows(select, predicate.arity)
+                    for select in predicate.init_subqueries
+                ]
+                if predicate.facts:
+                    parts.append(np.asarray(predicate.facts, dtype=np.int64))
+                rows = (
+                    np.concatenate(parts)
+                    if parts
+                    else np.empty((0, predicate.arity), dtype=np.int64)
+                )
+                tuples, counts = self._group_sum(rows, np.ones(rows.shape[0]))
+                self._db.load_table(
+                    cnt,
+                    (*compiler.columns_for(predicate.arity), "cnt"),
+                    np.column_stack([tuples, counts]) if tuples.shape[0] else
+                    np.empty((0, predicate.arity + 1), dtype=np.int64),
+                )
+                tracked.add(cnt)
+
+    def _maintain_counting(self, cs: CompiledStratum) -> None:
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            arity = predicate.arity
+            cnt_table = compiler.ivm_count_table(name)
+            stored = self._db.table_array(cnt_table)
+            old_tuples = stored[:, :arity].astype(np.int64, copy=True)
+            old_counts = stored[:, arity].astype(np.int64, copy=True)
+
+            delta_tuples = [old_tuples]
+            delta_counts = [old_counts]
+            for rule in self._analyzed.rules_for(name, cs.stratum):
+                if rule.is_fact:
+                    continue
+                positive = rule.positive_atoms()
+                for p, atom in enumerate(positive):
+                    source = atom.predicate
+                    if not self._changed(source):
+                        continue
+                    ins, dels = self._net[source]
+                    for sign, batch, batch_table in (
+                        (1, ins, compiler.ivm_ins_table(source)),
+                        (-1, dels, compiler.ivm_del_table(source)),
+                    ):
+                        if batch.shape[0] == 0:
+                            continue
+                        overrides = {p: batch_table}
+                        for q, other in enumerate(positive):
+                            # Positions before p read the new state,
+                            # positions after it the pre-batch state —
+                            # the exact bag-delta decomposition.
+                            if q > p and self._changed(other.predicate):
+                                overrides[q] = compiler.ivm_old_table(other.predicate)
+                        rows = self._eval_rows(
+                            self._generator.compile_rule_with_sources(rule, overrides),
+                            arity,
+                        )
+                        if rows.shape[0]:
+                            delta_tuples.append(rows)
+                            delta_counts.append(
+                                np.full(rows.shape[0], sign, dtype=np.int64)
+                            )
+
+            tuples, counts = self._group_sum(
+                np.concatenate(delta_tuples), np.concatenate(delta_counts)
+            )
+            keep = counts > 0
+            new_tuples, new_counts = tuples[keep], counts[keep]
+            appear = kernels.rows_difference(new_tuples, old_tuples)
+            vanish = kernels.rows_difference(old_tuples, new_tuples)
+            if appear.shape[0]:
+                self._db.append_rows(name, appear)
+            if vanish.shape[0]:
+                self._db.delete_rows(name, vanish)
+            self._db.replace_rows(
+                cnt_table,
+                np.column_stack([new_tuples, new_counts])
+                if new_tuples.shape[0]
+                else np.empty((0, arity + 1), dtype=np.int64),
+            )
+            self._net[name] = (appear, vanish)
+
+    # -- DRed maintenance --------------------------------------------------
+
+    def _maintain_dred(self, cs: CompiledStratum) -> None:
+        stratum = cs.stratum
+        overdel = self._overdelete(cs) if self._stratum_sees_deletes(cs) else {
+            p.predicate: np.empty((0, p.arity), dtype=np.int64) for p in cs.predicates
+        }
+        counters = self._db.profiler.counters
+        for name, rows in overdel.items():
+            if rows.shape[0]:
+                self._db.delete_rows(name, rows)
+                counters.inc("ivm.overdeleted_rows", int(rows.shape[0]))
+
+        # Warm-start semi-naive: fresh Δ/mΔ tables, seeds into mΔ.
+        for predicate in cs.predicates:
+            columns = compiler.columns_for(predicate.arity)
+            self._fresh_table(compiler.delta_table(predicate.predicate), columns)
+            self._fresh_table(compiler.mdelta_table(predicate.predicate), columns)
+            self._interp._policies[predicate.predicate] = DsdPolicy(
+                enabled=self._interp._config.dsd
+            )
+        for predicate in cs.predicates:
+            seeds = self._dred_seeds(cs, predicate, overdel[predicate.predicate])
+            if seeds.shape[0]:
+                self._db.append_rows(
+                    compiler.mdelta_table(predicate.predicate), seeds
+                )
+
+        appended = {
+            p.predicate: [np.empty((0, p.arity), dtype=np.int64)]
+            for p in cs.predicates
+        }
+        iteration = 0
+        from repro.core.interpreter import IterationRecord
+
+        while True:
+            record = IterationRecord(stratum=stratum.index, iteration=iteration)
+            with self._db.profiler.span(
+                f"maintain iteration {iteration}", CATEGORY_ITERATION
+            ) as span:
+                for predicate in cs.predicates:
+                    query = None if iteration == 0 else predicate.delta_query()
+                    self._interp._evaluate_predicate(
+                        predicate, query, record, init=iteration == 0
+                    )
+                span.set(delta_sizes=dict(record.delta_sizes))
+            for predicate in cs.predicates:
+                delta = self._db.table_array(
+                    compiler.delta_table(predicate.predicate)
+                )
+                if delta.shape[0]:
+                    appended[predicate.predicate].append(delta)
+            self.report.iterations += 1
+            self._db.note_iteration(
+                stratum.index,
+                iteration,
+                sum(record.delta_sizes.values()),
+                span.duration,
+            )
+            if all(size == 0 for size in record.delta_sizes.values()):
+                break
+            self._db.resilience.check_cancelled(
+                stratum=stratum.index, iteration=iteration
+            )
+            iteration += 1
+
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            added = kernels.unique_rows(np.concatenate(appended[name]))
+            removed = overdel[name]
+            rederived = kernels.rows_intersection(added, removed)
+            if rederived.shape[0]:
+                counters.inc("ivm.rederived_rows", int(rederived.shape[0]))
+            self._net[name] = (
+                kernels.rows_difference(added, removed),
+                kernels.rows_difference(removed, added),
+            )
+        self._interp._drop_working_tables(cs.predicates)
+        # Unused by later strata; members' reads all happened above.
+        for predicate in cs.predicates:
+            odelta = compiler.ivm_odelta_table(predicate.predicate)
+            if odelta in self._db.catalog:
+                self._db.execute_ast(sast.DropTable(odelta))
+
+    def _stratum_sees_deletes(self, cs: CompiledStratum) -> bool:
+        return any(
+            self._changed(name) and self._net[name][1].shape[0]
+            for name in self._body_predicates(cs, positive_only=True)
+        )
+
+    def _old_source_overrides(
+        self, positive, skip: int, members: set[str]
+    ) -> dict[int, str]:
+        """Point non-Δ positions of an over-deletion subquery at old state.
+
+        Same-stratum relations still *are* old state (deletions are
+        applied only after the fixpoint); changed lower relations read
+        their snapshots.
+        """
+        overrides: dict[int, str] = {}
+        for q, atom in enumerate(positive):
+            if q == skip or atom.predicate in members:
+                continue
+            if self._changed(atom.predicate):
+                overrides[q] = compiler.ivm_old_table(atom.predicate)
+        return overrides
+
+    def _overdelete(self, cs: CompiledStratum) -> dict[str, np.ndarray]:
+        """DRed phase one: the over-deletion fixpoint, evaluated on old state."""
+        stratum = cs.stratum
+        members = stratum.predicates
+        arity_of = {p.predicate: p.arity for p in cs.predicates}
+        overdel = {
+            name: np.empty((0, arity_of[name]), dtype=np.int64) for name in arity_of
+        }
+
+        # Seeds: derivations using a deleted lower-stratum tuple.
+        seeds = {name: [overdel[name]] for name in arity_of}
+        for rule in stratum.rules:
+            if rule.is_fact:
+                continue
+            positive = rule.positive_atoms()
+            for p, atom in enumerate(positive):
+                source = atom.predicate
+                if source in members or not self._changed(source):
+                    continue
+                if self._net[source][1].shape[0] == 0:
+                    continue
+                overrides = self._old_source_overrides(positive, p, members)
+                overrides[p] = compiler.ivm_del_table(source)
+                seeds[rule.head.predicate].append(
+                    self._eval_rows(
+                        self._generator.compile_rule_with_sources(rule, overrides),
+                        arity_of[rule.head.predicate],
+                    )
+                )
+
+        frontier: dict[str, np.ndarray] = {}
+        for name in arity_of:
+            fresh = kernels.unique_rows(np.concatenate(seeds[name]))
+            overdel[name] = fresh
+            frontier[name] = fresh
+            self._make_work_table(compiler.ivm_odelta_table(name), fresh)
+
+        # Propagate through the stratum's own recursion, still on old state.
+        round_index = 0
+        while any(rows.shape[0] for rows in frontier.values()):
+            round_index += 1
+            self._db.resilience.check_cancelled(
+                stratum=stratum.index, iteration=round_index
+            )
+            derived = {
+                name: [np.empty((0, arity_of[name]), dtype=np.int64)]
+                for name in arity_of
+            }
+            for rule in stratum.rules:
+                if rule.is_fact:
+                    continue
+                positive = rule.positive_atoms()
+                for p, atom in enumerate(positive):
+                    if atom.predicate not in members:
+                        continue
+                    if frontier[atom.predicate].shape[0] == 0:
+                        continue
+                    overrides = self._old_source_overrides(positive, p, members)
+                    overrides[p] = compiler.ivm_odelta_table(atom.predicate)
+                    derived[rule.head.predicate].append(
+                        self._eval_rows(
+                            self._generator.compile_rule_with_sources(rule, overrides),
+                            arity_of[rule.head.predicate],
+                        )
+                    )
+            for name in arity_of:
+                fresh = kernels.rows_difference(
+                    np.concatenate(derived[name]), overdel[name]
+                )
+                frontier[name] = fresh
+                if fresh.shape[0]:
+                    overdel[name] = np.concatenate([overdel[name], fresh])
+                self._db.replace_rows(compiler.ivm_odelta_table(name), fresh)
+        return overdel
+
+    def _dred_seeds(
+        self, cs: CompiledStratum, predicate: CompiledPredicate, removed: np.ndarray
+    ) -> np.ndarray:
+        """The warm-start Δ seed: rederivation candidates + insertion joins."""
+        parts: list[np.ndarray] = [np.empty((0, predicate.arity), dtype=np.int64)]
+        if removed.shape[0]:
+            # Over-deleted tuples one-step derivable from the *new* state
+            # are rederivation candidates; the delta loop restores their
+            # transitive consequences. This is the only O(|full|) scan
+            # of maintenance, paid just when deletions reached here.
+            derivable = [
+                self._eval_rows(select, predicate.arity)
+                for select in predicate.init_subqueries
+            ]
+            if predicate.facts:
+                derivable.append(np.asarray(predicate.facts, dtype=np.int64))
+            candidates = kernels.unique_rows(np.concatenate([removed[:0], *derivable]))
+            parts.append(kernels.rows_intersection(candidates, removed))
+        for rule in self._analyzed.rules_for(predicate.predicate, cs.stratum):
+            if rule.is_fact:
+                continue
+            positive = rule.positive_atoms()
+            for p, atom in enumerate(positive):
+                source = atom.predicate
+                if source in cs.stratum.predicates or not self._changed(source):
+                    continue
+                if self._net[source][0].shape[0] == 0:
+                    continue
+                # Other positions read the new fulls: anything appended
+                # later re-enters through Δ, so one pass per insertion
+                # position is complete.
+                rows = self._eval_rows(
+                    self._generator.compile_rule_with_sources(
+                        rule, {p: compiler.ivm_ins_table(source)}
+                    ),
+                    predicate.arity,
+                )
+                parts.append(rows)
+        return np.concatenate(parts)
+
+    # -- fallback: per-stratum recompute -----------------------------------
+
+    def _recompute(self, cs: CompiledStratum) -> None:
+        """Re-evaluate one stratum from scratch against maintained inputs."""
+        old: dict[str, np.ndarray] = {}
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            old[name] = np.array(self._db.table_array(name), dtype=np.int64)
+            self._db.replace_rows(
+                name, np.empty((0, predicate.arity), dtype=np.int64)
+            )
+            columns = compiler.columns_for(predicate.arity)
+            self._fresh_table(compiler.delta_table(name), columns)
+            self._fresh_table(compiler.mdelta_table(name), columns)
+        before = self._interp.report.iterations
+        self._interp._run_stratum(cs)
+        self.report.iterations += self._interp.report.iterations - before
+        for predicate in cs.predicates:
+            name = predicate.predicate
+            new = self._db.table_array(name)
+            self._net[name] = (
+                kernels.rows_difference(new, old[name]),
+                kernels.rows_difference(old[name], new),
+            )

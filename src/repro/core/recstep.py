@@ -19,10 +19,12 @@ Example::
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.common.errors import (
+    DatalogError,
     DivergenceGuardTripped,
     EvaluationCancelled,
     EvaluationTimeout,
@@ -39,6 +41,7 @@ from repro.engine.database import Database
 from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
 from repro.obs.counters import CounterRegistry
+from repro.resilience.checkpoint import edb_fingerprint
 from repro.resilience import (
     CheckpointError,
     CheckpointManager,
@@ -73,7 +76,11 @@ class RecStep:
         self.config = config or RecStepConfig()
         self.token_factory = token_factory
         self.last_database: Database | None = None
+        self.last_interpreter: SemiNaiveInterpreter | None = None
         self.last_report = None
+        #: Set by :meth:`materialize` around its inner evaluate so the
+        #: database (including spill segments) outlives the call.
+        self._keep_alive = False
 
     def evaluate(
         self,
@@ -135,8 +142,23 @@ class RecStep:
         resume_state = None
         resume_skips = CounterRegistry()
         if self.config.resume_from is not None:
+            # A snapshot only resumes the run that is actually being
+            # re-evaluated: checkpoints stamped with a different EDB
+            # fingerprint (the inputs were mutated since) are skipped
+            # exactly like torn files.
+            expected_edb = edb_fingerprint(
+                {
+                    name: np.asarray(edb_data[name], dtype=np.int64).reshape(
+                        -1, analyzed.arities[name]
+                    )
+                    for name in sorted(analyzed.edb)
+                    if name in edb_data
+                }
+            )
             resume_state = CheckpointManager.load(
-                self.config.resume_from, counters=resume_skips
+                self.config.resume_from,
+                counters=resume_skips,
+                expected_edb=expected_edb,
             )
             if resume_state.program != program_name:
                 raise CheckpointError(
@@ -146,7 +168,7 @@ class RecStep:
                     program=program_name,
                 )
         self.last_database = database
-        interpreter = SemiNaiveInterpreter(
+        interpreter = self.last_interpreter = SemiNaiveInterpreter(
             database,
             analyzed,
             self.config,
@@ -207,7 +229,8 @@ class RecStep:
             result.tuples.update(fixpoint)
             self.last_report = report
         finally:
-            database.release_spill()
+            if not self._keep_alive:
+                database.release_spill()
         if result.failure is not None:
             # Every failed run carries a `kind` discriminator; errors that
             # set one at the raise site (the divergence guard's budget
@@ -251,18 +274,54 @@ class RecStep:
                     "stratum": resume_state.stratum,
                     "iteration": resume_state.iteration,
                 }
-                skipped = resume_skips.get("checkpoint_corrupt_skipped")
-                if skipped:
-                    recap["checkpoint_corrupt_skipped"] = skipped
-                    database.profiler.counters.inc(
-                        "checkpoint_corrupt_skipped", skipped
-                    )
+                for skip_counter in (
+                    "checkpoint_corrupt_skipped",
+                    "checkpoint_stale_skipped",
+                ):
+                    skipped = resume_skips.get(skip_counter)
+                    if skipped:
+                        recap[skip_counter] = skipped
+                        database.profiler.counters.inc(skip_counter, skipped)
             result.resilience = recap
         if database.profiler.enabled:
             result.profile = ProfileReport.from_profiler(
                 database.profiler, database.sim_seconds
             )
         return result
+
+    def materialize(
+        self,
+        program: ProgramSpec | AnalyzedProgram | str,
+        edb_data: dict[str, np.ndarray],
+        dataset: str = "unnamed",
+    ) -> "MaterializedFixpoint":
+        """Evaluate to fixpoint and keep it live for incremental updates.
+
+        Unlike :meth:`evaluate`, the backing database (tables, join
+        cache, spill segments) survives the call; the returned
+        :class:`MaterializedFixpoint` serves ``maintain()`` batches from
+        the warm state until ``release()``. A failed evaluation still
+        returns a view — poisoned, so batch submissions fail fast — with
+        the failure recorded in ``view.result``.
+        """
+        analyzed, program_name, _ = _resolve_program(program)
+        self._keep_alive = True
+        try:
+            result = self.evaluate(program, edb_data, dataset)
+        finally:
+            self._keep_alive = False
+        view = MaterializedFixpoint(
+            engine_name=self.name,
+            analyzed=analyzed,
+            program=program_name,
+            dataset=dataset,
+            database=self.last_database,
+            interpreter=self.last_interpreter,
+            result=result,
+        )
+        if result.status != "ok":
+            view.status = "poisoned"
+        return view
 
     def _build_resilience(self) -> ResilienceContext:
         """Assemble the resilience context this config asks for."""
@@ -298,6 +357,164 @@ class RecStep:
             else None,
         )
         return error.to_dict()
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of one maintenance batch against a materialized fixpoint.
+
+    Shape-compatible with :class:`~repro.common.records.EvaluationResult`
+    where the query service touches results (``status``, ``iterations``,
+    ``sim_seconds``, ``sizes()``, ``resilience``, ``failure``), so update
+    sessions flow through the same finalize/telemetry paths as queries.
+    """
+
+    engine: str
+    program: str
+    dataset: str
+    status: str = "ok"
+    iterations: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    failure: dict | None = None
+    resilience: dict = field(default_factory=dict)
+    #: EDB relation → effective rows applied ({"inserted", "deleted"}).
+    applied: dict = field(default_factory=dict)
+    #: IDB relation → net fixpoint change ({"inserted", "deleted"}).
+    idb_deltas: dict = field(default_factory=dict)
+    #: Total net rows moved by the batch (EDB + IDB, both directions).
+    delta_rows: int = 0
+    idb_sizes: dict = field(default_factory=dict)
+
+    def sizes(self) -> dict[str, int]:
+        return dict(self.idb_sizes)
+
+
+class MaterializedFixpoint:
+    """A live fixpoint: database + warm interpreter, accepting updates.
+
+    Produced by :meth:`RecStep.materialize`. ``maintain()`` applies one
+    EDB batch and re-establishes the fixpoint incrementally; any
+    evaluation-class failure mid-maintenance poisons the view (its
+    tables may hold mixed state), after which further batches fail fast
+    until the view is released.
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        analyzed: AnalyzedProgram,
+        program: str,
+        dataset: str,
+        database: Database,
+        interpreter: SemiNaiveInterpreter,
+        result: EvaluationResult,
+    ) -> None:
+        self.engine_name = engine_name
+        self.analyzed = analyzed
+        self.program = program
+        self.dataset = dataset
+        self.database = database
+        self.interpreter = interpreter
+        #: The materializing evaluation's result (the cold-start cost).
+        self.result = result
+        #: "ready" | "poisoned" | "released".
+        self.status = "ready"
+        self.updates_applied = 0
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            name: self.database.table_size(name)
+            for name in sorted(self.analyzed.idb)
+        }
+
+    def fixpoint(self) -> dict[str, set[tuple[int, ...]]]:
+        """The current maintained fixpoint as sets of tuples."""
+        return {
+            name: {
+                tuple(int(value) for value in row)
+                for row in self.database.table_snapshot(name)
+            }
+            for name in sorted(self.analyzed.idb)
+        }
+
+    def maintain(
+        self,
+        inserts: dict[str, np.ndarray] | None = None,
+        deletes: dict[str, np.ndarray] | None = None,
+    ) -> MaintenanceResult:
+        """Apply one EDB update batch; see ``SemiNaiveInterpreter.maintain``."""
+        result = MaintenanceResult(
+            engine=self.engine_name, program=self.program, dataset=self.dataset
+        )
+        if self.status != "ready":
+            result.status = "fault"
+            result.failure = {
+                "error": "ViewUnavailable",
+                "kind": f"view-{self.status}",
+                "view_status": self.status,
+            }
+            return result
+        database = self.database
+        sim_start = database.sim_seconds
+        wall_start = time.perf_counter()
+        poison = True
+        try:
+            report = self.interpreter.maintain(inserts or {}, deletes or {})
+        except DatalogError as error:
+            # Batch validation fails before any mutation: the view is
+            # still exact, only this request is bad.
+            poison = False
+            result.status = "fault"
+            to_dict = getattr(error, "to_dict", None)
+            result.failure = (
+                to_dict()
+                if callable(to_dict)
+                else {"error": type(error).__name__, "message": str(error)}
+            )
+        except OutOfMemoryError as error:
+            result.status = "oom"
+            result.failure = RecStep._failure(error, self.interpreter)
+        except EvaluationTimeout as error:
+            result.status = "timeout"
+            result.failure = RecStep._failure(error, self.interpreter)
+        except EvaluationCancelled as error:
+            reason = error.context.get("reason", "cancelled")
+            result.status = "deadline" if reason == "deadline" else "cancelled"
+            result.failure = RecStep._failure(error, self.interpreter)
+        except DivergenceGuardTripped as error:
+            result.status = "guard"
+            result.failure = RecStep._failure(error, self.interpreter)
+        except FaultRetriesExhausted as error:
+            result.status = "fault"
+            result.failure = RecStep._failure(error, self.interpreter)
+        except SpillError as error:
+            result.status = "storage"
+            result.failure = RecStep._failure(error, self.interpreter)
+        else:
+            poison = False
+            result.iterations = report.iterations
+            result.applied = report.applied
+            result.idb_deltas = report.idb_deltas
+            result.delta_rows = report.delta_rows()
+            self.updates_applied += 1
+        if poison:
+            self.status = "poisoned"
+        if result.failure is not None:
+            result.failure.setdefault(
+                "kind", result.failure.get("reason", result.status)
+            )
+        result.sim_seconds = database.sim_seconds - sim_start
+        result.wall_seconds = time.perf_counter() - wall_start
+        result.idb_sizes = self.sizes()
+        return result
+
+    def release(self) -> None:
+        """Free the view's off-memory footprint; the view stops serving."""
+        if self.status == "released":
+            return
+        self.status = "released"
+        self.database.release_spill()
 
 
 def explain_program(program: ProgramSpec | AnalyzedProgram | str) -> str:

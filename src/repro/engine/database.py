@@ -800,6 +800,51 @@ class Database:
 
             self.resilience.run("append", _append)
 
+    def delete_rows(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Delete the given tuples from a table (the IVM mutation path).
+
+        Returns the distinct tuples actually removed; tuples not present
+        are ignored. Survivors go through ``replace_contents``, so every
+        deletion path shares the one rewrite primitive — the epoch bump
+        is unconditional and a stale join index can never outlive a
+        delete, whatever the surviving row count is.
+        """
+        from repro.engine import kernels
+        from repro.engine.executor import COST_PROBE, PROBE_PHASE
+
+        table = self.catalog.get_table(name)
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1, table.arity)
+        with self._statement_span(
+            "DELETE_ROWS", table=name, rows_in=int(rows.shape[0])
+        ) as span:
+            self._charge_dispatch()
+            self._touch(name)
+
+            def _delete() -> np.ndarray:
+                existing = table.data()
+                ctx = self._context()
+                n = existing.shape[0] + rows.shape[0]
+                scratch = n * 16
+                ctx.metrics.allocate_transient(scratch)
+                ctx.charge_parallel(PROBE_PHASE, n * COST_PROBE, n)
+                removed = kernels.rows_intersection(rows, existing)
+                if removed.shape[0] == 0:
+                    ctx.metrics.release_transient(scratch)
+                    return removed
+                left_cols = [existing[:, i] for i in range(table.arity)]
+                right_cols = [removed[:, i] for i in range(table.arity)]
+                left_keys, right_keys = kernels.make_join_keys(left_cols, right_cols)
+                survivors = existing[kernels.anti_join_mask(left_keys, right_keys)]
+                ctx.metrics.release_transient(scratch)
+                table.replace_contents(survivors)
+                self._note_table_rewrite(name)
+                self._after_mutation(table, table.memory_bytes())
+                return removed
+
+            removed = self.resilience.run("delete", _delete)
+            span.set(rows_out=int(removed.shape[0]))
+        return removed
+
     def replace_rows(self, name: str, rows: np.ndarray) -> None:
         """Swap a table's contents (the ∆-table update each iteration)."""
         rows = np.asarray(rows, dtype=np.int64)

@@ -57,6 +57,12 @@ class JoinIndexEntry:
     sorted_positions: np.ndarray
     rows_indexed: int
     epoch: int
+    #: ``table.version`` at the last build/extend/hit. Backstop for the
+    #: epoch check: a mutation that preserves the epoch and the row count
+    #: (an in-place rewrite that slipped past ``replace_contents``) still
+    #: bumps ``version``, and a same-size entry whose synced version no
+    #: longer matches is describing different rows — evict, don't hit.
+    synced_version: int = -1
 
     def memory_bytes(self) -> int:
         total = self.rows_indexed * INDEX_ROW_BYTES
@@ -103,11 +109,7 @@ class JoinStateCache:
         """
         table = catalog.get_table(table_name)
         entry = self._entries.get((table_name, tuple(key_columns)))
-        if (
-            entry is None
-            or entry.epoch != table.epoch
-            or entry.rows_indexed > table.num_rows
-        ):
+        if entry is None or self._is_stale(entry, table):
             return table.num_rows
         return table.num_rows - entry.rows_indexed
 
@@ -121,9 +123,7 @@ class JoinStateCache:
         counters = ctx.profiler.counters
         entry = self._entries.get(key)
         rebuilt = False
-        if entry is not None and (
-            entry.epoch != table.epoch or entry.rows_indexed > table.num_rows
-        ):
+        if entry is not None and self._is_stale(entry, table):
             counters.inc(COUNTER_EVICT)
             del self._entries[key]
             entry = None
@@ -150,6 +150,24 @@ class JoinStateCache:
             event = "hit"
         self._refresh_base(ctx)
         return entry, event
+
+    @staticmethod
+    def _is_stale(entry: JoinIndexEntry, table) -> bool:
+        """True when the entry describes a previous generation of the table.
+
+        An epoch mismatch or a shrink is a rewrite; the version backstop
+        catches in-place rewrites that preserved both the epoch and the
+        row count (rows_indexed == num_rows but the table mutated since
+        the entry last synced — growth is fine, that's the extend path).
+        """
+        return (
+            entry.epoch != table.epoch
+            or entry.rows_indexed > table.num_rows
+            or (
+                entry.rows_indexed == table.num_rows
+                and entry.synced_version != table.version
+            )
+        )
 
     def invalidate_all(self) -> int:
         """Drop every entry (stratum boundary); returns the eviction count."""
@@ -225,6 +243,7 @@ class JoinStateCache:
             sorted_positions=order.astype(np.int64),
             rows_indexed=n,
             epoch=table.epoch,
+            synced_version=table.version,
         )
 
     def _extend(self, ctx, table, entry: JoinIndexEntry) -> bool:
@@ -256,6 +275,7 @@ class JoinStateCache:
             entry.sorted_codes, entry.sorted_positions, codes, positions
         )
         entry.rows_indexed = table.num_rows
+        entry.synced_version = table.version
         return True
 
 

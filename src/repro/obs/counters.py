@@ -87,10 +87,19 @@ KNOWN_COUNTERS = {
     "checkpoint_bytes_written": "bytes of table state written to checkpoints",
     "checkpoint_corrupt_skipped": "torn/corrupt checkpoint files skipped on load",
     "checkpoint_corrupt_pruned": "checksum-failing checkpoint files deleted during prune",
+    "checkpoint_stale_skipped": "checkpoints skipped on load because their EDB fingerprint no longer matched",
     # -- runtime divergence guard (repro.resilience.guards) -----------------
     "guard.soft_warnings": "divergence budgets crossing their soft fraction",
     "guard.max_iterations_tripped": "evaluations killed by the iteration budget",
     "guard.max_total_rows_tripped": "evaluations killed by the row budget",
+    # -- incremental view maintenance (repro.core.ivm) -----------------------
+    "ivm.maintain_runs": "EDB update batches applied via incremental maintenance",
+    "ivm.strata_skipped": "strata skipped because no body predicate changed",
+    "ivm.strata_counting": "strata maintained with derivation counting",
+    "ivm.strata_dred": "strata maintained with DRed over-delete/rederive",
+    "ivm.strata_recomputed": "strata recomputed from scratch during maintenance",
+    "ivm.overdeleted_rows": "rows DRed over-deleted before rederivation",
+    "ivm.rederived_rows": "over-deleted rows DRed rederived back",
     # -- query service (repro.server) ---------------------------------------
     "server.submitted": "query submissions received by the service",
     "server.admitted": "queries admitted past admission control",
@@ -107,6 +116,10 @@ KNOWN_COUNTERS = {
     "server.checkpointed_on_drain": "in-flight sessions checkpointed during drain",
     "server.spill_released_bytes": "reservation bytes returned early because sessions spilled to disk",
     "server.spill_dirs_cleaned": "per-session spill directories removed at finalize/drain",
+    "server.rejected_no_view": "update submissions rejected for a missing/dead target view",
+    "server.views_materialized": "fixpoints kept live for incremental updates",
+    "server.views_released": "materialized views released (explicitly or at drain)",
+    "server.updates_applied": "update sessions that maintained a view successfully",
 }
 
 

@@ -45,14 +45,40 @@ from repro.obs.profiler import NULL_PROFILER
 CHECKPOINT_SECONDS_PER_BYTE = 1.0 / 1.2e9
 
 #: Metadata format version, bumped on incompatible layout changes.
-#: Version 2 added the mandatory payload checksum.
-CHECKPOINT_VERSION = 2
+#: Version 2 added the mandatory payload checksum; version 3 the EDB
+#: content fingerprint (resume must not revive a fixpoint whose inputs
+#: have since been mutated).
+CHECKPOINT_VERSION = 3
 
 _CHECKPOINT_NAME = re.compile(r"ckpt-s(\d+)-(?:i(\d+)|final)\.npz$")
 
 
 class CheckpointError(RecStepError):
     """A checkpoint file is missing, corrupt, or from another program."""
+
+
+class StaleCheckpointError(CheckpointError):
+    """A readable checkpoint whose EDB fingerprint no longer matches."""
+
+
+def edb_fingerprint(edb_data: dict[str, np.ndarray]) -> str:
+    """Content fingerprint of an EDB: order-insensitive, duplicate-sensitive.
+
+    CRC32 over every relation's name, shape, and lexicographically
+    sorted rows (arrays must already be ``(rows, arity)``-shaped). Row
+    order never matters — two loads of the same dataset fingerprint
+    identically — but contents do, so any insert/delete churn changes
+    the digest.
+    """
+    crc = 0
+    for name in sorted(edb_data):
+        rows = np.ascontiguousarray(np.asarray(edb_data[name], dtype=np.int64))
+        if rows.shape[0] > 1:
+            rows = np.ascontiguousarray(rows[np.lexsort(rows.T[::-1])])
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(repr(rows.shape).encode("ascii"), crc)
+        crc = zlib.crc32(rows.tobytes(), crc)
+    return f"{crc:08x}"
 
 
 @dataclass
@@ -67,6 +93,9 @@ class CheckpointState:
     iterations_total: int = 0
     pbme_strata: list[int] = field(default_factory=list)
     sim_seconds: float = 0.0
+    #: Content fingerprint of the EDB the snapshot was computed from
+    #: (see :func:`edb_fingerprint`); "" when the writer didn't know it.
+    edb_fingerprint: str = ""
 
     def nbytes(self) -> int:
         return sum(array.nbytes for array in self.tables.values())
@@ -128,6 +157,7 @@ class CheckpointManager:
             "iterations_total": state.iterations_total,
             "pbme_strata": list(state.pbme_strata),
             "sim_seconds": state.sim_seconds,
+            "edb_fingerprint": state.edb_fingerprint,
             "checksum": _payload_checksum(state.tables),
         }
         arrays = {f"table:{key}": value for key, value in state.tables.items()}
@@ -198,18 +228,29 @@ class CheckpointManager:
     # -- loading -----------------------------------------------------------------
 
     @classmethod
-    def load(cls, path: str | Path, counters=NULL_COUNTERS) -> CheckpointState:
+    def load(
+        cls,
+        path: str | Path,
+        counters=NULL_COUNTERS,
+        expected_edb: str | None = None,
+    ) -> CheckpointState:
         """Load a checkpoint file, or the newest *valid* one in a directory.
 
         A directory load walks checkpoints newest-first and skips any
         that are torn or corrupt (truncated write, bad checksum, foreign
         file) — each skip bumps ``checkpoint_corrupt_skipped`` on
         ``counters`` — so a crashed writer degrades resume to the
-        previous boundary instead of aborting it.
+        previous boundary instead of aborting it. With ``expected_edb``
+        (an :func:`edb_fingerprint` digest), snapshots computed from a
+        *different* EDB are likewise skipped — bumping
+        ``checkpoint_stale_skipped`` — so a resume after input churn
+        recomputes instead of silently reviving a stale fixpoint.
         """
         path = Path(path)
         if not path.is_dir():
-            return cls._load_file(path)
+            state = cls._load_file(path)
+            cls._check_fresh(state, expected_edb, path)
+            return state
         candidates = cls._candidates(path)
         if not candidates:
             raise CheckpointError(
@@ -218,32 +259,62 @@ class CheckpointManager:
         last_error: CheckpointError | None = None
         for candidate in candidates:
             try:
-                return cls._load_file(candidate)
+                state = cls._load_file(candidate)
+                cls._check_fresh(state, expected_edb, candidate)
+                return state
+            except StaleCheckpointError as error:
+                counters.inc("checkpoint_stale_skipped")
+                last_error = error
             except CheckpointError as error:
                 counters.inc("checkpoint_corrupt_skipped")
                 last_error = error
         raise CheckpointError(
-            f"all {len(candidates)} checkpoints in {path} are corrupt "
+            f"all {len(candidates)} checkpoints in {path} are corrupt or stale "
             f"(last error: {last_error})",
             path=str(path),
         ) from last_error
 
     @classmethod
-    def latest(cls, directory: str | Path, counters=NULL_COUNTERS) -> Path | None:
-        """The most advanced *readable* checkpoint in ``directory``.
+    def latest(
+        cls,
+        directory: str | Path,
+        counters=NULL_COUNTERS,
+        expected_edb: str | None = None,
+    ) -> Path | None:
+        """The most advanced *readable, fresh* checkpoint in ``directory``.
 
         Torn/corrupt files are skipped (with a ``checkpoint_corrupt_
         skipped`` bump each) rather than returned, so callers never
-        resume from a file that cannot be loaded.
+        resume from a file that cannot be loaded; fingerprint mismatches
+        against ``expected_edb`` are skipped with
+        ``checkpoint_stale_skipped``, mirroring the torn-file handling.
         """
         for candidate in cls._candidates(directory):
             try:
-                cls._load_file(candidate)
+                state = cls._load_file(candidate)
+                cls._check_fresh(state, expected_edb, candidate)
+            except StaleCheckpointError:
+                counters.inc("checkpoint_stale_skipped")
+                continue
             except CheckpointError:
                 counters.inc("checkpoint_corrupt_skipped")
                 continue
             return candidate
         return None
+
+    @staticmethod
+    def _check_fresh(
+        state: CheckpointState, expected_edb: str | None, path: Path
+    ) -> None:
+        if expected_edb is None or state.edb_fingerprint == expected_edb:
+            return
+        raise StaleCheckpointError(
+            f"checkpoint {path} was computed from EDB "
+            f"{state.edb_fingerprint or '<unknown>'}, but the current EDB "
+            f"fingerprints as {expected_edb}: the inputs changed since the "
+            "snapshot",
+            path=str(path),
+        )
 
     @staticmethod
     def _candidates(directory: str | Path) -> list[Path]:
@@ -302,6 +373,7 @@ class CheckpointManager:
             iterations_total=int(meta.get("iterations_total", 0)),
             pbme_strata=[int(i) for i in meta.get("pbme_strata", [])],
             sim_seconds=float(meta.get("sim_seconds", 0.0)),
+            edb_fingerprint=str(meta.get("edb_fingerprint", "")),
         )
 
 

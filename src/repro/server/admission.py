@@ -40,6 +40,12 @@ DEFAULT_RETRY_AFTER = 1.0
 #: Explicit ``memory_quota`` requests are never floored.
 MIN_SESSION_QUOTA = 1 << 20
 
+#: Floor of the delta-derived quota priced for an update request, and
+#: the per-row footprint it assumes (row + join-index + count-table
+#: bookkeeping for one churned tuple).
+MIN_UPDATE_QUOTA = 1 << 16
+UPDATE_ROW_BYTES = 64
+
 
 @dataclass
 class QueryRequest:
@@ -59,6 +65,16 @@ class QueryRequest:
             the query's own clock).
         max_iterations / max_total_rows: per-query divergence budgets
             (see :mod:`repro.resilience.guards`).
+        kind: ``"query"`` (evaluate to fixpoint) or ``"update"`` (apply
+            an EDB delta batch to a materialized session's warm
+            fixpoint).
+        materialize: keep the fixpoint (database + interpreter) alive
+            after a ``"query"`` completes so later ``"update"`` requests
+            can target it by session id.
+        target_session: for ``kind="update"``, the session id of the
+            materialized fixpoint to maintain.
+        inserts / deletes: for ``kind="update"``, EDB relation name ->
+            row array of tuples to insert / delete.
     """
 
     program: object
@@ -69,10 +85,35 @@ class QueryRequest:
     deadline: float | None = None
     max_iterations: int | None = None
     max_total_rows: int | None = None
+    kind: str = "query"
+    materialize: bool = False
+    target_session: str | None = None
+    inserts: dict | None = None
+    deletes: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.klass:
             self.klass = getattr(self.program, "name", "default") or "default"
+        if self.kind not in ("query", "update"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+    def delta_rows(self) -> int:
+        """Total churned tuples across both sides of an update batch."""
+        total = 0
+        for batch in (self.inserts, self.deletes):
+            for rows in (batch or {}).values():
+                total += len(rows)
+        return total
+
+    @property
+    def priced(self) -> bool:
+        """Whether this request carries its own explicit quota rather
+        than the service's default per-slot split. Only priced quotas
+        accrue ``pending_bytes`` while queued — the default split is a
+        slot property, already bounded by ``max_concurrent``, and
+        updates ride their target view's standing reservation instead of
+        the global pool."""
+        return self.kind == "query" and self.memory_quota is not None
 
 
 @dataclass(frozen=True)
@@ -80,7 +121,8 @@ class Overloaded:
     """A structured rejection: the service cannot take this query now.
 
     ``reason`` is one of ``queue-full``, ``memory-pressure``,
-    ``breaker-open``, or ``draining``; ``retry_after_seconds`` is the
+    ``breaker-open``, ``draining``, or ``no-such-view``;
+    ``retry_after_seconds`` is the
     service's estimate of when capacity frees up (simulated seconds).
     """
 
@@ -124,6 +166,12 @@ class AdmissionController:
         self.max_concurrent = max_concurrent
         self.high_watermark = high_watermark
         self.reserved_bytes = 0
+        #: Quota promised to *queued* priced sessions (explicit quota or
+        #: delta-sized updates) that have not started yet. Counting it at
+        #: submit time keeps a burst of accepted-but-waiting sessions
+        #: from over-committing the watermark; releasing it on cancel or
+        #: shed keeps cancelled phantoms from pricing out real work.
+        self.pending_bytes = 0
         #: Default per-query quota: an even split of the watermarked
         #: budget across executor slots, floored at MIN_SESSION_QUOTA so
         #: a tiny budget can never admit a session with no reservation.
@@ -135,7 +183,15 @@ class AdmissionController:
     def quota_for(self, request: QueryRequest) -> int:
         quota = request.memory_quota
         if quota is None:
-            quota = self.default_quota
+            if request.kind == "update":
+                # Updates ride on the target view's already-reserved
+                # database; their own footprint is the delta batch plus
+                # per-tuple maintenance state, priced by batch size.
+                quota = max(
+                    MIN_UPDATE_QUOTA, request.delta_rows() * UPDATE_ROW_BYTES
+                )
+            else:
+                quota = self.default_quota
         return int(quota)
 
     # -- submission-time checks ------------------------------------------------
@@ -151,24 +207,49 @@ class AdmissionController:
                 detail={"queue_depth": queue_depth, "queue_limit": self.queue_limit},
             )
         quota = self.quota_for(request)
-        if not self._reservation_fits(quota):
+        if request.kind == "update":
+            # Updates are priced against their target view's standing
+            # reservation (the service checks that), not the global
+            # pool: the view's memory is already committed.
+            return None
+        if self.reserved_bytes + self.pending_bytes + quota > self._watermark_bytes():
             return Overloaded(
                 reason="memory-pressure",
                 retry_after_seconds=retry_hint,
                 detail={
                     "reserved_bytes": self.reserved_bytes,
+                    "pending_bytes": self.pending_bytes,
                     "requested_bytes": quota,
                     "high_watermark_bytes": self._watermark_bytes(),
                 },
             )
         return None
 
+    # -- pending (queued, priced) reservations ---------------------------------
+
+    def note_pending(self, quota: int) -> None:
+        """Account a priced session's quota while it waits in the queue."""
+        self.pending_bytes += quota
+
+    def release_pending(self, quota: int) -> None:
+        """A queued priced session left the queue without starting
+        (cancel, shed): return its promised quota immediately so
+        retry-after hints and rejections stop pricing phantom memory."""
+        self.pending_bytes = max(0, self.pending_bytes - quota)
+
     # -- start-time reservation ------------------------------------------------
 
-    def try_reserve(self, quota: int) -> bool:
-        """Reserve ``quota`` bytes for a starting session, if they fit."""
+    def try_reserve(self, quota: int, was_pending: bool = False) -> bool:
+        """Reserve ``quota`` bytes for a starting session, if they fit.
+
+        With ``was_pending``, the quota moves from the pending pool to
+        the reserved pool (it was already counted at submit time, so the
+        fit check must not double-count it).
+        """
         if not self._reservation_fits(quota):
             return False
+        if was_pending:
+            self.release_pending(quota)
         self.reserved_bytes += quota
         return True
 
@@ -187,5 +268,6 @@ class AdmissionController:
             "memory_budget": self.memory_budget,
             "high_watermark": self.high_watermark,
             "reserved_bytes": self.reserved_bytes,
+            "pending_bytes": self.pending_bytes,
             "default_quota": self.default_quota,
         }

@@ -39,7 +39,7 @@ from pathlib import Path
 
 from repro.common.timing import SimClock
 from repro.core.config import RecStepConfig
-from repro.core.recstep import RecStep
+from repro.core.recstep import MaterializedFixpoint, RecStep
 from repro.engine.metrics import CRITICAL_WATERMARK, DEFAULT_MEMORY_BUDGET
 from repro.obs.counters import CounterRegistry
 from repro.obs.histogram import NULL_HISTOGRAMS, HistogramSet
@@ -51,7 +51,12 @@ from repro.server.admission import (
     QueryRequest,
 )
 from repro.server.breaker import BreakerBoard
-from repro.server.session import Session, SessionManager, SessionState
+from repro.server.session import (
+    Session,
+    SessionError,
+    SessionManager,
+    SessionState,
+)
 from repro.server.watchdog import WatchdogToken
 
 #: result.status -> terminal session state.
@@ -113,6 +118,14 @@ class QueryService:
         #: (finish_time, session, result_status) for sessions whose
         #: evaluation interval is still occupying a slot.
         self._active: list[tuple[float, Session, str]] = []
+        #: session id -> live MaterializedFixpoint. A view session's
+        #: memory reservation outlives its evaluation interval: the warm
+        #: fixpoint stays resident so ``kind="update"`` requests can
+        #: maintain it instead of recomputing.
+        self._views: dict[str, MaterializedFixpoint] = {}
+        #: session id -> simulated time its view is serving until; update
+        #: requests against the same view queue head-of-line behind it.
+        self._view_busy_until: dict[str, float] = {}
         self.draining = False
         self._drain_checkpoint_dir: str | None = None
         # Per-query-class latency/queue-wait/rows distributions and the
@@ -143,6 +156,32 @@ class QueryService:
                     retry_after_seconds=self._retry_hint(now),
                 )
             )
+        if request.kind == "update":
+            if not self._update_target_valid(request):
+                return self._reject(
+                    Overloaded(
+                        reason="no-such-view",
+                        retry_after_seconds=DEFAULT_RETRY_AFTER,
+                        detail={"target_session": request.target_session},
+                    )
+                )
+            # Admission-price the delta: maintenance scratch lives inside
+            # the target view's reservation, so a batch the view's budget
+            # cannot absorb bounces with backpressure instead of queuing.
+            target = self.sessions.get(request.target_session)
+            quota = self.admission.quota_for(request)
+            if quota > target.reserved_bytes:
+                return self._reject(
+                    Overloaded(
+                        reason="memory-pressure",
+                        retry_after_seconds=self._retry_hint(now),
+                        detail={
+                            "requested_bytes": quota,
+                            "view_reserved_bytes": target.reserved_bytes,
+                            "target_session": request.target_session,
+                        },
+                    )
+                )
         overload = self.admission.check_submit(
             request, queue_depth=len(self._queue), retry_hint=self._retry_hint(now)
         )
@@ -161,15 +200,38 @@ class QueryService:
             )
         session = self.sessions.create(request, now)
         session.reserved_bytes = self.admission.quota_for(request)
+        if request.priced:
+            # Priced quotas count against the watermark from submission
+            # on, so a burst of queued sessions cannot over-commit it.
+            self.admission.note_pending(session.reserved_bytes)
+            session.pending_reservation = True
         self._queue.append(session)
         self._sample_queue()
         return {"accepted": True, "session_id": session.id, "state": "queued"}
+
+    def _update_target_valid(self, request: QueryRequest) -> bool:
+        """A live view, or a materialize session still on its way to one."""
+        target = request.target_session
+        if target is None:
+            return False
+        if target in self._views:
+            return True
+        try:
+            session = self.sessions.get(target)
+        except SessionError:
+            return False
+        return bool(
+            getattr(session.request, "materialize", False)
+            and session.state
+            in (SessionState.QUEUED, SessionState.ADMITTED, SessionState.RUNNING)
+        )
 
     _REJECT_COUNTERS = {
         "queue-full": "server.rejected_queue_full",
         "memory-pressure": "server.rejected_memory",
         "draining": "server.rejected_draining",
         "breaker-open": "server.rejected_breaker",
+        "no-such-view": "server.rejected_no_view",
     }
 
     def _reject(self, overload: Overloaded) -> dict:
@@ -221,8 +283,15 @@ class QueryService:
     def _admit_ready(self) -> None:
         while self._queue and len(self._active) < self.config.max_concurrent:
             session = self._queue[0]
-            if not self.admission.try_reserve(session.reserved_bytes):
+            if getattr(session.request, "kind", "query") == "update":
+                # Rides the target view's standing reservation; nothing
+                # to take from the global pool.
+                pass
+            elif not self.admission.try_reserve(
+                session.reserved_bytes, was_pending=session.pending_reservation
+            ):
                 return
+            session.pending_reservation = False
             self._queue.popleft()
             self.sessions.transition(session, SessionState.ADMITTED)
             session.admitted_at = self.clock.now()
@@ -236,10 +305,15 @@ class QueryService:
         released = False
         for finish, session, status in self._active:
             if finish <= now:
-                # The spilled slice (if any) was already released early.
-                self.admission.release(
-                    session.reserved_bytes - session.spill_released_bytes
+                holds_no_pool_bytes = (
+                    session.id in self._views  # warm fixpoint stays resident
+                    or getattr(session.request, "kind", "query") == "update"
                 )
+                if not holds_no_pool_bytes:
+                    # The spilled slice (if any) was already released early.
+                    self.admission.release(
+                        session.reserved_bytes - session.spill_released_bytes
+                    )
                 self._finalize(session, status, finish)
                 released = True
             else:
@@ -310,8 +384,17 @@ class QueryService:
         rows = 0
         if session.result is not None:
             rows = sum(session.result.sizes().values())
+        # Updates get their own latency family: their distribution (delta
+        # maintenance against a warm fixpoint) is the headline the churn
+        # benchmarks gate on, and folding it into full-evaluation latency
+        # would blur both.
+        prefix = (
+            "update.latency"
+            if getattr(session.request, "kind", "query") == "update"
+            else "latency"
+        )
         for klass in (session.klass, "all"):
-            self.histograms.observe(f"latency.{klass}", latency)
+            self.histograms.observe(f"{prefix}.{klass}", latency)
             self.histograms.observe(f"queue_wait.{klass}", queue_wait)
             self.histograms.observe(f"rows_served.{klass}", float(rows))
             if session.spilled_bytes:
@@ -321,7 +404,7 @@ class QueryService:
 
     #: Version stamp of the ``metrics_snapshot`` document; the golden
     #: schema test pins the key set, bump on any shape change.
-    METRICS_SCHEMA_VERSION = 2
+    METRICS_SCHEMA_VERSION = 3
 
     def metrics_snapshot(self) -> dict:
         """Machine-readable telemetry export (histograms + timeline).
@@ -354,12 +437,22 @@ class QueryService:
         request: QueryRequest = session.request
         session.started_at = self.clock.now()
         self.sessions.transition(session, SessionState.RUNNING)
+        if request.kind == "update":
+            self._execute_update(session)
+            return
         config = self._session_config(session)
         engine = RecStep(config, token_factory=self._token_factory(session))
+        view = None
         try:
-            result = engine.evaluate(
-                request.program, request.edb_data, dataset=request.dataset
-            )
+            if request.materialize:
+                view = engine.materialize(
+                    request.program, request.edb_data, dataset=request.dataset
+                )
+                result = view.result
+            else:
+                result = engine.evaluate(
+                    request.program, request.edb_data, dataset=request.dataset
+                )
             status = result.status
             session.result = result
             session.failure = result.failure
@@ -374,7 +467,49 @@ class QueryService:
             )
         self._note_spill(session)
         finish = session.started_at + duration
+        if view is not None:
+            if view.status == "ready":
+                self._views[session.id] = view
+                self._view_busy_until[session.id] = finish
+                self.counters.inc("server.views_materialized")
+            else:
+                # A poisoned view still holds a kept-alive database;
+                # free it — only healthy fixpoints stay resident.
+                view.release()
         self._active.append((finish, session, status))
+
+    def _execute_update(self, session: Session) -> None:
+        """Maintain a materialized fixpoint from one EDB delta batch.
+
+        The update serves head-of-line against its view: it cannot start
+        before the view's materialization (or the previous update against
+        it) has finished, so its effective interval is
+        ``[max(now, view_busy_until), ... + maintain's sim_seconds)``.
+        """
+        request: QueryRequest = session.request
+        target = request.target_session
+        view = self._views.get(target) if target is not None else None
+        if view is None or view.status != "ready":
+            # Validated at submit time, but the view can fail to
+            # materialize, be poisoned, or be released while the update
+            # waited in the queue.
+            status = "fault"
+            session.failure = {
+                "error": "NoSuchView",
+                "message": f"no live materialized view for session {target!r}",
+                "kind": "no-such-view",
+            }
+            self._active.append((session.started_at, session, status))
+            return
+        start_effective = max(session.started_at, self._view_busy_until[target])
+        result = view.maintain(request.inserts, request.deletes)
+        session.result = result
+        session.failure = result.failure
+        finish = start_effective + result.sim_seconds
+        self._view_busy_until[target] = finish
+        if result.status == "ok":
+            self.counters.inc("server.updates_applied")
+        self._active.append((finish, session, result.status))
 
     def _note_spill(self, session: Session) -> None:
         """Account a finished evaluation's spill tier against admission.
@@ -475,6 +610,10 @@ class QueryService:
                 session = self._queue.popleft()
                 self._shed(session, "drain")
         self.flush()
+        # No view survives a drain: release every warm fixpoint (and its
+        # standing memory reservation) once in-flight work has settled.
+        for session_id in list(self._views):
+            self.release_view(session_id)
         self._sweep_spill_root()
         report = self.report()
         report["drained"] = True
@@ -492,6 +631,11 @@ class QueryService:
                 self.counters.inc("server.spill_dirs_cleaned")
 
     def _shed(self, session: Session, reason: str) -> None:
+        if session.pending_reservation:
+            # Still queued with a priced quota: give the promised bytes
+            # back immediately so they stop pricing out real work.
+            self.admission.release_pending(session.reserved_bytes)
+            session.pending_reservation = False
         self.sessions.transition(session, SessionState.SHED)
         session.finished_at = self.clock.now()
         session.failure = {
@@ -510,6 +654,26 @@ class QueryService:
         if session.state is SessionState.QUEUED:
             self._queue.remove(session)
             self._shed(session, "cancelled-by-client")
+            self._sample_queue()
+        return session.to_dict()
+
+    def release_view(self, session_id: str) -> dict:
+        """Release a materialized fixpoint and its standing reservation."""
+        view = self._views.pop(session_id, None)
+        if view is None:
+            raise SessionError(f"no materialized view for session {session_id!r}")
+        self._view_busy_until.pop(session_id, None)
+        session = self.sessions.get(session_id)
+        view.release()
+        if not any(s is session for _, s, _ in self._active):
+            # Still-active view sessions keep their slot until the clock
+            # passes their finish; _release_due no longer sees the view
+            # and releases the reservation then.
+            self.admission.release(
+                session.reserved_bytes - session.spill_released_bytes
+            )
+        self.counters.inc("server.views_released")
+        self._sample_queue()
         return session.to_dict()
 
     def status(self, session_id: str) -> dict:

@@ -88,6 +88,11 @@ class Session:
     finished_at: float | None = None
     #: Memory reserved against the service budget while active (bytes).
     reserved_bytes: int = 0
+    #: Whether ``reserved_bytes`` is currently counted in the admission
+    #: controller's *pending* pool (queued, priced quota). Cleared when
+    #: the quota moves to the reserved pool at admit time or is returned
+    #: on cancel/shed.
+    pending_reservation: bool = False
     #: Peak modeled bytes this session's evaluation held on the spill
     #: tier (0 when the spill rung never engaged).
     spilled_bytes: int = 0
