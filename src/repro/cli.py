@@ -90,6 +90,8 @@ def run_datalog_file(
     serve_trace: str | None = None,
     metrics_out: str | None = None,
     serve_updates: str | None = None,
+    wal_root: str | None = None,
+    serve_recover: bool = False,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -174,11 +176,18 @@ def run_datalog_file(
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
-    if serve_trace is not None or metrics_out is not None or serve_updates is not None:
+    if serve_recover and wal_root is None:
+        raise DatalogError("--serve-recover requires --wal-root")
+    if (
+        serve_trace is not None
+        or metrics_out is not None
+        or serve_updates is not None
+        or wal_root is not None
+    ):
         if engine_name != "RecStep":
             raise DatalogError(
-                "--serve-trace/--metrics-out/--serve-updates are only "
-                "supported by the RecStep engine"
+                "--serve-trace/--metrics-out/--serve-updates/--wal-root are "
+                "only supported by the RecStep engine"
             )
         result = _run_via_service(
             engine.config,
@@ -188,6 +197,8 @@ def run_datalog_file(
             serve_trace,
             metrics_out,
             serve_updates,
+            wal_root=wal_root,
+            recover=serve_recover,
         )
     else:
         result = engine.evaluate(spec, edb_data, dataset=Path(path).stem)
@@ -208,6 +219,8 @@ def _run_via_service(
     trace_path: str | None,
     metrics_path: str | None = None,
     updates_path: str | None = None,
+    wal_root: str | None = None,
+    recover: bool = False,
 ):
     """Route one evaluation through :class:`QueryService`.
 
@@ -220,9 +233,15 @@ def _run_via_service(
 
     ``--serve-updates FILE`` additionally materializes the fixpoint and
     replays FILE as an update log — JSON lines, each
-    ``{"inserts": {rel: [[...], ...]}, "deletes": {...}}`` — against the
-    live view, so the written outputs are the *maintained* fixpoint
-    after the whole log, not the cold-start one.
+    ``{"inserts": {rel: [[...], ...]}, "deletes": {...}}`` (optionally a
+    ``"batch_id"``) — against the live view, so the written outputs are
+    the *maintained* fixpoint after the whole log, not the cold-start
+    one.
+
+    With ``--wal-root DIR`` the materialized view persists a base
+    checkpoint + write-ahead log under DIR; ``--serve-recover`` skips
+    evaluation entirely and rebuilds the view named after the program
+    from DIR (base + log replay), writing the recovered fixpoint.
     """
     import json
     from dataclasses import replace
@@ -241,49 +260,69 @@ def _run_via_service(
             max_concurrent=1,
             queue_limit=max(1, len(updates) + 1),
             spill_root=spill_root,
+            wal_root=wal_root,
         ),
         engine_config=engine_config,
     )
-    response = service.submit(
-        QueryRequest(
-            program=spec,
-            edb_data=edb_data,
-            dataset=dataset,
-            materialize=updates_path is not None,
+    maintained = None
+    if recover:
+        recovery = service.recover(wal_root)
+        view_id = next(
+            (
+                session_id
+                for session_id, view in service._views.items()
+                if view.program == spec.name
+            ),
+            None,
         )
-    )
-    if not response["accepted"]:  # single-slot idle service: cannot happen
-        raise DatalogError(f"service rejected the query: {response}")
-    view_id = response["session_id"]
-    update_ids: list[str] = []
-    for index, (inserts, deletes) in enumerate(updates):
-        ack = service.submit(
+        if view_id is None:
+            raise DatalogError(
+                f"--serve-recover found no recoverable view for program "
+                f"{spec.name!r} under {wal_root}: {recovery['failed'] or 'empty root'}"
+            )
+        response = {"session_id": view_id}
+        maintained = service._views[view_id].fixpoint()
+    else:
+        response = service.submit(
             QueryRequest(
                 program=spec,
-                edb_data={},
+                edb_data=edb_data,
                 dataset=dataset,
-                kind="update",
-                target_session=view_id,
-                inserts=inserts,
-                deletes=deletes,
+                materialize=updates_path is not None or wal_root is not None,
             )
         )
-        if not ack["accepted"]:
-            raise DatalogError(
-                f"service rejected update batch {index}: {ack}"
-            )
-        update_ids.append(ack["session_id"])
-    service.pump()
-    maintained = None
-    if updates_path is not None:
-        service.flush()
-        for update_id in update_ids:
-            update = service.sessions.get(update_id)
-            if update.result is None or update.result.status != "ok":
-                raise DatalogError(
-                    f"update batch session {update_id} failed: {update.failure}"
+        if not response["accepted"]:  # single-slot idle service: cannot happen
+            raise DatalogError(f"service rejected the query: {response}")
+        view_id = response["session_id"]
+        update_ids: list[str] = []
+        for index, (inserts, deletes, batch_id) in enumerate(updates):
+            ack = service.submit(
+                QueryRequest(
+                    program=spec,
+                    edb_data={},
+                    dataset=dataset,
+                    kind="update",
+                    target_session=view_id,
+                    inserts=inserts,
+                    deletes=deletes,
+                    batch_id=batch_id,
                 )
-        maintained = service._views[view_id].fixpoint()
+            )
+            if not ack["accepted"]:
+                raise DatalogError(
+                    f"service rejected update batch {index}: {ack}"
+                )
+            update_ids.append(ack["session_id"])
+        service.pump()
+        if updates_path is not None:
+            service.flush()
+            for update_id in update_ids:
+                update = service.sessions.get(update_id)
+                if update.result is None or update.result.status != "ok":
+                    raise DatalogError(
+                        f"update batch session {update_id} failed: {update.failure}"
+                    )
+            maintained = service._views[view_id].fixpoint()
     report = service.drain()
     if trace_path is not None:
         Path(trace_path).write_text(
@@ -311,11 +350,11 @@ def _run_via_service(
     return session.result
 
 
-def _load_update_log(path: str | Path) -> list[tuple[dict, dict]]:
-    """Parse a JSONL update log into (inserts, deletes) batches."""
+def _load_update_log(path: str | Path) -> list[tuple[dict, dict, str | None]]:
+    """Parse a JSONL update log into (inserts, deletes, batch_id) batches."""
     import json
 
-    batches: list[tuple[dict, dict]] = []
+    batches: list[tuple[dict, dict, str | None]] = []
     for line_number, line in enumerate(
         Path(path).read_text().splitlines(), start=1
     ):
@@ -338,7 +377,10 @@ def _load_update_log(path: str | Path) -> list[tuple[dict, dict]]:
                 out[name] = np.asarray(rows, dtype=np.int64)
             return out
 
-        batches.append((_rows("inserts"), _rows("deletes")))
+        batch_id = doc.get("batch_id")
+        batches.append(
+            (_rows("inserts"), _rows("deletes"), None if batch_id is None else str(batch_id))
+        )
     return batches
 
 
@@ -479,6 +521,23 @@ def main(argv: list[str] | None = None) -> int:
         "fixpoint (RecStep only; implies the service route)",
     )
     parser.add_argument(
+        "--wal-root",
+        metavar="DIR",
+        default=None,
+        help="route the evaluation through the query service and persist the "
+        "materialized view durably under DIR (base checkpoint + write-ahead "
+        "log of update batches); a later --serve-recover run rebuilds the "
+        "view from DIR (RecStep only; implies the service route and "
+        "materialization)",
+    )
+    parser.add_argument(
+        "--serve-recover",
+        action="store_true",
+        help="instead of evaluating, recover the program's materialized view "
+        "from --wal-root (latest base checkpoint + log replay) and write the "
+        "recovered fixpoint to the outputs",
+    )
+    parser.add_argument(
         "--no-join-cache",
         action="store_true",
         help="disable the iteration-persistent join-state cache (RecStep "
@@ -544,6 +603,8 @@ def main(argv: list[str] | None = None) -> int:
         serve_trace=args.serve_trace,
         metrics_out=args.metrics_out,
         serve_updates=args.serve_updates,
+        wal_root=args.wal_root,
+        serve_recover=args.serve_recover,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")

@@ -365,6 +365,11 @@ class MaintenanceRun:
 
     def _maintain_counting(self, cs: CompiledStratum) -> None:
         for predicate in cs.predicates:
+            # Heartbeat per predicate: counting maintenance of a wide
+            # stratum must stay cancellable like every other loop here.
+            self._db.resilience.check_cancelled(
+                stratum=cs.stratum.index, phase="ivm-counting"
+            )
             name = predicate.predicate
             arity = predicate.arity
             cnt_table = compiler.ivm_count_table(name)

@@ -40,8 +40,9 @@ from repro.datalog.parser import parse_program
 from repro.engine.database import Database
 from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
+from repro.common.rng import derive_seed
 from repro.obs.counters import CounterRegistry
-from repro.resilience.checkpoint import edb_fingerprint
+from repro.resilience.checkpoint import CheckpointState, edb_fingerprint
 from repro.resilience import (
     CheckpointError,
     CheckpointManager,
@@ -337,11 +338,20 @@ class RecStep:
                 max_iterations=self.config.max_iterations,
                 max_total_rows=self.config.max_total_rows,
             )
+        # Jitter only engages under fault injection (where concurrent
+        # retriers exist to desynchronize); it shares the fault seed so
+        # chaos runs stay bit-reproducible.
+        jitter_seed = (
+            derive_seed(self.config.fault_seed, "retry-jitter")
+            if self.config.fault_seed is not None
+            else None
+        )
         return ResilienceContext(
             injector=injector,
             retry=RetryPolicy(
                 max_attempts=self.config.retries,
                 backoff_base=self.config.retry_backoff,
+                jitter_seed=jitter_seed,
             ),
             degradation=DegradationController(enabled=self.config.degradation),
             guard=guard,
@@ -442,8 +452,15 @@ class MaterializedFixpoint:
         self,
         inserts: dict[str, np.ndarray] | None = None,
         deletes: dict[str, np.ndarray] | None = None,
+        token=None,
     ) -> MaintenanceResult:
-        """Apply one EDB update batch; see ``SemiNaiveInterpreter.maintain``."""
+        """Apply one EDB update batch; see ``SemiNaiveInterpreter.maintain``.
+
+        ``token`` (a duck-typed cancellation token) is installed on the
+        view's resilience context for the duration of the batch, so a
+        stuck rederivation heartbeats and cancels exactly like ``run()``
+        — the watchdog covers maintenance, not just cold starts.
+        """
         result = MaintenanceResult(
             engine=self.engine_name, program=self.program, dataset=self.dataset
         )
@@ -458,6 +475,9 @@ class MaterializedFixpoint:
         database = self.database
         sim_start = database.sim_seconds
         wall_start = time.perf_counter()
+        previous_token = database.resilience.token
+        if token is not None:
+            database.resilience.token = token
         poison = True
         try:
             report = self.interpreter.maintain(inserts or {}, deletes or {})
@@ -498,6 +518,7 @@ class MaterializedFixpoint:
             result.idb_deltas = report.idb_deltas
             result.delta_rows = report.delta_rows()
             self.updates_applied += 1
+        database.resilience.token = previous_token
         if poison:
             self.status = "poisoned"
         if result.failure is not None:
@@ -508,6 +529,38 @@ class MaterializedFixpoint:
         result.wall_seconds = time.perf_counter() - wall_start
         result.idb_sizes = self.sizes()
         return result
+
+    def snapshot_state(self, wal_seqno: int = 0) -> CheckpointState:
+        """Snapshot the maintained fixpoint as a durable base checkpoint.
+
+        Unlike in-evaluation checkpoints the snapshot carries the EDB
+        tables too (under ``edb:`` keys), so recovery is self-contained:
+        the base file alone rebuilds the view without the original input
+        arrays. ``stratum_complete`` is set (iteration ``-1``), which
+        keeps the file name constant across compactions — ``os.replace``
+        is the atomic commit.
+        """
+        from repro.core import compiler
+
+        database = self.database
+        tables: dict[str, np.ndarray] = {
+            f"full:{name}": database.table_snapshot(compiler.full_table(name))
+            for name in sorted(self.analyzed.idb)
+        }
+        for name in sorted(self.analyzed.edb):
+            tables[f"edb:{name}"] = database.table_snapshot(name)
+        report = self.interpreter.report
+        return CheckpointState(
+            program=self.program,
+            stratum=len(self.analyzed.strata) - 1,
+            iteration=-1,
+            tables=tables,
+            iterations_total=report.iterations,
+            pbme_strata=list(report.pbme_strata),
+            sim_seconds=database.sim_seconds,
+            edb_fingerprint=self.interpreter.edb_fingerprint,
+            wal_seqno=wal_seqno,
+        )
 
     def release(self) -> None:
         """Free the view's off-memory footprint; the view stops serving."""

@@ -82,6 +82,7 @@ KNOWN_COUNTERS = {
     "spill.streamed_setdiffs": "TPSD set-differences streaming a spilled base",
     "spill.discarded_segments": "segments dropped unread (rewrite/truncate)",
     "spill.torn_quarantined": "corrupt spill segments quarantined on read",
+    "spill.quarantine_swept": "quarantined torn segments removed at cleanup",
     "spill.enospc": "spill writes refused by a full disk (real or injected)",
     "checkpoints_written": "evaluation checkpoints saved to disk",
     "checkpoint_bytes_written": "bytes of table state written to checkpoints",
@@ -120,6 +121,20 @@ KNOWN_COUNTERS = {
     "server.views_materialized": "fixpoints kept live for incremental updates",
     "server.views_released": "materialized views released (explicitly or at drain)",
     "server.updates_applied": "update sessions that maintained a view successfully",
+    # -- durable views: write-ahead log + crash recovery ---------------------
+    "wal.appends": "update batches durably appended to a write-ahead log",
+    "wal.bytes_appended": "framed bytes appended to write-ahead logs",
+    "wal.append_retries": "WAL appends re-run after an injected transient fault",
+    "wal.torn_truncated": "torn WAL tails truncated back to a record boundary on open",
+    "wal.torn_repaired": "torn WAL appends repaired in place (truncate + retry)",
+    "wal.compactions": "WAL truncations after rolling a fresh base checkpoint",
+    "wal.duplicate_batches": "update batches re-acked by batch_id without re-applying",
+    "wal.views_persisted": "materialized views that committed durable state",
+    "wal.persist_failures": "views degraded to memory-only (persistence failed)",
+    "recovery.views_recovered": "durable views rebuilt from base + log replay",
+    "recovery.views_quarantined": "unrecoverable view directories moved aside",
+    "recovery.batches_replayed": "logged batches re-applied during recovery",
+    "recovery.batches_skipped": "logged batches skipped as already folded into the base",
 }
 
 

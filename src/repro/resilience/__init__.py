@@ -14,7 +14,9 @@ The package that turns the paper's DNF cells into survivable events:
 * :mod:`repro.resilience.cancellation` — cooperative deadline tokens
   checked at phase boundaries;
 * :mod:`repro.resilience.runtime` — the per-evaluation context binding
-  all of the above to a Database.
+  all of the above to a Database;
+* :mod:`repro.resilience.wal` — append-only write-ahead logging of
+  update batches for durable materialized views.
 """
 
 from repro.resilience.cancellation import (
@@ -32,6 +34,7 @@ from repro.resilience.faults import DEFAULT_FAULT_RATE, FAULT_SITES, FaultInject
 from repro.resilience.guards import GUARD_SOFT_FRACTION, RuntimeGuard
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.runtime import ResilienceContext
+from repro.resilience.wal import ViewDurability, WalError, WriteAheadLog
 
 __all__ = [
     "CancellationToken",
@@ -49,4 +52,7 @@ __all__ = [
     "ResilienceContext",
     "RetryPolicy",
     "RuntimeGuard",
+    "ViewDurability",
+    "WalError",
+    "WriteAheadLog",
 ]

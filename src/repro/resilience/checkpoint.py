@@ -96,6 +96,10 @@ class CheckpointState:
     #: Content fingerprint of the EDB the snapshot was computed from
     #: (see :func:`edb_fingerprint`); "" when the writer didn't know it.
     edb_fingerprint: str = ""
+    #: Highest write-ahead-log seqno folded into this snapshot; recovery
+    #: replays only records strictly above it. 0 for snapshots written
+    #: outside the durable-view path.
+    wal_seqno: int = 0
 
     def nbytes(self) -> int:
         return sum(array.nbytes for array in self.tables.values())
@@ -158,6 +162,7 @@ class CheckpointManager:
             "pbme_strata": list(state.pbme_strata),
             "sim_seconds": state.sim_seconds,
             "edb_fingerprint": state.edb_fingerprint,
+            "wal_seqno": state.wal_seqno,
             "checksum": _payload_checksum(state.tables),
         }
         arrays = {f"table:{key}": value for key, value in state.tables.items()}
@@ -374,6 +379,7 @@ class CheckpointManager:
             pbme_strata=[int(i) for i in meta.get("pbme_strata", [])],
             sim_seconds=float(meta.get("sim_seconds", 0.0)),
             edb_fingerprint=str(meta.get("edb_fingerprint", "")),
+            wal_seqno=int(meta.get("wal_seqno", 0)),
         )
 
 

@@ -40,6 +40,12 @@ FAULT_SITES = {
     "spike": "transient memory-pressure spike at query dispatch",
     "phase:*": "per-task worker failure inside a parallel phase "
     "(scan/probe/build/dedup/aggregate/bitmatrix)",
+    "wal_append": "write-ahead-log append entry (transient, raised before "
+    "any byte is written so a retry re-runs cleanly)",
+    "wal_fsync": "write-ahead-log fsync (transient, raised before the "
+    "frame is written)",
+    "wal_torn": "crash mid-append: a partial frame lands durably, the log "
+    "truncates back to the last record boundary and the append retries",
 }
 
 
@@ -119,6 +125,15 @@ class FaultInjector:
         exhausted disk budget (structured in-memory fallback).
         """
         return self._fires("spill_enospc", self.rate)
+
+    def torn_write(self) -> bool:
+        """Injected crash mid-append at a WAL write.
+
+        Returned as a boolean rather than raised: the log must first
+        write the partial frame (the durable evidence of the crash) and
+        repair itself before surfacing a retryable fault.
+        """
+        return self._fires("wal_torn", self.rate)
 
     def spike_fraction(self) -> float | None:
         """Budget fraction to spike the footprint to, or None (no spike)."""

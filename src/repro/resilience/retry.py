@@ -5,11 +5,21 @@ Retried work is not free: every backoff advances the evaluation's
 makespan exactly like real recovery time would — a heavily faulted run
 is *slower* than a clean one (and can even trip the time budget), but it
 reaches the identical fixpoint.
+
+Backoff can carry deterministic jitter: pure exponential backoff
+synchronizes concurrent retriers into thundering herds (every caller
+that faulted together retries together, forever). With ``jitter_seed``
+set, each backoff is scaled down by a fraction drawn from a
+:func:`~repro.common.rng.derive_seed` stream keyed on the caller's
+``salt`` and the retry index — different sites desynchronize, while the
+same seed reproduces the exact same schedule across runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.common.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -20,18 +30,36 @@ class RetryPolicy:
         max_attempts: total tries per operation (first attempt included).
         backoff_base: simulated seconds slept before the first retry.
         backoff_multiplier: growth factor per subsequent retry.
+        jitter: maximum fraction of a backoff the jitter may shave off
+            (0 disables; 0.5 means each sleep lands in [0.5x, 1.0x]).
+        jitter_seed: seed for the deterministic jitter stream; ``None``
+            (the default) keeps the legacy pure-exponential schedule.
     """
 
     max_attempts: int = 4
     backoff_base: float = 0.05
     backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    jitter_seed: int | None = None
 
-    def backoff_seconds(self, retry_index: int) -> float:
-        """Backoff before retry ``retry_index`` (1-based)."""
+    def backoff_seconds(self, retry_index: int, salt: str = "") -> float:
+        """Backoff before retry ``retry_index`` (1-based).
+
+        ``salt`` identifies the retrier (typically the fault site), so
+        two callers backing off from the same retry index draw distinct
+        jitter and stop colliding.
+        """
         if retry_index < 1:
             raise ValueError(f"retry index must be >= 1, got {retry_index}")
-        return self.backoff_base * self.backoff_multiplier ** (retry_index - 1)
+        base = self.backoff_base * self.backoff_multiplier ** (retry_index - 1)
+        if self.jitter_seed is None or self.jitter <= 0.0:
+            return base
+        unit = (
+            derive_seed(self.jitter_seed, "retry-jitter", salt, str(retry_index))
+            / float(1 << 63)
+        )
+        return base * (1.0 - self.jitter * unit)
 
-    def total_backoff(self, retries: int) -> float:
+    def total_backoff(self, retries: int, salt: str = "") -> float:
         """Simulated seconds spent if every one of ``retries`` fires."""
-        return sum(self.backoff_seconds(i) for i in range(1, retries + 1))
+        return sum(self.backoff_seconds(i, salt) for i in range(1, retries + 1))

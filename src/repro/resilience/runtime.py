@@ -87,7 +87,8 @@ class ResilienceContext:
                 self._counters.inc("fault_retries")
                 if self._metrics is not None:
                     self._metrics.advance(
-                        self.retry.backoff_seconds(retries), utilization=0.01
+                        self.retry.backoff_seconds(retries, salt=site),
+                        utilization=0.01,
                     )
 
     def maybe_spike(self) -> None:

@@ -75,6 +75,10 @@ class QueryRequest:
             materialized fixpoint to maintain.
         inserts / deletes: for ``kind="update"``, EDB relation name ->
             row array of tuples to insert / delete.
+        batch_id: client-supplied idempotence key for ``kind="update"``
+            against a durable view: a batch already acknowledged under
+            this id is acked again without re-applying, so client
+            retries after an unclear outcome are exactly-once.
     """
 
     program: object
@@ -90,6 +94,7 @@ class QueryRequest:
     target_session: str | None = None
     inserts: dict | None = None
     deletes: dict | None = None
+    batch_id: str | None = None
 
     def __post_init__(self) -> None:
         if not self.klass:

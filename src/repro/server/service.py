@@ -37,13 +37,27 @@ from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+import numpy as np
+
+from repro.common.errors import FaultRetriesExhausted
+from repro.common.rng import derive_seed
 from repro.common.timing import SimClock
 from repro.core.config import RecStepConfig
-from repro.core.recstep import MaterializedFixpoint, RecStep
+from repro.core.recstep import MaintenanceResult, MaterializedFixpoint, RecStep
 from repro.engine.metrics import CRITICAL_WATERMARK, DEFAULT_MEMORY_BUDGET
 from repro.obs.counters import CounterRegistry
 from repro.obs.histogram import NULL_HISTOGRAMS, HistogramSet
 from repro.obs.timeline import NULL_TIMELINE, ResourceTimeline
+from repro.programs.library import ProgramSpec
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.resilience.checkpoint import CheckpointError, CheckpointManager
+from repro.resilience.wal import (
+    BASE_DIR_NAME,
+    WAL_NAME,
+    ViewDurability,
+    WalError,
+    WriteAheadLog,
+)
 from repro.server.admission import (
     DEFAULT_RETRY_AFTER,
     AdmissionController,
@@ -88,6 +102,16 @@ class ServerConfig:
     #: Root of the spill-to-disk tier; each session spills into its own
     #: ``<spill_root>/<session-id>`` directory (None: spilling off).
     spill_root: str | None = None
+    #: Root of the durable-view tier; each materialized view persists a
+    #: base checkpoint + write-ahead log under ``<wal_root>/<session-id>``
+    #: and :meth:`QueryService.recover` rebuilds views from it after a
+    #: crash (None: views are memory-only, the pre-durability behavior).
+    wal_root: str | None = None
+    #: Compaction bounds: once this many applied records (or this many
+    #: log bytes) accumulate, the view rolls a fresh base checkpoint and
+    #: truncates its log.
+    wal_compact_records: int = 64
+    wal_compact_bytes: int = 1 << 20
 
 
 class QueryService:
@@ -126,6 +150,23 @@ class QueryService:
         #: session id -> simulated time its view is serving until; update
         #: requests against the same view queue head-of-line behind it.
         self._view_busy_until: dict[str, float] = {}
+        #: session id -> ViewDurability for views persisted under
+        #: ``wal_root`` (empty when durability is off).
+        self._durability: dict[str, ViewDurability] = {}
+        # WAL appends share the engine's deterministic fault discipline:
+        # a chaos seed arms the wal_* sites on an independent stream.
+        self._wal_injector = (
+            FaultInjector(
+                derive_seed(self.engine_config.fault_seed, "wal"),
+                rate=self.engine_config.fault_rate,
+            )
+            if self.engine_config.fault_seed is not None
+            else None
+        )
+        self._wal_retry = RetryPolicy(
+            max_attempts=self.engine_config.retries,
+            backoff_base=self.engine_config.retry_backoff,
+        )
         self.draining = False
         self._drain_checkpoint_dir: str | None = None
         # Per-query-class latency/queue-wait/rows distributions and the
@@ -403,8 +444,9 @@ class QueryService:
                 )
 
     #: Version stamp of the ``metrics_snapshot`` document; the golden
-    #: schema test pins the key set, bump on any shape change.
-    METRICS_SCHEMA_VERSION = 3
+    #: schema test pins the key set, bump on any shape change. Version 4
+    #: added the ``wal`` durability section.
+    METRICS_SCHEMA_VERSION = 4
 
     def metrics_snapshot(self) -> dict:
         """Machine-readable telemetry export (histograms + timeline).
@@ -428,6 +470,19 @@ class QueryService:
             "counters": self.counters.snapshot(),
             "session_counts": self.sessions.counts(),
             "admission": self.admission.to_dict(),
+            "wal": {
+                "durable_views": len(self._durability),
+                "records": sum(
+                    d.wal.record_count for d in self._durability.values()
+                ),
+                "bytes": sum(
+                    d.wal.size_bytes for d in self._durability.values()
+                ),
+                "last_seqno": max(
+                    (d.wal.last_seqno for d in self._durability.values()),
+                    default=0,
+                ),
+            },
         }
 
     # -- isolated execution ------------------------------------------------------
@@ -472,11 +527,87 @@ class QueryService:
                 self._views[session.id] = view
                 self._view_busy_until[session.id] = finish
                 self.counters.inc("server.views_materialized")
+                self._persist_view(session, view)
             else:
                 # A poisoned view still holds a kept-alive database;
                 # free it — only healthy fixpoints stay resident.
                 view.release()
         self._active.append((finish, session, status))
+
+    def _persist_view(self, session: Session, view: MaterializedFixpoint) -> None:
+        """Write a just-materialized view's durable state under wal_root.
+
+        Base checkpoint + empty log + manifest (the manifest last — its
+        presence is the commit point). Persistence failures degrade the
+        view to memory-only rather than failing the session: the query
+        result is already correct, only the crash story is weaker.
+        """
+        if self.config.wal_root is None:
+            return
+        source = getattr(session.request.program, "source", None)
+        if source is None and isinstance(session.request.program, str):
+            source = session.request.program
+        if source is None:
+            # An AnalyzedProgram carries no re-parseable source; there is
+            # nothing recovery could rebuild the view from.
+            self.counters.inc("wal.persist_failures")
+            return
+        schemas = getattr(session.request.program, "edb_schemas", {}) or {}
+        manifest = {
+            "session_id": session.id,
+            "program": view.program,
+            "source": source,
+            "edb_schemas": {name: list(cols) for name, cols in schemas.items()},
+            "dataset": view.dataset,
+            "klass": session.klass,
+            "reserved_bytes": session.reserved_bytes,
+        }
+        try:
+            self._durability[session.id] = ViewDurability.create(
+                Path(self.config.wal_root) / session.id,
+                view,
+                manifest,
+                counters=self.counters,
+                injector=self._wal_injector,
+                retry=self._wal_retry,
+            )
+        except (OSError, WalError, CheckpointError):
+            self.counters.inc("wal.persist_failures")
+
+    @staticmethod
+    def _validate_update_batch(
+        view: MaterializedFixpoint, request: QueryRequest
+    ) -> dict | None:
+        """Reject malformed batches *before* anything is logged.
+
+        The WAL must only ever hold batches the view can apply: an
+        unknown relation or ragged rows would fault during replay too,
+        so they are bounced here with a structured failure and no log
+        entry.
+        """
+        for side, batch in (("inserts", request.inserts), ("deletes", request.deletes)):
+            for name, rows in (batch or {}).items():
+                if name not in view.analyzed.edb:
+                    return {
+                        "error": "BadBatch",
+                        "kind": "bad-batch",
+                        "message": f"{side} target {name!r} is not an EDB "
+                        f"relation of program {view.program!r}",
+                        "relation": name,
+                    }
+                try:
+                    np.asarray(rows, dtype=np.int64).reshape(
+                        -1, view.analyzed.arities[name]
+                    )
+                except (TypeError, ValueError) as error:
+                    return {
+                        "error": "BadBatch",
+                        "kind": "bad-batch",
+                        "message": f"{side} rows for {name!r} do not fit "
+                        f"arity {view.analyzed.arities[name]}: {error}",
+                        "relation": name,
+                    }
+        return None
 
     def _execute_update(self, session: Session) -> None:
         """Maintain a materialized fixpoint from one EDB delta batch.
@@ -485,6 +616,11 @@ class QueryService:
         before the view's materialization (or the previous update against
         it) has finished, so its effective interval is
         ``[max(now, view_busy_until), ... + maintain's sim_seconds)``.
+
+        Against a durable view the batch is appended to the write-ahead
+        log *before* the view mutates; a batch whose ``batch_id`` was
+        already acknowledged is acked again without re-applying
+        (exactly-once for client retries).
         """
         request: QueryRequest = session.request
         target = request.target_session
@@ -502,13 +638,56 @@ class QueryService:
             self._active.append((session.started_at, session, status))
             return
         start_effective = max(session.started_at, self._view_busy_until[target])
-        result = view.maintain(request.inserts, request.deletes)
+        durability = self._durability.get(target)
+        batch_id = getattr(request, "batch_id", None)
+        if durability is not None and durability.is_duplicate(batch_id):
+            # Already acknowledged under this id (live or replayed):
+            # re-ack at zero cost, mutate nothing, log nothing.
+            self.counters.inc("wal.duplicate_batches")
+            result = MaintenanceResult(
+                engine=view.engine_name,
+                program=view.program,
+                dataset=request.dataset,
+                idb_sizes=view.sizes(),
+            )
+            session.result = result
+            self._active.append((start_effective, session, "ok"))
+            return
+        bad = self._validate_update_batch(view, request)
+        if bad is not None:
+            session.failure = bad
+            self._active.append((start_effective, session, "fault"))
+            return
+        seqno = None
+        if durability is not None:
+            try:
+                seqno = durability.log_update(
+                    request.inserts, request.deletes, batch_id
+                )
+                session.wal_seqno = seqno
+            except (FaultRetriesExhausted, WalError, OSError) as error:
+                # Write-ahead means exactly that: if the batch cannot be
+                # made durable it must not be applied. The view itself is
+                # untouched and keeps serving.
+                session.failure = self._wrap_failure(error)
+                session.failure["kind"] = "wal-append"
+                self._active.append((start_effective, session, "fault"))
+                return
+        token = self._token_factory(session)(view.database.metrics.clock)
+        result = view.maintain(request.inserts, request.deletes, token=token)
         session.result = result
         session.failure = result.failure
         finish = start_effective + result.sim_seconds
         self._view_busy_until[target] = finish
         if result.status == "ok":
             self.counters.inc("server.updates_applied")
+            if durability is not None and seqno is not None:
+                durability.note_applied(seqno)
+                if durability.should_compact(
+                    self.config.wal_compact_records,
+                    self.config.wal_compact_bytes,
+                ):
+                    durability.compact(view)
         self._active.append((finish, session, result.status))
 
     def _note_spill(self, session: Session) -> None:
@@ -658,11 +837,18 @@ class QueryService:
         return session.to_dict()
 
     def release_view(self, session_id: str) -> dict:
-        """Release a materialized fixpoint and its standing reservation."""
+        """Release a materialized fixpoint and its standing reservation.
+
+        The view's *disk* state (base checkpoint + log under wal_root)
+        deliberately survives: releasing frees memory, it does not forget
+        acknowledged updates — a later :meth:`recover` can still rebuild
+        the view. Only the in-memory durability handle is dropped.
+        """
         view = self._views.pop(session_id, None)
         if view is None:
             raise SessionError(f"no materialized view for session {session_id!r}")
         self._view_busy_until.pop(session_id, None)
+        self._durability.pop(session_id, None)
         session = self.sessions.get(session_id)
         view.release()
         if not any(s is session for _, s, _ in self._active):
@@ -675,6 +861,225 @@ class QueryService:
         self.counters.inc("server.views_released")
         self._sample_queue()
         return session.to_dict()
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def recover(self, root: str | None = None) -> dict:
+        """Rebuild durable views from ``root`` (default: the wal_root).
+
+        For every committed view directory: load the latest valid base
+        checkpoint, re-materialize from it (the checkpoint carries the
+        EDB, so recovery is self-contained), and replay the write-ahead
+        log's unfolded tail through ``maintain()``. Views whose state is
+        unrecoverable — unreadable manifest, no valid base, a log with no
+        header, replay poisoning the view — are *quarantined* (directory
+        renamed aside, structured ``view-unrecoverable`` failure in the
+        report) so one corrupt view never blocks its healthy siblings.
+        Recovery that fails for capacity reasons (the reservation no
+        longer fits) leaves the directory intact for a later attempt.
+
+        Returns ``{"root", "recovered": {dir: ...}, "failed": {dir:
+        ...}}``; recovered views serve updates under their *new* session
+        ids exactly like freshly materialized ones.
+        """
+        root = root if root is not None else self.config.wal_root
+        if root is None:
+            raise ValueError("recover() needs a wal root (config or argument)")
+        root_path = Path(root)
+        report: dict = {"root": str(root_path), "recovered": {}, "failed": {}}
+        if not root_path.is_dir():
+            return report
+        for child in sorted(root_path.iterdir()):
+            if not child.is_dir() or ".quarantine" in child.name:
+                continue
+            outcome = self._recover_view(child)
+            bucket = "recovered" if outcome.pop("ok") else "failed"
+            report[bucket][child.name] = outcome
+        return report
+
+    def _recover_view(self, directory: Path) -> dict:
+        """Recover one durable view directory; never raises."""
+        from repro.resilience.wal import MANIFEST_NAME
+
+        if not (directory / MANIFEST_NAME).exists():
+            # Crash mid-create: the manifest is written last, so this
+            # directory was never durably committed — nothing was ever
+            # acknowledged from it, and there is nothing to recover.
+            return {"ok": False, "kind": "incomplete-creation"}
+        try:
+            manifest = ViewDurability.read_manifest(directory)
+        except WalError as error:
+            return self._quarantine_view(directory, "manifest-unreadable", error)
+        base_dir = directory / BASE_DIR_NAME
+        try:
+            state = CheckpointManager.load(base_dir, counters=self.counters)
+        except CheckpointError as error:
+            return self._quarantine_view(directory, "base-unreadable", error)
+        try:
+            wal = WriteAheadLog.open(
+                directory / WAL_NAME,
+                counters=self.counters,
+                injector=self._wal_injector,
+                retry=self._wal_retry,
+            )
+        except WalError as error:
+            return self._quarantine_view(directory, "wal-unreadable", error)
+        edb = {
+            key.partition(":")[2]: rows
+            for key, rows in state.tables.items()
+            if key.startswith("edb:")
+        }
+        if not edb:
+            return self._quarantine_view(
+                directory,
+                "base-missing-edb",
+                WalError(
+                    f"base checkpoint under {base_dir} carries no EDB tables",
+                    path=str(base_dir),
+                ),
+            )
+        spec = ProgramSpec(
+            name=str(manifest["program"]),
+            title=str(manifest["program"]),
+            domain="recovered",
+            source=str(manifest["source"]),
+            edb_schemas={
+                name: tuple(cols)
+                for name, cols in (manifest.get("edb_schemas") or {}).items()
+            },
+        )
+        quota = int(manifest.get("reserved_bytes") or 0) or self.admission.default_quota
+        if not self.admission.try_reserve(quota):
+            # Capacity, not corruption: the directory stays for a later
+            # recover() on a roomier service.
+            return {
+                "ok": False,
+                "kind": "memory-pressure",
+                "requested_bytes": quota,
+                "reserved_bytes": self.admission.reserved_bytes,
+            }
+        now = self.clock.now()
+        request = QueryRequest(
+            program=spec,
+            edb_data=edb,
+            dataset=str(manifest.get("dataset", "recovered")),
+            klass=str(manifest.get("klass", "")) or spec.name,
+            memory_quota=quota,
+            materialize=True,
+        )
+        session = self.sessions.create(request, now)
+        session.reserved_bytes = quota
+        session.recovered = True
+        self.sessions.transition(session, SessionState.ADMITTED)
+        session.admitted_at = now
+        self.sessions.transition(session, SessionState.RUNNING)
+        session.started_at = now
+        config = replace(self._session_config(session), resume_from=str(base_dir))
+        engine = RecStep(config, token_factory=self._token_factory(session))
+        view = None
+        try:
+            view = engine.materialize(spec, edb, dataset=request.dataset)
+        except Exception as error:  # isolation boundary, as in _execute
+            session.failure = self._wrap_failure(error)
+        if view is None or view.status != "ready":
+            if view is not None:
+                session.failure = view.result.failure or session.failure
+                view.release()
+            self.admission.release(quota)
+            session.finished_at = now
+            self.sessions.transition(session, SessionState.FAILED)
+            return self._quarantine_view(
+                directory,
+                "rebuild-failed",
+                session.failure or {"error": "RebuildFailed"},
+            )
+        rebuild_sim = max(0.0, view.result.sim_seconds - state.sim_seconds)
+        replayed = skipped = 0
+        replay_sim = 0.0
+        last_applied = state.wal_seqno
+        for record in wal.records:
+            if record.seqno <= state.wal_seqno:
+                # Already folded into the base this view resumed from
+                # (a compaction raced the crash).
+                skipped += 1
+                self.counters.inc("recovery.batches_skipped")
+                continue
+            token = self._token_factory(session)(view.database.metrics.clock)
+            result = view.maintain(record.inserts, record.deletes, token=token)
+            if result.status == "ok":
+                replayed += 1
+                replay_sim += result.sim_seconds
+                last_applied = record.seqno
+                self.counters.inc("recovery.batches_replayed")
+            elif view.status == "ready":
+                # Validation-class failure: the view is still exact, the
+                # record simply cannot apply (it shouldn't have been
+                # logged; tolerate rather than lose the healthy view).
+                continue
+            else:
+                view.release()
+                self.admission.release(quota)
+                session.failure = result.failure
+                session.finished_at = now
+                self.sessions.transition(session, SessionState.FAILED)
+                return self._quarantine_view(
+                    directory, "replay-poisoned", result.failure or {}
+                )
+        latency = rebuild_sim + replay_sim
+        finish = now + latency
+        session.result = view.result
+        session.wal_seqno = last_applied
+        session.finished_at = finish
+        self.sessions.transition(session, SessionState.DONE)
+        self._views[session.id] = view
+        self._view_busy_until[session.id] = finish
+        self._durability[session.id] = ViewDurability(
+            directory,
+            wal,
+            CheckpointManager(base_dir),
+            last_applied,
+            counters=self.counters,
+        )
+        self.counters.inc("recovery.views_recovered")
+        for klass in (session.klass, "all"):
+            self.histograms.observe(f"recovery.latency.{klass}", latency)
+        self._sample_queue()
+        return {
+            "ok": True,
+            "session_id": session.id,
+            "program": view.program,
+            "records_replayed": replayed,
+            "records_skipped": skipped,
+            "latency_seconds": round(latency, 6),
+        }
+
+    def _quarantine_view(self, directory: Path, reason: str, error) -> dict:
+        """Move an unrecoverable view directory aside, structured-ly."""
+        target = directory.with_name(directory.name + ".quarantine")
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = directory.with_name(
+                f"{directory.name}.quarantine-{suffix}"
+            )
+        try:
+            directory.rename(target)
+        except OSError:
+            target = directory  # rename failed; leave in place, still report
+        self.counters.inc("recovery.views_quarantined")
+        detail = (
+            error
+            if isinstance(error, dict)
+            else {"error": type(error).__name__, "message": str(error)}
+        )
+        return {
+            "ok": False,
+            "error": "ViewUnrecoverable",
+            "kind": "view-unrecoverable",
+            "reason": reason,
+            "quarantined_to": str(target),
+            "detail": detail,
+        }
 
     def status(self, session_id: str) -> dict:
         return self.sessions.get(session_id).to_dict()

@@ -110,6 +110,11 @@ class Session:
     last_position: dict = field(default_factory=dict)
     #: Where drain checkpointed this session's partial state, if it did.
     checkpoint_dir: str | None = None
+    #: Durable-view bookkeeping: the WAL seqno assigned to this update
+    #: batch (``kind="update"`` against a durable view), and whether the
+    #: session was rebuilt by crash recovery rather than submitted.
+    wal_seqno: int | None = None
+    recovered: bool = False
 
     @property
     def klass(self) -> str:
@@ -143,6 +148,10 @@ class Session:
             doc["last_position"] = dict(self.last_position)
         if self.checkpoint_dir is not None:
             doc["checkpoint_dir"] = self.checkpoint_dir
+        if self.wal_seqno is not None:
+            doc["wal_seqno"] = self.wal_seqno
+        if self.recovered:
+            doc["recovered"] = True
         return doc
 
 

@@ -243,15 +243,31 @@ class SpillManager:
         return len(segments)
 
     def cleanup(self) -> None:
-        """Remove every live segment file (end of evaluation).
+        """Remove every segment file (end of evaluation).
 
-        Quarantined files are left in place as evidence; the directory is
-        removed only when nothing remains.
+        Quarantined torn files are swept too: they were evidence for the
+        duration of the evaluation, but session release is the end of
+        their forensic life — leaving them would accumulate unbounded
+        ``.quarantine`` litter across sessions. Each sweep bumps
+        ``spill.quarantine_swept``.
         """
         for name in list(self._segments):
             segments = self._segments.pop(name)
             self._note_spilled(-sum(segment.logical_bytes for segment in segments))
             self._remove_files(segments)
+        swept = 0
+        try:
+            quarantined = list(self.directory.glob("*.quarantine"))
+        except OSError:
+            quarantined = []
+        for path in quarantined:
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        if swept:
+            self._counters.inc("spill.quarantine_swept", swept)
         try:
             self.directory.rmdir()
         except OSError:

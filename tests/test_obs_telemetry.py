@@ -258,6 +258,7 @@ GOLDEN_SNAPSHOT_KEYS = {
     "counters",
     "session_counts",
     "admission",
+    "wal",
 }
 
 GOLDEN_QUEUE_TIMELINE_KEYS = {

@@ -115,6 +115,45 @@ class TestRetry:
         assert policy.backoff_seconds(2) == pytest.approx(0.2)
         assert policy.backoff_seconds(3) == pytest.approx(0.4)
 
+    def test_jitter_desynchronizes_colliding_retriers(self):
+        # Pure exponential backoff keeps a thundering herd in lockstep:
+        # everyone who faulted together retries together, forever. Seeded
+        # jitter breaks the collision while staying bounded below the
+        # undithered schedule.
+        policy = RetryPolicy(jitter_seed=77)
+        a = [policy.backoff_seconds(i, salt="dedup") for i in (1, 2, 3)]
+        b = [policy.backoff_seconds(i, salt="spill_write") for i in (1, 2, 3)]
+        assert a != b
+        for index, (x, y) in enumerate(zip(a, b), start=1):
+            base = policy.backoff_base * policy.backoff_multiplier ** (index - 1)
+            for value in (x, y):
+                assert base * (1.0 - policy.jitter) <= value <= base
+
+    def test_jitter_is_deterministic_per_seed(self):
+        schedule = [
+            RetryPolicy(jitter_seed=5).backoff_seconds(i, salt="s")
+            for i in range(1, 5)
+        ]
+        replay = [
+            RetryPolicy(jitter_seed=5).backoff_seconds(i, salt="s")
+            for i in range(1, 5)
+        ]
+        reseeded = [
+            RetryPolicy(jitter_seed=6).backoff_seconds(i, salt="s")
+            for i in range(1, 5)
+        ]
+        assert schedule == replay
+        assert schedule != reseeded
+        total = RetryPolicy(jitter_seed=5).total_backoff(4, salt="s")
+        assert total == pytest.approx(sum(schedule))
+
+    def test_no_jitter_seed_keeps_legacy_schedule(self):
+        # jitter_seed defaults to None: existing chaos pins (and every
+        # config that never arms a fault seed) see the exact old numbers.
+        policy = RetryPolicy(backoff_base=0.1, backoff_multiplier=2.0)
+        assert policy.backoff_seconds(3, salt="anything") == pytest.approx(0.4)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
     def test_context_retries_then_succeeds(self):
         context = ResilienceContext(injector=FaultInjector(5, rate=0.9))
         metrics = MetricsRecorder(enforce_budgets=False)

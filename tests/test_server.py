@@ -409,6 +409,53 @@ class TestWatchdog:
         assert doc["failure"]["stall_timeout"] == 1e-9
         assert service.counters.snapshot()["server.watchdog_cancels"] == 1
 
+    def test_poisoned_maintenance_batch_trips_watchdog(self):
+        # Maintenance runs under the same deadline/watchdog tokens as
+        # queries: a wedged update batch is cancelled cooperatively, not
+        # left spinning while it holds the view's write lock.
+        service = _service(max_concurrent=1, queue_limit=4)
+        response = service.submit(_tc_request(seed=6, materialize=True))
+        assert response["accepted"]
+        service.pump()
+        service.flush()
+        view_id = response["session_id"]
+        assert service._views[view_id].status == "ready"
+        # Arm a stall bound no real batch can meet — the stand-in for a
+        # genuinely stuck maintenance fixpoint.
+        service.config = replace(service.config, watchdog_stall_timeout=1e-9)
+        update = service.submit(
+            QueryRequest(
+                program=get_program("TC"),
+                edb_data={},
+                kind="update",
+                target_session=view_id,
+                inserts={"arc": np.array([[0, 60]])},
+            )
+        )
+        assert update["accepted"]
+        service.pump()
+        service.flush()
+        doc = service.status(update["session_id"])
+        assert doc["state"] == "cancelled"
+        assert doc["failure"]["kind"] == "watchdog"
+        assert service.counters.snapshot()["server.watchdog_cancels"] == 1
+        # The tripped batch poisoned the view; later updates fail fast
+        # instead of mutating a half-maintained fixpoint.
+        assert service._views[view_id].status == "poisoned"
+        late = service.submit(
+            QueryRequest(
+                program=get_program("TC"),
+                edb_data={},
+                kind="update",
+                target_session=view_id,
+                inserts={"arc": np.array([[1, 61]])},
+            )
+        )
+        assert late["accepted"]
+        service.pump()
+        service.flush()
+        assert service.status(late["session_id"])["failure"]["kind"] == "no-such-view"
+
     def test_progress_heartbeats_reach_session_record(self):
         service = QueryService(
             ServerConfig(max_concurrent=1, queue_limit=2),
@@ -498,6 +545,74 @@ class TestDrain:
         assert "counters" in encoded
         assert encoded["queue_depth"] == 0
         assert encoded["active"] == 0
+
+    def test_drain_races_inflight_updates_never_half_applied(self, tmp_path):
+        # Drain racing queued view updates: every update either ran to
+        # completion (applied AND durably logged) or was shed cleanly —
+        # the write-ahead log never holds a batch the view half-applied,
+        # and recovery reproduces exactly the acknowledged prefix.
+        from repro.resilience.wal import WAL_NAME, WriteAheadLog
+
+        root = tmp_path / "wal"
+        service = _service(
+            max_concurrent=1, queue_limit=8, wal_root=str(root)
+        )
+        response = service.submit(_tc_request(seed=11, materialize=True))
+        assert response["accepted"]
+        service.pump()
+        service.flush()
+        view_id = response["session_id"]
+        updates = []
+        for i in range(4):
+            ack = service.submit(
+                QueryRequest(
+                    program=get_program("TC"),
+                    edb_data={},
+                    kind="update",
+                    target_session=view_id,
+                    inserts={"arc": np.array([[200 + i, 201 + i]])},
+                    batch_id=f"race-{i}",
+                )
+            )
+            assert ack["accepted"]
+            updates.append(ack["session_id"])
+        # No pump: the updates are still queued when the drain lands.
+        service.drain()
+
+        logged = {
+            record.batch_id
+            for record in WriteAheadLog.open(root / view_id / WAL_NAME).records
+        }
+        acknowledged = set()
+        for index, session_id in enumerate(updates):
+            doc = service.status(session_id)
+            batch_id = f"race-{index}"
+            if doc["state"] == "done":
+                # Applied-and-logged: the ack implies durability.
+                assert doc["failure"] is None
+                assert batch_id in logged
+                acknowledged.add(batch_id)
+            else:
+                # Cleanly rejected: shed with a structured failure and
+                # never logged — a retry under the same id is safe.
+                assert doc["state"] == "shed"
+                assert doc["failure"]["kind"] == "shed"
+                assert batch_id not in logged
+        assert logged == acknowledged  # nothing half-applied either way
+
+        # Recovery agrees: the rebuilt view equals a from-scratch
+        # recompute of the EDB plus exactly the acknowledged batches.
+        recovered = _service(wal_root=str(root))
+        report = recovered.recover()
+        new_id = report["recovered"][view_id]["session_id"]
+        edb = _graph(11, 120, 400).tolist()
+        for index in range(4):
+            if f"race-{index}" in acknowledged:
+                edb.append([200 + index, 201 + index])
+        solo = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            get_program("TC"), {"arc": np.array(edb, dtype=np.int64)}
+        )
+        assert recovered._views[new_id].fixpoint() == dict(solo.tuples)
 
     def test_cancel_queued_session(self):
         service = _service(max_concurrent=1, queue_limit=4)

@@ -160,6 +160,26 @@ class TestSegmentFiles:
         assert not segment.path.exists()
         assert segment.path.with_suffix(".quarantine").exists()
 
+    def test_cleanup_sweeps_quarantined_segments(self, tmp_path):
+        from repro.obs.counters import CounterRegistry
+
+        table, manager, _ = _spilled_table(tmp_path, rows=1000)
+        counters = CounterRegistry()
+        manager._counters = counters
+        manager.spill_table(table)
+        (segment,) = manager.segments("t")
+        segment.path.write_bytes(segment.path.read_bytes()[:64])
+        with pytest.raises(SpillError):
+            manager.read_segment(table, segment)
+        quarantined = segment.path.with_suffix(".quarantine")
+        assert quarantined.exists()
+        # Session release ends the quarantine file's forensic life: the
+        # sweep removes it so sessions don't accumulate litter.
+        manager.cleanup()
+        assert not quarantined.exists()
+        assert not manager.directory.exists()
+        assert counters.get("spill.quarantine_swept") == 1
+
     def test_disk_budget_exhaustion_keeps_table_resident(self, tmp_path):
         table, manager, data = _spilled_table(tmp_path, rows=1000)
         manager.disk_budget = 1  # nothing fits
