@@ -33,6 +33,8 @@ from pathlib import Path
 from benchmarks.common import config_fingerprint
 from benchmarks.trajectory import (
     ENGINE_GATED_METRICS,
+    POINT_GATED_METRICS,
+    POINT_SPEEDUP_FLOOR,
     REPO_ROOT,
     REPS,
     SERVER_GATED_METRICS,
@@ -58,6 +60,8 @@ ABS_FLOORS = {
     "max_queue_depth": 0.5,
     "maintain_sim_seconds": 1e-4,
     "recompute_sim_seconds": 1e-3,
+    "answer_sim_seconds": 1e-4,
+    "full_sim_seconds": 1e-3,
 }
 
 
@@ -189,6 +193,43 @@ def compare_engine(
             checked.append("ok " + line)
         v, c = compare_rung(
             label, rung, base, UPDATE_GATED_METRICS, rel_tol, stddev_mult
+        )
+        violations.extend(v)
+        checked.extend(c)
+    # Point rungs (the demand-evaluation canary): noise-band the
+    # answer/full timings, plus two hard qualitative contracts — the
+    # magic-rewritten answers stay tuple-identical to post-filtering the
+    # full materialization, and the bound goal stays at least
+    # POINT_SPEEDUP_FLOOR times faster than materializing everything.
+    base_point = {
+        (rung["program"], rung["dataset"]): rung
+        for rung in baseline.get("point", [])
+    }
+    for rung in fresh.get("point", []):
+        key = (rung["program"], rung["dataset"])
+        base = base_point.get(key)
+        if base is None:
+            continue
+        label = f"engine point {key[0]}/{key[1]}"
+        if rung.get("statuses") != base.get("statuses"):
+            violations.append(
+                f"REGRESSION {label}: statuses {base.get('statuses')!r} "
+                f"-> {rung.get('statuses')!r}"
+            )
+        if not rung.get("identity", False):
+            violations.append(
+                f"REGRESSION {label}: rewritten answers diverged from the "
+                "post-filtered full materialization"
+            )
+        floor = base.get("speedup_floor", POINT_SPEEDUP_FLOOR)
+        speedup = rung.get("speedup", 0.0)
+        line = f"{label}: speedup {speedup:g}x (floor {floor:g}x)"
+        if speedup < floor:
+            violations.append("REGRESSION " + line)
+        else:
+            checked.append("ok " + line)
+        v, c = compare_rung(
+            label, rung, base, POINT_GATED_METRICS, rel_tol, stddev_mult
         )
         violations.extend(v)
         checked.extend(c)

@@ -108,6 +108,22 @@ UPDATE_SPEEDUP_FLOOR = 5.0
 
 UPDATE_GATED_METRICS = ("maintain_sim_seconds", "recompute_sim_seconds")
 
+#: The demand (point-query) rung: answer one bound-source TC goal
+#: through the magic-set rewrite, against materializing the full closure
+#: and post-filtering it by the same pattern. Each repetition checks the
+#: two answer sets are tuple-identical, so the rung never reports a
+#: speedup for a wrong answer. G2K for the same reason the update rung
+#: uses it: wide and shallow, so the demand restriction (one source's
+#: cone instead of every source's) is the dominant cost difference.
+POINT_RUNGS: list[dict] = [
+    {"program": "TC", "dataset": "G2K"},
+]
+
+#: Minimum required full/answer speedup for the point rungs.
+POINT_SPEEDUP_FLOOR = 3.0
+
+POINT_GATED_METRICS = ("answer_sim_seconds", "full_sim_seconds")
+
 #: Server sweep: submission burst sizes, smallest first. Each burst is a
 #: round-robin mix of the cheap queries below; queue_limit tracks the
 #: burst so no submission is rejected and every query's latency counts.
@@ -222,6 +238,7 @@ def run_engine_sweep(
         "kind": "engine-trajectory",
         "constrained": run_constrained_sweep(),
         "update": run_update_sweep(),
+        "point": run_point_sweep(),
         "schema_version": RESULT_SCHEMA_VERSION,
         "provenance": provenance(),
         "config": {
@@ -234,6 +251,8 @@ def run_engine_sweep(
             "gated_metrics": list(ENGINE_GATED_METRICS),
             "update_gated_metrics": list(UPDATE_GATED_METRICS),
             "update_speedup_floor": UPDATE_SPEEDUP_FLOOR,
+            "point_gated_metrics": list(POINT_GATED_METRICS),
+            "point_speedup_floor": POINT_SPEEDUP_FLOOR,
         },
         "ladders": out_ladders,
     }
@@ -418,6 +437,95 @@ def run_update_sweep(rungs: list[dict] | None = None) -> list[dict]:
         else:
             print(
                 f"[engine] {rung['program']}/{rung['dataset']} update: "
+                f"no ok runs ({rung['statuses']})",
+                flush=True,
+            )
+    return out
+
+
+def run_point_rung(entry: dict, reps: int = REPS) -> dict:
+    """The demand rung: one bound point goal vs full materialization.
+
+    Each repetition prepares its seeded EDB, answers the goal
+    ``tc(<min source>, x)`` through the magic-set rewrite on a fresh
+    engine, then materializes the full closure on another fresh engine
+    and post-filters it by the same pattern. The answer sets must be
+    tuple-identical every repetition; the speedup is the median full
+    time over the median answer time.
+    """
+    from repro.datalog.magic import filter_answers
+    from repro.datalog.parser import parse_goal
+
+    program = get_program(entry["program"])
+    dataset = entry["dataset"]
+    answer_sim, full_sim, answer_rows, statuses = [], [], [], []
+    identity = True
+    for rep in range(reps):
+        edb = prepare_edb(program, dataset, seed=BASE_SEED + rep)
+        source = int(edb["arc"][:, 0].min())
+        goal = parse_goal(entry.get("goal", "tc({0}, x)").format(source))
+        answered = RecStep(RecStepConfig(memory_budget=MEMORY_BUDGET)).answer(
+            program,
+            goal,
+            {name: rows.copy() for name, rows in edb.items()},
+            dataset,
+        )
+        full = RecStep(RecStepConfig(memory_budget=MEMORY_BUDGET)).evaluate(
+            program, edb, dataset
+        )
+        statuses.append(
+            answered.status if answered.status != "ok" else full.status
+        )
+        if answered.status != "ok" or full.status != "ok":
+            continue
+        expected = filter_answers(full.tuples[goal.predicate], goal)
+        identity = identity and answered.tuples[goal.predicate] == expected
+        answer_sim.append(answered.sim_seconds)
+        full_sim.append(full.sim_seconds)
+        answer_rows.append(float(len(expected)))
+    rung = {
+        "program": entry["program"],
+        "dataset": dataset,
+        "reps": reps,
+        "speedup_floor": POINT_SPEEDUP_FLOOR,
+        "statuses": statuses,
+        "ok_runs": len(answer_sim),
+    }
+    if answer_sim:
+        median = statistics.median(answer_sim)
+        rung.update(
+            {
+                "identity": identity,
+                "answer_sim_seconds": summarize(answer_sim),
+                "full_sim_seconds": summarize(full_sim),
+                "answer_rows": summarize(answer_rows),
+                "speedup": round(
+                    statistics.median(full_sim) / median if median else 0.0, 3
+                ),
+            }
+        )
+    return rung
+
+
+def run_point_sweep(rungs: list[dict] | None = None, reps: int = REPS) -> list[dict]:
+    """Every point-query rung, printed like the ladder rungs."""
+    out = []
+    for entry in rungs if rungs is not None else POINT_RUNGS:
+        rung = run_point_rung(entry, reps=reps)
+        out.append(rung)
+        if "speedup" in rung:
+            answer = rung["answer_sim_seconds"]["median"]
+            full = rung["full_sim_seconds"]["median"]
+            print(
+                f"[engine] {rung['program']}/{rung['dataset']} point: "
+                f"answer {answer:.4f}s vs full {full:.3f}s "
+                f"-> {rung['speedup']:.1f}x (floor {rung['speedup_floor']:.0f}x, "
+                f"identity {rung['identity']})",
+                flush=True,
+            )
+        else:
+            print(
+                f"[engine] {rung['program']}/{rung['dataset']} point: "
                 f"no ok runs ({rung['statuses']})",
                 flush=True,
             )

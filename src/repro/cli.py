@@ -14,6 +14,25 @@ Directives start with ``.``; everything else is the Datalog program.
 Paths are resolved relative to the ``.datalog`` file. Run with::
 
     python -m repro.cli program.datalog [--engine RecStep] [--threads 20]
+
+A program may end with point queries (``?- tc(5, x).``), or one may be
+given on the command line with ``--query "tc(5, x)"`` (which overrides
+the file's). Point goals are answered through the magic-set demand
+rewrite: only the goal's cone is evaluated, and the answers are
+tuple-identical to post-filtering a full materialization.
+
+Exit codes (the contract scripts may rely on):
+
+* ``0`` — the run completed (``status == "ok"``).
+* ``1`` — hard failure: OOM, timeout, fault, storage, cancellation —
+  no trustworthy result was produced.
+* ``2`` — usage error (argparse's own convention).
+* ``3`` — degraded but served: a divergence guard or cooperative
+  deadline stopped the run at an iteration boundary with a structured
+  partial result (``status "guard"``/``"deadline"``). The outputs, if
+  written, reflect the partial fixpoint; callers who need the full
+  fixpoint must treat 3 as a failure, callers probing behavior under
+  pressure can treat it as success-with-caveats.
 """
 
 from __future__ import annotations
@@ -28,7 +47,7 @@ import numpy as np
 from repro.analysis.harness import make_engine
 from repro.common.errors import DatalogError
 from repro.datalog.analyzer import analyze_program
-from repro.datalog.parser import parse_program
+from repro.datalog.parser import parse_goal, parse_program
 from repro.datasets.io import load_relation, save_relation
 from repro.programs.library import ProgramSpec
 
@@ -92,6 +111,7 @@ def run_datalog_file(
     serve_updates: str | None = None,
     wal_root: str | None = None,
     serve_recover: bool = False,
+    query: str | None = None,
 ):
     """Parse, load, evaluate, and write outputs; returns the result.
 
@@ -176,6 +196,28 @@ def run_datalog_file(
     engine = make_engine(
         engine_name, threads=threads, enforce_budgets=enforce_budgets, **extra
     )
+    goals = (
+        [parse_goal(query)] if query is not None else list(analyzed.program.queries)
+    )
+    if goals:
+        if engine_name != "RecStep":
+            raise DatalogError(
+                "point queries (--query / '?- goal.') are only supported by "
+                "the RecStep engine"
+            )
+        if (
+            serve_trace is not None
+            or metrics_out is not None
+            or serve_updates is not None
+            or wal_root is not None
+            or serve_recover
+        ):
+            raise DatalogError(
+                "point queries cannot be combined with the service-route "
+                "options (--serve-trace/--metrics-out/--serve-updates/"
+                "--wal-root/--serve-recover)"
+            )
+        return _answer_goals(engine, spec, goals, edb_data, datalog_file, analyzed, path)
     if serve_recover and wal_root is None:
         raise DatalogError("--serve-recover requires --wal-root")
     if (
@@ -208,6 +250,27 @@ def run_datalog_file(
             rows = np.asarray(sorted(result.tuples[name]), dtype=np.int64)
             rows = rows.reshape(-1, analyzed.arities[name])
             save_relation(file_path, rows)
+    return result
+
+
+def _answer_goals(engine, spec, goals, edb_data, datalog_file, analyzed, path):
+    """Answer each point goal through the magic-set demand rewrite.
+
+    Goals run in file order; the first non-ok result stops the run and is
+    returned as-is (its status drives the exit code). A goal whose
+    predicate has an ``.output`` binding writes its answer set there —
+    the demand-restricted answers, not a full materialization.
+    """
+    result = None
+    for goal in goals:
+        result = engine.answer(spec, goal, edb_data, dataset=Path(path).stem)
+        if result.status != "ok":
+            return result
+        answers = result.tuples[goal.predicate]
+        if goal.predicate in datalog_file.outputs:
+            rows = np.asarray(sorted(answers), dtype=np.int64)
+            rows = rows.reshape(-1, analyzed.arities[goal.predicate])
+            save_relation(datalog_file.outputs[goal.predicate], rows)
     return result
 
 
@@ -560,6 +623,16 @@ def main(argv: list[str] | None = None) -> int:
         "only; rounded up to a power of two, default 256)",
     )
     parser.add_argument(
+        "--query",
+        metavar="GOAL",
+        default=None,
+        help="answer a single point goal (e.g. 'tc(5, x)') through the "
+        "magic-set demand rewrite instead of materializing every IDB "
+        "relation: constants bind positions, names are free variables, "
+        "'_' is a wildcard (RecStep only; overrides any '?- goal.' "
+        "queries in the file)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="trace the evaluation and print a hotspot table (RecStep only)",
@@ -605,6 +678,7 @@ def main(argv: list[str] | None = None) -> int:
         serve_updates=args.serve_updates,
         wal_root=args.wal_root,
         serve_recover=args.serve_recover,
+        query=args.query,
     )
     print(f"engine:       {result.engine}")
     print(f"status:       {result.status}")
@@ -612,6 +686,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"sim seconds:  {result.sim_seconds:.4f}")
     for name, size in sorted(result.sizes().items()):
         print(f"|{name}| = {size}")
+    if "answer_rows" in result.detail and result.status == "ok":
+        # Point-goal run: the tuples ARE the answer set; show it (capped).
+        for name, answers in sorted(result.tuples.items()):
+            shown = sorted(answers)[:_ANSWER_PREVIEW_ROWS]
+            for row in shown:
+                print(f"  {name}{tuple(row)}")
+            if len(answers) > len(shown):
+                print(f"  ... {len(answers) - len(shown)} more")
     if result.failure:
         detail = ", ".join(
             f"{k}={v}" for k, v in result.failure.items() if k not in ("error", "message")
@@ -638,7 +720,31 @@ def main(argv: list[str] | None = None) -> int:
             trace_path = write_chrome_trace(result.profile, args.trace_out)
             print()
             print(f"trace written to {trace_path} (load in chrome://tracing or Perfetto)")
-    return 0 if result.status == "ok" else 1
+    return exit_code_for(result.status)
+
+
+#: Rows of a point-goal answer set printed before eliding.
+_ANSWER_PREVIEW_ROWS = 20
+
+#: The CLI exit-code contract (module docstring has the full story):
+#: 0 ok, 1 hard failure, 2 usage (argparse's own), 3 degraded-but-served.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+
+#: Statuses that stopped the run cooperatively at an iteration boundary
+#: and left a structured partial result behind.
+_DEGRADED_STATUSES = frozenset({"guard", "deadline"})
+
+
+def exit_code_for(status: str) -> int:
+    """Map a result status to the CLI exit code."""
+    if status == "ok":
+        return EXIT_OK
+    if status in _DEGRADED_STATUSES:
+        return EXIT_DEGRADED
+    return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -205,8 +205,12 @@ class SemiNaiveInterpreter:
             with self._db.profiler.span("iteration 0", CATEGORY_ITERATION) as span:
                 for predicate in predicates:
                     if predicate.facts:
+                        # Facts seed the merged delta, not the full table:
+                        # the standard dedup/set-difference path then lands
+                        # them in both full and Δ, so semi-naive rules in a
+                        # recursive stratum (e.g. magic-set seeds) see them.
                         self._db.append_rows(
-                            compiler.full_table(predicate.predicate),
+                            compiler.mdelta_table(predicate.predicate),
                             np.asarray(predicate.facts, dtype=np.int64),
                         )
                     self._evaluate_predicate(predicate, predicate.init_query(), record, init=True)

@@ -35,8 +35,10 @@ from repro.common.errors import (
 from repro.common.records import EvaluationResult
 from repro.core.config import RecStepConfig
 from repro.core.interpreter import SemiNaiveInterpreter
+from repro.datalog import ast as dast
 from repro.datalog.analyzer import AnalyzedProgram, analyze_program
-from repro.datalog.parser import parse_program
+from repro.datalog.magic import MagicRewrite, filter_answers, magic_rewrite
+from repro.datalog.parser import parse_goal, parse_program
 from repro.engine.database import Database
 from repro.obs import CATEGORY_PROGRAM, ProfileReport
 from repro.programs.library import ProgramSpec
@@ -288,6 +290,72 @@ class RecStep:
             result.profile = ProfileReport.from_profiler(
                 database.profiler, database.sim_seconds
             )
+        return result
+
+    def answer(
+        self,
+        program: ProgramSpec | AnalyzedProgram | str,
+        goal: dast.Atom | str,
+        edb_data: dict[str, np.ndarray],
+        dataset: str = "unnamed",
+        rewrite: MagicRewrite | None = None,
+    ) -> EvaluationResult:
+        """Answer a point query, evaluating only the demanded cone.
+
+        ``goal`` is a goal atom (or its source text, e.g. ``"tc(5, x)"``)
+        whose bound constants drive a magic-set rewrite of ``program``;
+        the rewritten program runs through the ordinary semi-naive
+        pipeline and the result's ``tuples`` holds exactly the goal
+        predicate's answer set — tuple-identical to post-filtering a full
+        materialization by the same pattern. Goals with no bound
+        constants (and goals on predicates the rewrite must not restrict)
+        degenerate to evaluating the unrewritten program; goals on EDB
+        relations are answered by filtering the input directly.
+
+        ``rewrite`` lets callers that already planned the goal (the query
+        service prices admission on the cone estimate) skip re-planning.
+        """
+        analyzed, program_name, _ = _resolve_program(program)
+        goal_atom = parse_goal(goal) if isinstance(goal, str) else goal
+        if rewrite is None:
+            rewrite = magic_rewrite(analyzed, goal_atom)
+        if goal_atom.predicate in analyzed.edb:
+            arity = analyzed.arities[goal_atom.predicate]
+            rows = np.asarray(
+                edb_data[goal_atom.predicate], dtype=np.int64
+            ).reshape(-1, arity)
+            result = EvaluationResult(
+                engine=self.name, program=program_name, dataset=dataset
+            )
+            result.tuples[goal_atom.predicate] = filter_answers(
+                (tuple(row) for row in rows.tolist()), goal_atom
+            )
+            result.detail["magic_rewritten"] = 0.0
+            result.detail["answer_rows"] = float(
+                len(result.tuples[goal_atom.predicate])
+            )
+            return result
+        target = (
+            analyze_program(rewrite.program) if rewrite.rewritten else analyzed
+        )
+        result = self.evaluate(target, edb_data, dataset=dataset)
+        result.program = program_name
+        if self.last_database is not None:
+            counters = self.last_database.profiler.counters
+            if rewrite.rewritten:
+                counters.inc("magic.rewrites")
+                if rewrite.pinned:
+                    counters.inc("magic.pinned_predicates", len(rewrite.pinned))
+            else:
+                counters.inc("magic.degenerate")
+        result.detail["magic_rewritten"] = 1.0 if rewrite.rewritten else 0.0
+        result.detail["magic_cone_predicates"] = float(len(rewrite.cone))
+        if result.status == "ok":
+            answers = filter_answers(
+                result.tuples.get(rewrite.answer_predicate, ()), goal_atom
+            )
+            result.tuples = {goal_atom.predicate: answers}
+            result.detail["answer_rows"] = float(len(answers))
         return result
 
     def materialize(

@@ -88,6 +88,8 @@ def analyze_program(program: ast.Program) -> AnalyzedProgram:
         _check_safety(rule)
         _check_aggregation_shape(rule)
     _check_aggregate_consistency(program, idb)
+    for goal in program.queries:
+        check_goal(goal, arities)
 
     strata = _stratify(program, idb)
     features = _compute_features(program, strata, arities)
@@ -301,6 +303,227 @@ def _check_recursive_aggregation(analyzed: AnalyzedProgram) -> None:
                         f"aggregate {term.func} in recursive rule {rule} has no "
                         "convergent fixpoint semantics (only MIN/MAX may recurse)"
                     )
+
+
+# --------------------------------------------------------------------------
+# Adornment analysis (magic sets / demand transformation)
+# --------------------------------------------------------------------------
+#
+# A point query ``?- p(5, x).`` demands only the part of ``p`` consistent
+# with the bound constant. Adornment analysis annotates every demanded
+# (predicate, binding-pattern) pair with a string over {'b', 'f'} — one
+# character per argument position — and propagates bindings through each
+# rule body left to right (the textbook sideways-information-passing
+# strategy): a body position is bound iff its term is a constant or a
+# variable already bound by the adorned head or an earlier positive atom.
+# The rewrite itself lives in repro.datalog.magic; this pass only decides
+# *which* adorned copies exist and which predicates must stay unrestricted.
+
+
+def goal_adornment(goal: ast.Atom) -> str:
+    """The goal's binding pattern: 'b' where the term is a constant."""
+    return "".join(
+        "b" if isinstance(term, ast.Constant) else "f" for term in goal.terms
+    )
+
+
+def check_goal(goal: ast.Atom, arities: dict[str, int]) -> None:
+    """Validate a point-query goal against the program's predicates."""
+    if goal.negated:
+        raise DatalogError(f"goal {goal} may not be negated")
+    known = arities.get(goal.predicate)
+    if known is None:
+        raise DatalogError(
+            f"goal predicate {goal.predicate!r} does not occur in the program"
+        )
+    if known != goal.arity:
+        raise DatalogError(
+            f"goal {goal} has arity {goal.arity}, but {goal.predicate!r} "
+            f"has arity {known}"
+        )
+    for term in goal.terms:
+        if isinstance(term, ast.AggTerm | ast.Arithmetic):
+            raise DatalogError(
+                f"goal {goal} may only use variables, constants, and wildcards"
+            )
+
+
+@dataclass(frozen=True)
+class AdornedRule:
+    """One rule specialized to a head binding pattern.
+
+    ``body_adornments`` parallels ``rule.body``: the adornment of each
+    positive IDB body atom that participates in the demand restriction,
+    or ``None`` for literals evaluated unrestricted (EDB atoms, negated
+    atoms, comparisons, and atoms of pinned / all-free predicates).
+    """
+
+    rule: ast.Rule
+    adornment: str
+    body_adornments: tuple[str | None, ...]
+
+
+@dataclass
+class AdornmentAnalysis:
+    """Everything the magic rewrite needs about one goal.
+
+    ``adorned`` maps each demanded (predicate, adornment) pair — with at
+    least one bound position — to its specialized rules. ``full`` holds
+    predicates that must keep their original, unrestricted rules: pinned
+    predicates (negation or aggregation in the demanded cone — restricting
+    those could silently change semantics), predicates reached with an
+    all-free pattern, and everything reachable from either. ``degenerate``
+    names the reason no rewrite applies (the caller should evaluate the
+    unrewritten program), or is ``None``.
+    """
+
+    goal: ast.Atom
+    adornment: str
+    adorned: dict[tuple[str, str], list[AdornedRule]] = field(default_factory=dict)
+    full: set[str] = field(default_factory=set)
+    pinned: dict[str, str] = field(default_factory=dict)
+    degenerate: str | None = None
+
+
+def demanded_cone(program: ast.Program, predicate: str) -> set[str]:
+    """IDB predicates reachable from ``predicate`` through rule bodies."""
+    rules_by_head: dict[str, list[ast.Rule]] = {}
+    for rule in program.rules:
+        rules_by_head.setdefault(rule.head.predicate, []).append(rule)
+    cone: set[str] = set()
+    worklist = [predicate]
+    while worklist:
+        name = worklist.pop()
+        if name in cone or name not in rules_by_head:
+            continue
+        cone.add(name)
+        for rule in rules_by_head[name]:
+            for atom in rule.body_atoms():
+                worklist.append(atom.predicate)
+    return cone
+
+
+def _pinned_predicates(
+    analyzed: "AnalyzedProgram", cone: set[str]
+) -> dict[str, str]:
+    """Cone predicates that magic restriction must not touch, with reasons.
+
+    Aggregation: an aggregate is computed over *all* derivations of its
+    body; restricting the body to demanded bindings could change the
+    aggregate's value. Negation: a negated predicate must be complete
+    before it is read — a demand-restricted (partial) relation would make
+    ``NOT EXISTS`` succeed spuriously. Both stay unrestricted (evaluated
+    exactly as in the original program), which is always correct.
+    """
+    pinned: dict[str, str] = {}
+    for rule in analyzed.program.rules:
+        if rule.head.predicate in cone and rule.has_aggregation():
+            pinned[rule.head.predicate] = "aggregation"
+        if rule.head.predicate not in cone:
+            continue
+        for atom in rule.negative_atoms():
+            if atom.predicate in analyzed.idb:
+                pinned.setdefault(atom.predicate, "negation")
+    return pinned
+
+
+def adorn_program(analyzed: "AnalyzedProgram", goal: ast.Atom) -> AdornmentAnalysis:
+    """Adorn the demanded cone of ``goal`` (left-to-right SIPS).
+
+    Returns a degenerate analysis (no adorned rules) when the goal is
+    all-free, targets an EDB relation, or targets a pinned predicate —
+    in each case the unrewritten program is the correct evaluation.
+    """
+    check_goal(goal, analyzed.arities)
+    adornment = goal_adornment(goal)
+    analysis = AdornmentAnalysis(goal=goal, adornment=adornment)
+    if goal.predicate in analyzed.edb:
+        analysis.degenerate = "edb-goal"
+        return analysis
+    if "b" not in adornment:
+        analysis.degenerate = "all-free"
+        return analysis
+    cone = demanded_cone(analyzed.program, goal.predicate)
+    analysis.pinned = _pinned_predicates(analyzed, cone)
+    if goal.predicate in analysis.pinned:
+        analysis.degenerate = f"pinned-{analysis.pinned[goal.predicate]}"
+        return analysis
+
+    rules_by_head: dict[str, list[ast.Rule]] = {}
+    for rule in analyzed.program.rules:
+        rules_by_head.setdefault(rule.head.predicate, []).append(rule)
+
+    worklist: list[tuple[str, str]] = [(goal.predicate, adornment)]
+    while worklist:
+        key = worklist.pop()
+        if key in analysis.adorned:
+            continue
+        predicate, pattern = key
+        adorned_rules: list[AdornedRule] = []
+        for rule in rules_by_head.get(predicate, []):
+            adorned_rules.append(
+                _adorn_rule(analyzed, rule, pattern, analysis, worklist)
+            )
+        analysis.adorned[key] = adorned_rules
+
+    # Close the unrestricted set over original rules: a predicate kept
+    # at its original name references original names in its bodies, so
+    # its entire sub-cone must be present unrewritten too.
+    closure: set[str] = set()
+    for name in sorted(analysis.full):
+        closure |= demanded_cone(analyzed.program, name)
+    analysis.full = closure
+    return analysis
+
+
+def _adorn_rule(
+    analyzed: "AnalyzedProgram",
+    rule: ast.Rule,
+    pattern: str,
+    analysis: AdornmentAnalysis,
+    worklist: list[tuple[str, str]],
+) -> AdornedRule:
+    bound = {
+        term.name
+        for term, flag in zip(rule.head.terms, pattern)
+        if flag == "b" and isinstance(term, ast.Variable)
+    }
+    body_adornments: list[str | None] = []
+    for literal in rule.body:
+        if isinstance(literal, ast.Atom) and not literal.negated:
+            adorn: str | None = None
+            if (
+                literal.predicate in analyzed.idb
+                and literal.predicate not in analysis.pinned
+            ):
+                candidate = "".join(
+                    "b"
+                    if isinstance(term, ast.Constant)
+                    or (isinstance(term, ast.Variable) and term.name in bound)
+                    else "f"
+                    for term in literal.terms
+                )
+                if "b" in candidate:
+                    adorn = candidate
+                    worklist.append((literal.predicate, candidate))
+                else:
+                    # Reached with no bindings at all: the whole relation
+                    # is demanded — evaluate it unrewritten.
+                    analysis.full.add(literal.predicate)
+            elif literal.predicate in analysis.pinned:
+                analysis.full.add(literal.predicate)
+            body_adornments.append(adorn)
+            bound |= literal.variables()
+        elif isinstance(literal, ast.Atom):
+            # Negated atoms read complete relations and bind nothing.
+            if literal.predicate in analyzed.idb:
+                analysis.full.add(literal.predicate)
+            body_adornments.append(None)
+        else:
+            body_adornments.append(None)
+    return AdornedRule(
+        rule=rule, adornment=pattern, body_adornments=tuple(body_adornments)
+    )
 
 
 # --------------------------------------------------------------------------

@@ -173,6 +173,11 @@ class Program:
 
     rules: list[Rule] = field(default_factory=list)
     name: str = "program"
+    #: Point-query goals (``?- pred(t1, ..., tk).``): plain atoms whose
+    #: terms are variables, constants, or wildcards. Goals do not affect
+    #: the EDB/IDB split or stratification; they drive the magic-set
+    #: demand rewrite (repro.datalog.magic).
+    queries: list[Atom] = field(default_factory=list)
 
     def predicates(self) -> set[str]:
         names: set[str] = set()
@@ -183,4 +188,6 @@ class Program:
         return names
 
     def __str__(self) -> str:
-        return "\n".join(str(rule) for rule in self.rules)
+        lines = [str(rule) for rule in self.rules]
+        lines.extend(f"?- {query}." for query in self.queries)
+        return "\n".join(lines)

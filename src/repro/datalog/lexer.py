@@ -15,7 +15,7 @@ class TokType(enum.Enum):
     END = "end"
 
 
-_SYMBOLS = (":-", "!=", "<=", ">=", "(", ")", ",", ".", "!", "=", "<", ">", "+", "-", "*", "_")
+_SYMBOLS = ("?-", ":-", "!=", "<=", ">=", "(", ")", ",", ".", "!", "=", "<", ">", "+", "-", "*", "_")
 
 
 @dataclass(frozen=True)

@@ -56,8 +56,24 @@ class _Parser:
     def parse_program(self, name: str) -> ast.Program:
         program = ast.Program(name=name)
         while self._peek().ttype is not TokType.END:
-            program.rules.append(self.parse_rule())
+            if self._peek().is_symbol("?-"):
+                program.queries.append(self.parse_query())
+            else:
+                program.rules.append(self.parse_rule())
         return program
+
+    def parse_query(self) -> ast.Atom:
+        """``?- pred(t1, ..., tk).`` — a point-query goal atom."""
+        self._expect_symbol("?-")
+        if self._peek().is_symbol("!") or (
+            self._peek().text == "not" and self._peek(1).ttype is TokType.IDENT
+        ):
+            raise DatalogError(
+                f"goal at offset {self._peek().position} may not be negated"
+            )
+        goal = self._parse_atom(in_head=False)
+        self._expect_symbol(".")
+        return goal
 
     def parse_rule(self) -> ast.Rule:
         head = self._parse_atom(in_head=True)
@@ -180,3 +196,25 @@ def parse_rule(source: str) -> ast.Rule:
     if trailing.ttype is not TokType.END:
         raise DatalogError(f"trailing input {trailing.text!r}")
     return rule
+
+
+def parse_goal(source: str) -> ast.Atom:
+    """Parse a single point-query goal like ``tc(5, x)``.
+
+    The ``?-`` prefix and trailing ``.`` are both optional, so the CLI
+    can accept ``--query "tc(5, x)"`` as well as full ``?- tc(5, x).``
+    query syntax.
+    """
+    parser = _Parser(tokenize(source))
+    if parser._peek().is_symbol("?-"):
+        parser._advance()
+    if parser._peek().is_symbol("!") or (
+        parser._peek().text == "not" and parser._peek(1).ttype is TokType.IDENT
+    ):
+        raise DatalogError("goal may not be negated")
+    goal = parser._parse_atom(in_head=False)
+    parser._accept_symbol(".")
+    trailing = parser._peek()
+    if trailing.ttype is not TokType.END:
+        raise DatalogError(f"trailing input {trailing.text!r} after goal")
+    return goal

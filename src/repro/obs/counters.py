@@ -101,6 +101,10 @@ KNOWN_COUNTERS = {
     "ivm.strata_recomputed": "strata recomputed from scratch during maintenance",
     "ivm.overdeleted_rows": "rows DRed over-deleted before rederivation",
     "ivm.rederived_rows": "over-deleted rows DRed rederived back",
+    # -- magic sets / demand-driven evaluation (repro.datalog.magic) ---------
+    "magic.rewrites": "point goals answered through a magic-set rewritten program",
+    "magic.degenerate": "point goals that degenerated to the unrewritten program",
+    "magic.pinned_predicates": "cone predicates pinned to unrestricted evaluation (aggregation/negation)",
     # -- query service (repro.server) ---------------------------------------
     "server.submitted": "query submissions received by the service",
     "server.admitted": "queries admitted past admission control",
@@ -118,6 +122,10 @@ KNOWN_COUNTERS = {
     "server.spill_released_bytes": "reservation bytes returned early because sessions spilled to disk",
     "server.spill_dirs_cleaned": "per-session spill directories removed at finalize/drain",
     "server.rejected_no_view": "update submissions rejected for a missing/dead target view",
+    "server.rejected_bad_goal": "point submissions rejected for an unparseable or ill-typed goal",
+    "server.point_queries": "point-query sessions executed (cache hits included)",
+    "server.point_cache_hits": "point queries served from the demand cache without evaluation",
+    "server.point_cache_misses": "point queries that ran their demanded cone to fixpoint",
     "server.views_materialized": "fixpoints kept live for incremental updates",
     "server.views_released": "materialized views released (explicitly or at drain)",
     "server.updates_applied": "update sessions that maintained a view successfully",

@@ -65,9 +65,14 @@ class QueryRequest:
             the query's own clock).
         max_iterations / max_total_rows: per-query divergence budgets
             (see :mod:`repro.resilience.guards`).
-        kind: ``"query"`` (evaluate to fixpoint) or ``"update"`` (apply
+        kind: ``"query"`` (evaluate to fixpoint), ``"update"`` (apply
             an EDB delta batch to a materialized session's warm
-            fixpoint).
+            fixpoint), or ``"point"`` (answer a single goal atom through
+            the magic-set demand rewrite, evaluating only the goal's
+            cone).
+        goal: for ``kind="point"``, the goal atom — an
+            :class:`repro.datalog.ast.Atom` or its source text, e.g.
+            ``"tc(5, x)"``.
         materialize: keep the fixpoint (database + interpreter) alive
             after a ``"query"`` completes so later ``"update"`` requests
             can target it by session id.
@@ -95,12 +100,19 @@ class QueryRequest:
     inserts: dict | None = None
     deletes: dict | None = None
     batch_id: str | None = None
+    goal: object | None = None
+    #: Service-internal: the submit-time point plan (parsed goal,
+    #: canonical goal, magic rewrite, demand-cache key), stamped by
+    #: ``QueryService._plan_point`` so execution never re-plans.
+    point_plan: dict | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.klass:
             self.klass = getattr(self.program, "name", "default") or "default"
-        if self.kind not in ("query", "update"):
+        if self.kind not in ("query", "update", "point"):
             raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind == "point" and self.goal is None:
+            raise ValueError('kind="point" requires a goal')
 
     def delta_rows(self) -> int:
         """Total churned tuples across both sides of an update batch."""
@@ -117,8 +129,10 @@ class QueryRequest:
         accrue ``pending_bytes`` while queued — the default split is a
         slot property, already bounded by ``max_concurrent``, and
         updates ride their target view's standing reservation instead of
-        the global pool."""
-        return self.kind == "query" and self.memory_quota is not None
+        the global pool. Point queries are always priced: the service
+        stamps their quota from the goal's cone estimate at submit
+        time."""
+        return self.kind in ("query", "point") and self.memory_quota is not None
 
 
 @dataclass(frozen=True)

@@ -33,24 +33,46 @@ The stability disciplines, in the order a submission meets them:
 from __future__ import annotations
 
 import shutil
+import zlib
 from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.common.errors import FaultRetriesExhausted
+from repro.common.errors import (
+    DatalogError,
+    DivergenceGuardTripped,
+    EvaluationCancelled,
+    EvaluationTimeout,
+    FaultRetriesExhausted,
+    OutOfMemoryError,
+    SpillError,
+)
+from repro.common.records import EvaluationResult
 from repro.common.rng import derive_seed
 from repro.common.timing import SimClock
 from repro.core.config import RecStepConfig
-from repro.core.recstep import MaintenanceResult, MaterializedFixpoint, RecStep
+from repro.core.recstep import (
+    MaintenanceResult,
+    MaterializedFixpoint,
+    RecStep,
+    _resolve_program,
+)
+from repro.datalog import ast as dast
+from repro.datalog.magic import filter_answers, magic_rewrite
+from repro.datalog.parser import parse_goal
 from repro.engine.metrics import CRITICAL_WATERMARK, DEFAULT_MEMORY_BUDGET
 from repro.obs.counters import CounterRegistry
 from repro.obs.histogram import NULL_HISTOGRAMS, HistogramSet
 from repro.obs.timeline import NULL_TIMELINE, ResourceTimeline
 from repro.programs.library import ProgramSpec
 from repro.resilience import FaultInjector, RetryPolicy
-from repro.resilience.checkpoint import CheckpointError, CheckpointManager
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    edb_fingerprint,
+)
 from repro.resilience.wal import (
     BASE_DIR_NAME,
     WAL_NAME,
@@ -60,6 +82,7 @@ from repro.resilience.wal import (
 )
 from repro.server.admission import (
     DEFAULT_RETRY_AFTER,
+    MIN_SESSION_QUOTA,
     AdmissionController,
     Overloaded,
     QueryRequest,
@@ -153,6 +176,13 @@ class QueryService:
         #: session id -> ViewDurability for views persisted under
         #: ``wal_root`` (empty when durability is off).
         self._durability: dict[str, ViewDurability] = {}
+        #: Demand cache for point queries: (program, EDB fingerprint,
+        #: goal predicate, adornment, bound constants) -> the
+        #: demand-restricted answer relation (filtered by the bound
+        #: constants only). Repeated and paginated lookups with the same
+        #: bindings re-filter the warm answers instead of re-running the
+        #: fixpoint.
+        self._demand_cache: dict[tuple, dict] = {}
         # WAL appends share the engine's deterministic fault discipline:
         # a chaos seed arms the wal_* sites on an independent stream.
         self._wal_injector = (
@@ -223,6 +253,10 @@ class QueryService:
                         },
                     )
                 )
+        if request.kind == "point":
+            overload = self._plan_point(request)
+            if overload is not None:
+                return self._reject(overload)
         overload = self.admission.check_submit(
             request, queue_depth=len(self._queue), retry_hint=self._retry_hint(now)
         )
@@ -267,12 +301,93 @@ class QueryService:
             in (SessionState.QUEUED, SessionState.ADMITTED, SessionState.RUNNING)
         )
 
+    def _plan_point(self, request: QueryRequest) -> Overloaded | None:
+        """Plan a point goal at submit time: parse, rewrite, price.
+
+        A malformed goal (parse error, unknown predicate, arity or term
+        violations) is a client error, bounced as a structured
+        ``bad-goal`` rejection before a session exists. A well-formed
+        goal is magic-rewritten once here; the plan (goal atom, canonical
+        constants-only goal, rewrite, demand-cache key) rides on the
+        request for :meth:`_execute_point`, and — unless the client set
+        an explicit quota — the request is priced by the rewrite's cone
+        estimate instead of a full default slot, so cheap bound lookups
+        admit under memory pressure that would bounce full evaluations.
+        """
+        try:
+            analyzed, program_name, _ = _resolve_program(request.program)
+            goal = (
+                parse_goal(request.goal)
+                if isinstance(request.goal, str)
+                else request.goal
+            )
+            # Canonical goal: bound constants kept, every free position a
+            # distinct fresh variable. The rewrite (and the cached answer
+            # relation) depend only on the bindings, so goals differing
+            # in wildcards or repeated variables share one cache entry
+            # and re-filter it per lookup.
+            canonical = dast.Atom(
+                goal.predicate,
+                tuple(
+                    term
+                    if isinstance(term, dast.Constant)
+                    else dast.Variable(f"_pt{index}")
+                    for index, term in enumerate(goal.terms)
+                ),
+            )
+            rewrite = magic_rewrite(analyzed, canonical)
+        except DatalogError as error:
+            return Overloaded(
+                reason="bad-goal",
+                retry_after_seconds=DEFAULT_RETRY_AFTER,
+                detail={"message": str(error), "goal": str(request.goal)},
+            )
+        if request.memory_quota is None:
+            request.memory_quota = max(
+                MIN_SESSION_QUOTA,
+                int(
+                    self.admission.default_quota
+                    * rewrite.cone_fraction(analyzed)
+                ),
+            )
+        bound = tuple(
+            term.value
+            for term in canonical.terms
+            if isinstance(term, dast.Constant)
+        )
+        fingerprint = edb_fingerprint(
+            {
+                name: np.asarray(
+                    request.edb_data[name], dtype=np.int64
+                ).reshape(-1, analyzed.arities[name])
+                for name in sorted(analyzed.edb)
+                if name in request.edb_data
+            }
+        )
+        request.point_plan = {
+            "goal": goal,
+            "canonical": canonical,
+            "rewrite": rewrite,
+            "program_name": program_name,
+            "cache_key": (
+                # Program identity by content, not name: two programs
+                # both named "program" must not share demand entries.
+                zlib.crc32(str(analyzed.program).encode("utf-8")),
+                fingerprint,
+                goal.predicate,
+                rewrite.adornment,
+                bound,
+            ),
+        }
+        return None
+
     _REJECT_COUNTERS = {
         "queue-full": "server.rejected_queue_full",
         "memory-pressure": "server.rejected_memory",
         "draining": "server.rejected_draining",
         "breaker-open": "server.rejected_breaker",
         "no-such-view": "server.rejected_no_view",
+        "bad-goal": "server.rejected_bad_goal",
     }
 
     def _reject(self, overload: Overloaded) -> dict:
@@ -425,15 +540,15 @@ class QueryService:
         rows = 0
         if session.result is not None:
             rows = sum(session.result.sizes().values())
-        # Updates get their own latency family: their distribution (delta
-        # maintenance against a warm fixpoint) is the headline the churn
-        # benchmarks gate on, and folding it into full-evaluation latency
-        # would blur both.
-        prefix = (
-            "update.latency"
-            if getattr(session.request, "kind", "query") == "update"
-            else "latency"
-        )
+        # Updates and point queries get their own latency families: their
+        # distributions (delta maintenance against a warm fixpoint; a
+        # demand-restricted cone, often a cache hit) are the headlines
+        # their benchmarks gate on, and folding either into
+        # full-evaluation latency would blur all three.
+        prefix = {
+            "update": "update.latency",
+            "point": "point.latency",
+        }.get(getattr(session.request, "kind", "query"), "latency")
         for klass in (session.klass, "all"):
             self.histograms.observe(f"{prefix}.{klass}", latency)
             self.histograms.observe(f"queue_wait.{klass}", queue_wait)
@@ -495,6 +610,9 @@ class QueryService:
         if request.kind == "update":
             self._execute_update(session)
             return
+        if request.kind == "point":
+            self._execute_point(session)
+            return
         config = self._session_config(session)
         engine = RecStep(config, token_factory=self._token_factory(session))
         view = None
@@ -513,8 +631,7 @@ class QueryService:
             session.failure = result.failure
             duration = result.sim_seconds
         except Exception as error:  # the isolation boundary: never propagate
-            status = "fault"
-            session.failure = self._wrap_failure(error)
+            status, session.failure = self._classify_failure(error)
             duration = (
                 engine.last_database.sim_seconds
                 if engine.last_database is not None
@@ -690,6 +807,97 @@ class QueryService:
                     durability.compact(view)
         self._active.append((finish, session, result.status))
 
+    def _execute_point(self, session: Session) -> None:
+        """Answer one point goal, serving repeats from the demand cache.
+
+        The cache is keyed by (program content, EDB fingerprint, goal
+        predicate, adornment, bound constants) and holds the
+        demand-restricted answer relation filtered by the bound constants
+        only, so repeated lookups with the same bindings but different
+        free-term patterns (wildcards, repeated variables) re-filter the
+        warm answers at zero evaluation cost instead of re-running the
+        fixpoint. Any EDB churn changes the fingerprint and misses.
+        """
+        request: QueryRequest = session.request
+        plan = getattr(request, "point_plan", None)
+        if plan is None:
+            # Defensive: submission always plans; a request reaching here
+            # without a plan (hand-built session in tests) plans now.
+            overload = self._plan_point(request)
+            if overload is not None:
+                session.failure = {
+                    "error": "DatalogError",
+                    "kind": "bad-goal",
+                    **overload.detail,
+                }
+                self._active.append((session.started_at, session, "fault"))
+                return
+            plan = request.point_plan
+        goal: dast.Atom = plan["goal"]
+        self.counters.inc("server.point_queries")
+        cached = self._demand_cache.get(plan["cache_key"])
+        if cached is not None:
+            self.counters.inc("server.point_cache_hits")
+            result = EvaluationResult(
+                engine=RecStep.name,
+                program=plan["program_name"],
+                dataset=request.dataset,
+            )
+            result.tuples = {
+                goal.predicate: filter_answers(cached["answers"], goal)
+            }
+            result.detail.update(cached["detail"])
+            result.detail["answer_rows"] = float(
+                len(result.tuples[goal.predicate])
+            )
+            result.detail["point_cache_hit"] = 1.0
+            session.result = result
+            # A hit costs no evaluation: the session settles at its start
+            # instant.
+            self._active.append((session.started_at, session, "ok"))
+            return
+        self.counters.inc("server.point_cache_misses")
+        config = self._session_config(session)
+        engine = RecStep(config, token_factory=self._token_factory(session))
+        try:
+            result = engine.answer(
+                request.program,
+                plan["canonical"],
+                request.edb_data,
+                dataset=request.dataset,
+                rewrite=plan["rewrite"],
+            )
+            status = result.status
+            session.result = result
+            session.failure = result.failure
+            duration = result.sim_seconds
+            if status == "ok":
+                canonical_answers = result.tuples[goal.predicate]
+                self._demand_cache[plan["cache_key"]] = {
+                    "answers": canonical_answers,
+                    "detail": {
+                        key: value
+                        for key, value in result.detail.items()
+                        if key.startswith("magic_")
+                    },
+                }
+                result.tuples = {
+                    goal.predicate: filter_answers(canonical_answers, goal)
+                }
+                result.detail["answer_rows"] = float(
+                    len(result.tuples[goal.predicate])
+                )
+                result.detail["point_cache_hit"] = 0.0
+        except Exception as error:  # the isolation boundary: never propagate
+            status, session.failure = self._classify_failure(error)
+            duration = (
+                engine.last_database.sim_seconds
+                if engine.last_database is not None
+                else 0.0
+            )
+        self._note_spill(session)
+        self._active.append((session.started_at + duration, session, status))
+
     def _note_spill(self, session: Session) -> None:
         """Account a finished evaluation's spill tier against admission.
 
@@ -769,6 +977,43 @@ class QueryService:
             doc = {"error": type(error).__name__, "message": str(error)}
         doc.setdefault("kind", "internal")
         return doc
+
+    #: Evaluation-control exceptions the isolation boundaries must map to
+    #: their structured statuses instead of collapsing into generic
+    #: ``fault``/``kind="internal"`` — the same taxonomy RecStep.evaluate
+    #: applies inside the interpreter.
+    _CONTROL_STATUSES = (
+        (OutOfMemoryError, "oom"),
+        (EvaluationTimeout, "timeout"),
+        (DivergenceGuardTripped, "guard"),
+        (FaultRetriesExhausted, "fault"),
+        (SpillError, "storage"),
+    )
+
+    @classmethod
+    def _classify_failure(cls, error: Exception) -> tuple[str, dict]:
+        """Map an escaped exception to ``(status, failure_doc)``.
+
+        Cancellation (client deadline, watchdog, drain grace), divergence
+        guards, OOM, and the other evaluation-control classes normally
+        surface as result *statuses*; if one escapes the interpreter
+        (raised outside the guarded fixpoint loop) the isolation boundary
+        must still classify it — a watchdog cancel is ``CANCELLED`` with
+        ``kind="watchdog"``, a tripped guard is ``guard``, never a
+        generic ``FAILED``/``internal``.
+        """
+        if isinstance(error, EvaluationCancelled):
+            reason = error.context.get("reason", "cancelled")
+            status = "deadline" if reason == "deadline" else "cancelled"
+            doc = error.to_dict()
+            doc.setdefault("kind", reason)
+            return status, doc
+        for klass, status in cls._CONTROL_STATUSES:
+            if isinstance(error, klass):
+                doc = error.to_dict()
+                doc.setdefault("kind", doc.get("reason", status))
+                return status, doc
+        return "fault", cls._wrap_failure(error)
 
     # -- drain and reporting -----------------------------------------------------
 
@@ -977,17 +1222,30 @@ class QueryService:
         config = replace(self._session_config(session), resume_from=str(base_dir))
         engine = RecStep(config, token_factory=self._token_factory(session))
         view = None
+        rebuild_status = "fault"
         try:
             view = engine.materialize(spec, edb, dataset=request.dataset)
         except Exception as error:  # isolation boundary, as in _execute
-            session.failure = self._wrap_failure(error)
+            rebuild_status, session.failure = self._classify_failure(error)
         if view is None or view.status != "ready":
             if view is not None:
+                rebuild_status = view.result.status
                 session.failure = view.result.failure or session.failure
                 view.release()
             self.admission.release(quota)
             session.finished_at = now
-            self.sessions.transition(session, SessionState.FAILED)
+            terminal = _STATUS_TO_STATE.get(rebuild_status, SessionState.FAILED)
+            self.sessions.transition(session, terminal)
+            if terminal is SessionState.CANCELLED:
+                # A cancelled rebuild (watchdog stall, deadline) is
+                # transient, not corruption: quarantining would discard
+                # durable state a later, calmer recover() could rebuild —
+                # leave the directory in place.
+                return {
+                    "ok": False,
+                    "kind": (session.failure or {}).get("kind", "cancelled"),
+                    "transient": True,
+                }
             return self._quarantine_view(
                 directory,
                 "rebuild-failed",

@@ -264,3 +264,83 @@ class TestExplainProgram:
         db.analyze("e")
         plan = db.explain("SELECT e.a AS a FROM e")
         assert "scan e" in plan
+
+
+class TestPointQueryCli:
+    def test_query_flag_prints_answers_and_writes_outputs(
+        self, datalog_project, capsys
+    ):
+        code = main([str(datalog_project), "--query", "tc(0, x)"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "|tc| = 3" in output
+        assert "  tc(0, 1)" in output
+        rows = load_relation(datalog_project.parent / "tc_out.tsv", arity=2)
+        assert {tuple(r) for r in rows.tolist()} == {(0, 1), (0, 2), (0, 3)}
+
+    def test_file_level_query_directive(self, tmp_path, capsys):
+        save_relation(tmp_path / "arc.tsv", np.array([[0, 1], [1, 2]]))
+        program = tmp_path / "q.datalog"
+        program.write_text(
+            ".input arc arc.tsv\n"
+            "tc(x, y) :- arc(x, y).\n"
+            "tc(x, y) :- tc(x, z), arc(z, y).\n"
+            "?- tc(1, x).\n"
+        )
+        code = main([str(program)])
+        assert code == 0
+        assert "tc(1, 2)" in capsys.readouterr().out
+
+    def test_query_requires_recstep(self, datalog_project):
+        with pytest.raises(DatalogError, match="RecStep"):
+            run_datalog_file(datalog_project, engine_name="Souffle", query="tc(0, x)")
+
+    def test_query_incompatible_with_serving(self, datalog_project, tmp_path):
+        with pytest.raises(DatalogError, match="serve"):
+            run_datalog_file(
+                datalog_project,
+                query="tc(0, x)",
+                serve_trace=str(tmp_path / "trace.json"),
+            )
+
+
+class TestExitCodes:
+    """The documented contract: 0 ok, 1 hard failure, 2 usage, 3 degraded.
+
+    Degraded-but-served runs (divergence guard, cooperative deadline)
+    produced a usable partial report, so scripts can distinguish them
+    from hard failures (OOM, timeout, fault) without parsing output.
+    """
+
+    def test_ok_exits_zero(self, datalog_project):
+        assert main([str(datalog_project)]) == 0
+
+    def test_hard_failure_exits_one(self, datalog_project, capsys):
+        code = main([str(datalog_project), "--memory-budget", "50"])
+        assert code == 1
+        assert "status:       oom" in capsys.readouterr().out
+
+    def test_usage_error_exits_two(self, datalog_project, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([str(datalog_project), "--no-such-flag"])
+        assert info.value.code == 2
+        capsys.readouterr()
+
+    def test_guard_trip_exits_three(self, datalog_project, capsys):
+        code = main([str(datalog_project), "--max-iterations", "1"])
+        assert code == 3
+        assert "status:       guard" in capsys.readouterr().out
+
+    def test_deadline_exits_three(self, datalog_project, capsys):
+        code = main([str(datalog_project), "--deadline", "1e-9"])
+        assert code == 3
+        assert "status:       deadline" in capsys.readouterr().out
+
+    def test_exit_code_for_mapping(self):
+        from repro.cli import exit_code_for
+
+        assert exit_code_for("ok") == 0
+        assert exit_code_for("guard") == 3
+        assert exit_code_for("deadline") == 3
+        for hard in ("oom", "timeout", "fault", "storage", "cancelled"):
+            assert exit_code_for(hard) == 1

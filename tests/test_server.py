@@ -22,6 +22,8 @@ import pytest
 from repro.common.errors import EvaluationCancelled
 from repro.common.timing import SimClock
 from repro.core import PbmeMode, RecStep, RecStepConfig
+from repro.datalog.magic import filter_answers
+from repro.datalog.parser import parse_goal
 from repro.programs import get_program
 from repro.server import (
     AdmissionController,
@@ -734,3 +736,199 @@ class TestSmoke:
         report = run_smoke(queries=6, queue_limit=3, verbose=False)
         assert report["smoke"]["violations"] == []
         assert report["smoke"]["accepted"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Point queries: demand-driven serving with a per-service answer cache
+# ---------------------------------------------------------------------------
+
+
+def _point_request(goal: str, seed: int = 42, **kwargs) -> QueryRequest:
+    return QueryRequest(
+        program=get_program("TC"),
+        edb_data={"arc": _graph(seed, 120, 400)},
+        dataset=f"tc-{seed}",
+        kind="point",
+        goal=goal,
+        **kwargs,
+    )
+
+
+class TestPointQueries:
+    def test_point_answers_match_post_filtered_full(self):
+        edb = {"arc": _graph(42, 120, 400)}
+        source = int(edb["arc"][0, 0])
+        goal = parse_goal(f"tc({source}, x)")
+        service = _service()
+        response = service.submit(_point_request(f"tc({source}, x)"))
+        assert response["accepted"]
+        service.pump()
+        service.flush()
+        session = service.sessions.get(response["session_id"])
+        assert session.state is SessionState.DONE
+        full = RecStep(RecStepConfig(**RELATIONAL)).evaluate(
+            get_program("TC"), {k: v.copy() for k, v in edb.items()}
+        )
+        assert session.result.tuples["tc"] == filter_answers(
+            full.tuples["tc"], goal
+        )
+        assert session.result.detail["point_cache_hit"] == 0.0
+        assert session.result.detail["magic_rewritten"] == 1.0
+
+    def test_cache_hit_serves_repeat_goal_without_evaluation(self):
+        source = int(_graph(42, 120, 400)[0, 0])
+        service = _service()
+        first = service.submit(_point_request(f"tc({source}, x)"))
+        service.pump()
+        service.flush()
+        # Same bindings, different free-term pattern: the cached answer
+        # relation is re-filtered, the fixpoint is not re-run.
+        second = service.submit(_point_request(f"tc({source}, _)"))
+        service.pump()
+        service.flush()
+        counts = service.counters.snapshot()
+        assert counts["server.point_queries"] == 2
+        assert counts["server.point_cache_misses"] == 1
+        assert counts["server.point_cache_hits"] == 1
+        hit = service.sessions.get(second["session_id"])
+        assert hit.state is SessionState.DONE
+        assert hit.result.detail["point_cache_hit"] == 1.0
+        miss = service.sessions.get(first["session_id"])
+        assert hit.result.tuples == miss.result.tuples
+        # A hit costs no simulated evaluation time.
+        assert hit.finished_at == hit.started_at
+
+    def test_edb_churn_changes_fingerprint_and_misses(self):
+        source = int(_graph(42, 120, 400)[0, 0])
+        service = _service()
+        service.submit(_point_request(f"tc({source}, x)", seed=42))
+        service.pump()
+        service.flush()
+        churned = _point_request(f"tc({source}, x)", seed=42)
+        churned.edb_data["arc"] = np.vstack(
+            [churned.edb_data["arc"], np.array([[118, 119]], dtype=np.int64)]
+        )
+        service.submit(churned)
+        service.pump()
+        service.flush()
+        counts = service.counters.snapshot()
+        assert counts["server.point_cache_misses"] == 2
+        assert counts.get("server.point_cache_hits", 0) == 0
+
+    def test_quota_priced_on_demanded_cone(self):
+        # A bound goal demands a fraction of the program; its default
+        # reservation shrinks accordingly (never below the floor).
+        source = int(_graph(42, 120, 400)[0, 0])
+        request = _point_request(f"tc({source}, x)", memory_quota=None)
+        service = _service()
+        response = service.submit(request)
+        assert response["accepted"]
+        assert request.memory_quota is not None
+        assert MIN_SESSION_QUOTA <= request.memory_quota
+        assert request.memory_quota < service.admission.default_quota
+
+    def test_all_free_goal_prices_at_full_quota(self):
+        request = _point_request("tc(x, y)", memory_quota=None)
+        service = _service()
+        service.submit(request)
+        assert request.memory_quota == service.admission.default_quota
+
+    def test_bad_goal_is_structured_rejection(self):
+        service = _service()
+        response = service.submit(_point_request("nosuch(1, 2)"))
+        assert response["accepted"] is False
+        assert response["reason"] == "bad-goal"
+        assert response["retry_after_seconds"] == DEFAULT_RETRY_AFTER
+        assert "nosuch" in response["message"]
+        assert response["goal"] == "nosuch(1, 2)"
+        assert service.counters.snapshot()["server.rejected_bad_goal"] == 1
+
+    def test_point_latency_has_its_own_family(self):
+        source = int(_graph(42, 120, 400)[0, 0])
+        service = _service()
+        service.submit(_point_request(f"tc({source}, x)"))
+        service.pump()
+        service.flush()
+        snapshot = service.metrics_snapshot()
+        families = set(snapshot["histograms"])
+        assert "point.latency.all" in families
+        assert not any(f.startswith("latency.") for f in families)
+
+
+# ---------------------------------------------------------------------------
+# Failure classification at the isolation boundary
+# ---------------------------------------------------------------------------
+
+
+class TestFailureClassification:
+    """Escaped control exceptions keep their structured taxonomy.
+
+    The ``except Exception`` isolation boundaries in the service must not
+    collapse cancellation/deadline/watchdog/guard exceptions into a
+    generic FAILED/internal document — each maps to the same status the
+    interpreter itself would have reported.
+    """
+
+    def _run_with_raising_evaluate(self, monkeypatch, error):
+        def explode(self, *args, **kwargs):
+            raise error
+
+        monkeypatch.setattr(RecStep, "evaluate", explode)
+        service = _service()
+        response = service.submit(_tc_request(seed=3))
+        assert response["accepted"]
+        service.pump()
+        service.flush()
+        return service, service.sessions.get(response["session_id"])
+
+    def test_watchdog_cancel_maps_to_cancelled(self, monkeypatch):
+        error = EvaluationCancelled(
+            "no heartbeat", reason="watchdog", kind="watchdog", gap_seconds=9.0
+        )
+        service, session = self._run_with_raising_evaluate(monkeypatch, error)
+        assert session.state is SessionState.CANCELLED
+        assert session.failure["kind"] == "watchdog"
+        assert service.counters.snapshot()["server.watchdog_cancels"] == 1
+
+    def test_deadline_cancel_maps_to_cancelled_deadline(self, monkeypatch):
+        error = EvaluationCancelled("past deadline", reason="deadline")
+        _, session = self._run_with_raising_evaluate(monkeypatch, error)
+        assert session.state is SessionState.CANCELLED
+        assert session.failure["kind"] == "deadline"
+        assert session.failure["error"] == "EvaluationCancelled"
+
+    def test_guard_trip_maps_to_guard_not_internal(self, monkeypatch):
+        from repro.common.errors import DivergenceGuardTripped
+
+        error = DivergenceGuardTripped(
+            "row budget exceeded", reason="max_total_rows", total_rows=10**9
+        )
+        _, session = self._run_with_raising_evaluate(monkeypatch, error)
+        assert session.state is SessionState.FAILED
+        assert session.failure["error"] == "DivergenceGuardTripped"
+        assert session.failure["kind"] == "max_total_rows"
+
+    def test_unknown_exception_still_generic_fault(self, monkeypatch):
+        _, session = self._run_with_raising_evaluate(
+            monkeypatch, RuntimeError("surprise")
+        )
+        assert session.state is SessionState.FAILED
+        assert session.failure["kind"] == "internal"
+
+    def test_point_path_classifies_guard_trips(self, monkeypatch):
+        from repro.common.errors import DivergenceGuardTripped
+
+        def explode(self, *args, **kwargs):
+            raise DivergenceGuardTripped("diverged", reason="max_iterations")
+
+        monkeypatch.setattr(RecStep, "answer", explode)
+        service = _service()
+        source = int(_graph(42, 120, 400)[0, 0])
+        response = service.submit(_point_request(f"tc({source}, x)"))
+        assert response["accepted"]
+        service.pump()
+        service.flush()
+        session = service.sessions.get(response["session_id"])
+        assert session.state is SessionState.FAILED
+        assert session.failure["error"] == "DivergenceGuardTripped"
+        assert session.failure["kind"] == "max_iterations"
